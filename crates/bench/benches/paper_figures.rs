@@ -1,0 +1,126 @@
+//! Criterion benchmarks: one per table/figure of the paper.
+//!
+//! Each bench times the code path that regenerates the corresponding
+//! result. To keep `cargo bench` wall time reasonable, the per-figure
+//! benches run on the smallest Table 2 workload (`178.galgel`, ~2k
+//! requests); the full-suite regeneration lives in the `repro` binary
+//! (whose output EXPERIMENTS.md records). The *code* exercised is
+//! identical — same drivers, same schemes, same sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdpm_bench::{config_for, fig13, run_one, with_striping};
+use sdpm_core::{PipelineConfig, Scheme};
+use sdpm_disk::{ultrastar36z15, RpmLadder};
+use sdpm_layout::{DiskPool, Striping};
+use sdpm_workloads::galgel;
+use sdpm_xform::Transform;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    c.bench_function("table2_base_run", |b| {
+        b.iter(|| black_box(run_one(&bench.program, Scheme::Base, &cfg)))
+    });
+}
+
+fn bench_fig3_fig4(c: &mut Criterion) {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    let mut g = c.benchmark_group("fig3_fig4_schemes");
+    g.sample_size(10);
+    for scheme in [
+        Scheme::Tpm,
+        Scheme::ITpm,
+        Scheme::Drpm,
+        Scheme::IDrpm,
+        Scheme::CmTpm,
+        Scheme::CmDrpm,
+    ] {
+        g.bench_function(scheme.label(), |b| {
+            b.iter(|| black_box(run_one(&bench.program, scheme, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    let ladder = RpmLadder::new(&ultrastar36z15());
+    c.bench_function("table3_mispredict", |b| {
+        b.iter(|| {
+            let r = run_one(&bench.program, Scheme::CmDrpm, &cfg);
+            black_box(r.mispredicted_speed_fraction(&ladder))
+        })
+    });
+}
+
+fn bench_fig5_fig6(c: &mut Criterion) {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    let mut g = c.benchmark_group("fig5_fig6_stripe_size");
+    g.sample_size(10);
+    for kib in [16u64, 64, 256] {
+        let striping = Striping {
+            stripe_bytes: kib * 1024,
+            ..Striping::default_paper()
+        };
+        let program = with_striping(&bench.program, striping);
+        g.bench_function(format!("{kib}KiB"), |b| {
+            b.iter(|| black_box(run_one(&program, Scheme::CmDrpm, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig7_fig8(c: &mut Criterion) {
+    let bench = galgel();
+    let mut g = c.benchmark_group("fig7_fig8_stripe_factor");
+    g.sample_size(10);
+    for factor in [4u32, 8, 16] {
+        let striping = Striping {
+            stripe_factor: factor,
+            ..Striping::default_paper()
+        };
+        let program = with_striping(&bench.program, striping);
+        let cfg = PipelineConfig {
+            disks: factor,
+            ..config_for(&bench)
+        };
+        g.bench_function(format!("{factor}disks"), |b| {
+            b.iter(|| black_box(run_one(&program, Scheme::CmDrpm, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let mut g = c.benchmark_group("fig13_transforms");
+    g.sample_size(10);
+    for t in Transform::all() {
+        g.bench_function(t.label(), |b| {
+            b.iter(|| {
+                let p = t.apply(&bench.program, pool);
+                black_box(run_one(&p, Scheme::CmDrpm, &cfg))
+            })
+        });
+    }
+    // The whole-figure driver on a single benchmark.
+    g.bench_function("full_driver", |b| {
+        let suite = vec![galgel()];
+        b.iter(|| black_box(fig13(&suite)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_fig3_fig4, bench_table3, bench_fig5_fig6,
+              bench_fig7_fig8, bench_fig13
+}
+criterion_main!(figures);

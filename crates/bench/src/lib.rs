@@ -1,0 +1,11 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! See `src/bin/repro.rs` for the command-line entry point and the
+//! `benches/` directory for the Criterion benchmarks (one per table /
+//! figure).
+
+pub mod ablations;
+pub mod experiments;
+pub mod format;
+
+pub use experiments::*;

@@ -1,0 +1,674 @@
+//! Explicit power-management call insertion (Section 3).
+//!
+//! For every disk idle gap the DAP exposes, the compiler estimates its
+//! wall-clock length and, if the break-even analysis says the gap pays:
+//!
+//! * **CMTPM** — inserts `spin_down(disk)` at the gap start and a
+//!   pre-activating `spin_up(disk)` before the next access;
+//! * **CMDRPM** — inserts `set_RPM(level, disk)` with the energy-optimal
+//!   level at the gap start and a pre-activating `set_RPM(max, disk)`
+//!   before the next access.
+//!
+//! The compiler positions calls on its **estimated timeline** of the run:
+//! per-nest compute time plus the predicted service time of each I/O
+//! request, each scaled by the per-nest measurement-noise factor (the
+//! paper's estimates come from a timed real execution, which sees I/O
+//! stalls). The pre-activation call lands the paper's formula (1) lead
+//! `Tsu + Tm` before the next access *on that timeline*; in code terms the
+//! insertion point is a strip-mine split of the enclosing compute segment
+//! (the paper: "we also stripe-mine the loop... to make explicit the point
+//! at which the spin-up call is to be inserted").
+//!
+//! At chunk granularity the DAP's active/idle transitions coincide with
+//! the generated trace's requests, so the gap walk below *is* the DAP
+//! walk of [`crate::dap`], merely carried out on the event stream where
+//! the insertion must happen anyway.
+
+use crate::estimate::NoiseModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sdpm_disk::{
+    best_rpm_for_gap, breakeven::tpm_gap_is_worthwhile, service_time_secs, DiskParams, RpmLadder,
+    RpmLevel, ServiceRequest,
+};
+use sdpm_layout::DiskId;
+use sdpm_trace::{AppEvent, PowerAction, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Which family of power-management calls to insert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmMode {
+    /// `spin_down` / `spin_up` (CMTPM).
+    Tpm,
+    /// `set_RPM` (CMDRPM).
+    Drpm,
+}
+
+/// One gap-level decision the compiler made, for diagnostics and the
+/// Table 3 accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    pub disk: DiskId,
+    /// The compiler's estimated gap length, seconds.
+    pub estimated_secs: f64,
+    /// Level chosen (CMDRPM) — `None` means "leave at full speed".
+    pub level: Option<RpmLevel>,
+    /// True if a spin-down was inserted (CMTPM).
+    pub spun_down: bool,
+}
+
+/// Result of instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertOutcome {
+    /// The instrumented trace (input trace plus `Power` events).
+    pub trace: Trace,
+    /// Number of power-management calls inserted.
+    pub inserted: usize,
+    /// Per-gap decisions for gaps that were considered.
+    pub decisions: Vec<Decision>,
+}
+
+/// Where a directive goes: before event `event_idx`, optionally inside
+/// it (a `Compute` split at absolute iteration `split_iter`).
+#[derive(Debug, Clone, Copy)]
+struct Pinned {
+    event_idx: usize,
+    /// `None`: before the event. `Some(iter)`: split the compute event at
+    /// this absolute iteration and insert between the halves.
+    split_iter: Option<u64>,
+    disk: DiskId,
+    action: PowerAction,
+}
+
+/// Instruments `trace` with power-management calls for `mode`.
+///
+/// `noise` models the compiler's measurement error: one multiplicative
+/// factor per nest, applied to the estimated timeline (both compute and
+/// service portions, as a real timed run would be).
+#[must_use]
+pub fn insert_directives(
+    trace: &Trace,
+    params: &DiskParams,
+    noise: &NoiseModel,
+    mode: CmMode,
+    overhead_secs: f64,
+) -> InsertOutcome {
+    let ladder = RpmLadder::new(params);
+    let max = ladder.max_level();
+
+    // Per-nest noise factors, seeded like CycleEstimator::with_noise.
+    let nest_count = trace
+        .events
+        .iter()
+        .filter_map(AppEvent::nest)
+        .max()
+        .map_or(0, |n| n + 1);
+    let mut rng = StdRng::seed_from_u64(noise.seed);
+    let factors: Vec<f64> = (0..nest_count)
+        .map(|_| {
+            let eps: f64 = if noise.spread > 0.0 {
+                rng.random_range(-noise.spread..noise.spread)
+            } else {
+                0.0
+            };
+            (1.0 + eps).max(0.05)
+        })
+        .collect();
+
+    // Estimated timeline: start/end time of every event.
+    let n_events = trace.events.len();
+    let mut t_start = vec![0.0f64; n_events];
+    let mut t_end = vec![0.0f64; n_events];
+    let mut t = 0.0f64;
+    for (i, e) in trace.events.iter().enumerate() {
+        t_start[i] = t;
+        let dur = match e {
+            AppEvent::Compute { nest, secs, .. } => secs * factors[*nest],
+            AppEvent::Io(r) => {
+                factors[r.nest]
+                    * service_time_secs(
+                        params,
+                        &ladder,
+                        max,
+                        ServiceRequest {
+                            size_bytes: r.size_bytes,
+                            sequential: r.sequential,
+                        },
+                    )
+            }
+            AppEvent::Power { .. } => 0.0,
+        };
+        t += dur;
+        t_end[i] = t;
+    }
+    let t_total = t;
+
+    // Per-disk request event indices.
+    let pool = trace.pool_size as usize;
+    let mut per_disk: Vec<Vec<usize>> = vec![Vec::new(); pool];
+    for (i, e) in trace.events.iter().enumerate() {
+        if let AppEvent::Io(r) = e {
+            per_disk[r.disk.0 as usize].push(i);
+        }
+    }
+
+    // Energy floor per inserted pair: each call costs the whole subsystem
+    // `Tm` of wall time; require a clear predicted profit.
+    let call_cost_j = 2.0 * overhead_secs * params.idle_power_w * pool as f64;
+    let min_saved_j = 4.0 * call_cost_j;
+
+    let mut pinned: Vec<Pinned> = Vec::new();
+    let mut decisions: Vec<Decision> = Vec::new();
+
+    // Per-gap jitter stream (drawn in deterministic disk/gap order).
+    let mut gap_rng = StdRng::seed_from_u64(noise.seed.wrapping_add(0x9E37_79B9));
+
+    for (d, reqs) in per_disk.iter().enumerate() {
+        let disk = DiskId(d as u32);
+        // Gap k runs from the end of request k-1 (or stream start) to the
+        // start of request k (or stream end for the trailing gap).
+        for k in 0..=reqs.len() {
+            let (gap_start_t, start_pin) = if k == 0 {
+                (0.0, 0usize)
+            } else {
+                (t_end[reqs[k - 1]], reqs[k - 1] + 1)
+            };
+            let (gap_end_t, end_event) = if k < reqs.len() {
+                (t_start[reqs[k]], Some(reqs[k]))
+            } else {
+                (t_total, None)
+            };
+            let true_est = gap_end_t - gap_start_t;
+            if true_est <= 0.0 {
+                continue;
+            }
+            let est = if noise.gap_jitter > 0.0 {
+                let eta: f64 = gap_rng.random_range(-noise.gap_jitter..noise.gap_jitter);
+                (true_est * (1.0 + eta)).max(0.0)
+            } else {
+                true_est
+            };
+            let mut decision = Decision {
+                disk,
+                estimated_secs: est,
+                level: None,
+                spun_down: false,
+            };
+            let plan: Option<(PowerAction, PowerAction, f64)> = match mode {
+                CmMode::Tpm => {
+                    if tpm_gap_is_worthwhile(params, est) {
+                        Some((
+                            PowerAction::SpinDown,
+                            PowerAction::SpinUp,
+                            params.spin_up_secs,
+                        ))
+                    } else {
+                        None
+                    }
+                }
+                CmMode::Drpm => {
+                    let choice = best_rpm_for_gap(&ladder, max, est);
+                    if choice.level < max && choice.saved_j() > min_saved_j {
+                        Some((
+                            PowerAction::SetRpm(choice.level),
+                            PowerAction::SetRpm(max),
+                            ladder.transition_secs(choice.level, max),
+                        ))
+                    } else {
+                        None
+                    }
+                }
+            };
+            let Some((down, up, tsu)) = plan else {
+                decisions.push(decision);
+                continue;
+            };
+            match end_event {
+                None => {
+                    // Trailing gap: no pre-activation needed.
+                    pinned.push(Pinned {
+                        event_idx: start_pin,
+                        split_iter: None,
+                        disk,
+                        action: down,
+                    });
+                }
+                Some(end_idx) => {
+                    let target_t = gap_end_t - (tsu + overhead_secs);
+                    if target_t <= gap_start_t {
+                        // Gap cannot fit the pre-activation lead: leave
+                        // the disk alone.
+                        decisions.push(decision);
+                        continue;
+                    }
+                    let preact = position_at(trace, &t_start, &t_end, end_idx, target_t);
+                    pinned.push(Pinned {
+                        event_idx: start_pin,
+                        split_iter: None,
+                        disk,
+                        action: down,
+                    });
+                    pinned.push(Pinned {
+                        disk,
+                        action: up,
+                        ..preact
+                    });
+                }
+            }
+            match mode {
+                CmMode::Tpm => decision.spun_down = true,
+                CmMode::Drpm => {
+                    if let PowerAction::SetRpm(l) = down {
+                        decision.level = Some(l);
+                    }
+                }
+            }
+            decisions.push(decision);
+        }
+    }
+
+    // Deterministic weave order: by event position, "before event" pins
+    // first, then intra-compute splits by iteration; pre-activations
+    // ahead of slow-downs at the same point; then by disk.
+    let rank = |a: &PowerAction| match a {
+        PowerAction::SpinUp => 0,
+        PowerAction::SetRpm(l) if *l == max => 0,
+        _ => 1,
+    };
+    pinned.sort_by(|a, b| {
+        a.event_idx
+            .cmp(&b.event_idx)
+            .then_with(|| {
+                a.split_iter
+                    .unwrap_or(0)
+                    .cmp(&b.split_iter.unwrap_or(0))
+            })
+            .then_with(|| rank(&a.action).cmp(&rank(&b.action)))
+            .then_with(|| a.disk.cmp(&b.disk))
+    });
+
+    let inserted = pinned.len();
+    let events = weave(trace, &pinned);
+    let out = Trace {
+        name: trace.name.clone(),
+        pool_size: trace.pool_size,
+        events,
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    InsertOutcome {
+        trace: out,
+        inserted,
+        decisions,
+    }
+}
+
+/// Finds the stream position whose estimated time is `target_t`, looking
+/// backward from `end_idx` (the request the pre-activation protects).
+fn position_at(
+    trace: &Trace,
+    t_start: &[f64],
+    t_end: &[f64],
+    end_idx: usize,
+    target_t: f64,
+) -> Pinned {
+    // Binary search over event start times in [0, end_idx].
+    let slice = &t_start[..=end_idx];
+    let i = slice.partition_point(|&s| s <= target_t).saturating_sub(1);
+    match &trace.events[i] {
+        AppEvent::Compute {
+            nest: _,
+            first_iter,
+            iters,
+            ..
+        } if *iters > 1 && t_end[i] > t_start[i] => {
+            let frac = ((target_t - t_start[i]) / (t_end[i] - t_start[i])).clamp(0.0, 1.0);
+            let off = (frac * *iters as f64) as u64;
+            if off == 0 {
+                Pinned {
+                    event_idx: i,
+                    split_iter: None,
+                    disk: DiskId(0),
+                    action: PowerAction::SpinUp,
+                }
+            } else if off >= *iters {
+                Pinned {
+                    event_idx: i + 1,
+                    split_iter: None,
+                    disk: DiskId(0),
+                    action: PowerAction::SpinUp,
+                }
+            } else {
+                Pinned {
+                    event_idx: i,
+                    split_iter: Some(first_iter + off),
+                    disk: DiskId(0),
+                    action: PowerAction::SpinUp,
+                }
+            }
+        }
+        // Io/Power/degenerate-compute: insert before this event (slightly
+        // early — conservative).
+        _ => Pinned {
+            event_idx: i,
+            split_iter: None,
+            disk: DiskId(0),
+            action: PowerAction::SpinUp,
+        },
+    }
+}
+
+/// Merges pinned directives into the event stream.
+fn weave(trace: &Trace, pinned: &[Pinned]) -> Vec<AppEvent> {
+    let mut out = Vec::with_capacity(trace.events.len() + pinned.len());
+    let mut di = 0usize;
+    for (i, e) in trace.events.iter().enumerate() {
+        // Pins strictly before this event.
+        while di < pinned.len() && pinned[di].event_idx == i && pinned[di].split_iter.is_none() {
+            out.push(AppEvent::Power {
+                disk: pinned[di].disk,
+                action: pinned[di].action,
+            });
+            di += 1;
+        }
+        // Intra-compute splits.
+        if matches!(e, AppEvent::Compute { .. }) {
+            let mut seg = *e;
+            while di < pinned.len() && pinned[di].event_idx == i {
+                let at = pinned[di]
+                    .split_iter
+                    .expect("before-event pins handled above");
+                // Guard against duplicate split points.
+                let (first_iter, iters) = match seg {
+                    AppEvent::Compute {
+                        first_iter, iters, ..
+                    } => (first_iter, iters),
+                    _ => unreachable!(),
+                };
+                if at <= first_iter || at >= first_iter + iters {
+                    out.push(AppEvent::Power {
+                        disk: pinned[di].disk,
+                        action: pinned[di].action,
+                    });
+                    di += 1;
+                    continue;
+                }
+                let (l, r) = seg.split_compute(at);
+                out.push(l);
+                out.push(AppEvent::Power {
+                    disk: pinned[di].disk,
+                    action: pinned[di].action,
+                });
+                di += 1;
+                seg = r;
+            }
+            out.push(seg);
+        } else {
+            // Any split pins erroneously targeting a non-compute event
+            // fall back to "before" semantics.
+            while di < pinned.len() && pinned[di].event_idx == i {
+                out.push(AppEvent::Power {
+                    disk: pinned[di].disk,
+                    action: pinned[di].action,
+                });
+                di += 1;
+            }
+            out.push(*e);
+        }
+    }
+    while di < pinned.len() {
+        out.push(AppEvent::Power {
+            disk: pinned[di].disk,
+            action: pinned[di].action,
+        });
+        di += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_disk::ultrastar36z15;
+    use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+    use sdpm_layout::{ArrayFile, DiskPool, StorageOrder, Striping};
+    use sdpm_trace::{generate, TraceGenConfig};
+
+    /// A program with an I/O phase (nest 0 scans A on disk 0), a long
+    /// compute phase (nest 1, no I/O), and a second I/O phase (nest 2
+    /// scans A again). Disk 0's mid gap spans the compute nest; disk 1 is
+    /// never used.
+    fn phased_program(compute_secs: f64) -> (Program, DiskPool) {
+        let a = ArrayFile {
+            name: "A".into(),
+            dims: vec![4096],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: 1,
+                stripe_bytes: 64 * 1024,
+            },
+            base_block: 0,
+        };
+        let scan = |label: &str| LoopNest {
+            label: label.into(),
+            loops: vec![LoopDim::simple(4096)],
+            stmts: vec![Statement {
+                label: "S".into(),
+                refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+            }],
+            cycles_per_iter: 750.0, // 1 us per iteration
+        };
+        let compute_iters = 10_000u64;
+        let compute = LoopNest {
+            label: "compute".into(),
+            loops: vec![LoopDim::simple(compute_iters)],
+            stmts: vec![],
+            cycles_per_iter: compute_secs / compute_iters as f64 * 750.0e6,
+        };
+        let p = Program {
+            name: "phased".into(),
+            arrays: vec![a],
+            nests: vec![scan("read"), compute, scan("reread")],
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        };
+        let pool = DiskPool::new(2);
+        p.validate(pool).unwrap();
+        (p, pool)
+    }
+
+    /// Generator config with chunks smaller than the 32 KiB array, so the
+    /// reread misses the one-chunk cache and produces mid-gap requests.
+    fn small_chunks() -> TraceGenConfig {
+        TraceGenConfig {
+            io_chunk_bytes: 8 * 1024,
+            detect_sequential: false,
+        }
+    }
+
+    fn setup(compute_secs: f64) -> Trace {
+        let (p, pool) = phased_program(compute_secs);
+        generate(&p, pool, small_chunks())
+    }
+
+    const TM: f64 = 50e-6;
+
+    #[test]
+    fn cmdrpm_inserts_slowdown_and_preactivation() {
+        let t = setup(10.0);
+        let params = ultrastar36z15();
+        let out = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Drpm, TM);
+        assert!(out.inserted >= 2, "inserted {}", out.inserted);
+        let max = RpmLadder::new(&params).max_level();
+        let powers: Vec<_> = out
+            .trace
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                AppEvent::Power { disk, action } => Some((*disk, *action)),
+                _ => None,
+            })
+            .collect();
+        let down = powers
+            .iter()
+            .position(|(d, a)| *d == DiskId(0) && matches!(a, PowerAction::SetRpm(l) if *l < max));
+        let up = powers
+            .iter()
+            .rposition(|(d, a)| *d == DiskId(0) && matches!(a, PowerAction::SetRpm(l) if *l == max));
+        assert!(down.is_some() && up.is_some() && down < up);
+    }
+
+    #[test]
+    fn cmtpm_ignores_sub_break_even_gaps() {
+        let t = setup(10.0); // all gaps < 15.2 s on the estimated timeline
+        let params = ultrastar36z15();
+        let out = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Tpm, TM);
+        // Disk 0's mid gap (~10 s) is below break-even; disk 1 never
+        // appears in the trace at all (no requests -> no gap walk), so
+        // nothing is inserted.
+        assert_eq!(out.inserted, 0);
+        assert!(out.decisions.iter().all(|d| !d.spun_down));
+    }
+
+    #[test]
+    fn cmtpm_exploits_long_gaps() {
+        let t = setup(60.0);
+        let params = ultrastar36z15();
+        let out = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Tpm, TM);
+        let d0_down = out
+            .decisions
+            .iter()
+            .any(|d| d.disk == DiskId(0) && d.spun_down);
+        assert!(d0_down);
+        let spin_ups = out
+            .trace
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    AppEvent::Power {
+                        action: PowerAction::SpinUp,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(spin_ups, 1, "one pre-activation for the mid gap");
+    }
+
+    #[test]
+    fn preactivation_lead_is_respected_on_the_estimated_timeline() {
+        let t = setup(30.0);
+        let params = ultrastar36z15();
+        let ladder = RpmLadder::new(&params);
+        let max = ladder.max_level();
+        let out = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Drpm, TM);
+        // Find the restore-to-max on disk 0 and the first nest-2 request;
+        // between them there must be at least the shift-back lead of
+        // compute time.
+        let mut acc = 0.0;
+        let mut lead: Option<f64> = None;
+        for e in &out.trace.events {
+            match e {
+                AppEvent::Compute { secs, .. }
+                    if lead.is_some() => {
+                        acc += secs;
+                    }
+                AppEvent::Power {
+                    disk: DiskId(0),
+                    action: PowerAction::SetRpm(l),
+                } if *l == max => lead = Some(0.0),
+                AppEvent::Io(r) if r.nest == 2 => break,
+                _ => {}
+            }
+        }
+        assert!(lead.is_some(), "pre-activation present");
+        let full_swing = 10.0 * params.rpm_transition_secs_per_step;
+        assert!(
+            acc >= full_swing * 0.9,
+            "accumulated lead {acc} below shift time {full_swing}"
+        );
+    }
+
+    #[test]
+    fn instrumented_trace_validates_and_preserves_io() {
+        let t = setup(20.0);
+        let params = ultrastar36z15();
+        let out = insert_directives(&t, &params, &NoiseModel::default(), CmMode::Drpm, TM);
+        assert_eq!(out.trace.validate(), Ok(()));
+        assert_eq!(out.trace.stats().requests, t.stats().requests);
+        assert!(
+            (out.trace.stats().compute_secs - t.stats().compute_secs).abs() < 1e-9,
+            "compute splitting must conserve time"
+        );
+    }
+
+    #[test]
+    fn exact_estimates_choose_the_per_gap_optimum() {
+        let t = setup(8.0);
+        let params = ultrastar36z15();
+        let ladder = RpmLadder::new(&params);
+        let out = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Drpm, TM);
+        for d in &out.decisions {
+            if let Some(level) = d.level {
+                let ideal = best_rpm_for_gap(&ladder, ladder.max_level(), d.estimated_secs);
+                assert_eq!(level, ideal.level);
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_estimates_can_differ_from_ideal() {
+        // Sub-second gaps are the noise-sensitive regime.
+        let t = setup(0.12);
+        let params = ultrastar36z15();
+        let exact = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Drpm, TM);
+        let exact_levels: Vec<_> = exact.decisions.iter().map(|d| d.level).collect();
+        let mut any_diff = false;
+        for seed in 0..20 {
+            let noisy = insert_directives(
+                &t,
+                &params,
+                &NoiseModel {
+                    spread: 0.5,
+                    gap_jitter: 0.5,
+                    seed,
+                },
+                CmMode::Drpm,
+                TM,
+            );
+            if noisy.decisions.iter().map(|d| d.level).collect::<Vec<_>>() != exact_levels {
+                any_diff = true;
+                break;
+            }
+        }
+        assert!(any_diff, "50% noise must flip at least one level choice");
+    }
+
+    #[test]
+    fn trailing_gap_gets_slowdown_without_preactivation() {
+        // One request then a long compute tail.
+        let (p, pool) = phased_program(1.0);
+        let mut p = p;
+        p.nests.truncate(2); // read + compute; no reread
+        let t = generate(&p, pool, small_chunks());
+        let params = ultrastar36z15();
+        let out = insert_directives(&t, &params, &NoiseModel::exact(), CmMode::Drpm, TM);
+        let max = RpmLadder::new(&params).max_level();
+        let ups = out
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::Power { action: PowerAction::SetRpm(l), .. } if *l == max))
+            .count();
+        assert_eq!(ups, 0, "no request follows: no restore needed");
+        let downs = out
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, AppEvent::Power { action: PowerAction::SetRpm(l), .. } if *l < max))
+            .count();
+        assert!(downs >= 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the instrumentation pass.
+
+use proptest::prelude::*;
+use sdpm_core::{insert_directives, CmMode, NoiseModel};
+use sdpm_disk::{ultrastar36z15, RpmLadder};
+use sdpm_layout::DiskId;
+use sdpm_trace::{AppEvent, IoRequest, PowerAction, ReqKind, Trace};
+
+/// Random alternating compute/IO traces (valid by construction).
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    let pool = 4u32;
+    proptest::collection::vec(
+        (0.0f64..20.0, 0..pool, 1u64..256 * 1024, any::<bool>()),
+        1..40,
+    )
+    .prop_map(move |items| {
+        let mut events = Vec::new();
+        for (i, (gap, disk, size, write)) in items.into_iter().enumerate() {
+            events.push(AppEvent::Compute {
+                nest: 0,
+                first_iter: i as u64 * 10,
+                iters: 10,
+                secs: gap,
+            });
+            events.push(AppEvent::Io(IoRequest {
+                disk: DiskId(disk),
+                start_block: i as u64 * 64,
+                size_bytes: size,
+                kind: if write { ReqKind::Write } else { ReqKind::Read },
+                sequential: false,
+                nest: 0,
+                iter: i as u64 * 10 + 9,
+            }));
+        }
+        Trace {
+            name: "prop".into(),
+            pool_size: pool,
+            events,
+        }
+    })
+}
+
+fn io_multiset(t: &Trace) -> Vec<(u32, u64, u64)> {
+    let mut v: Vec<_> = t
+        .requests()
+        .map(|r| (r.disk.0, r.start_block, r.size_bytes))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Instrumentation preserves the I/O multiset and total compute time,
+    /// yields a valid trace, and every inserted call targets an in-pool
+    /// disk.
+    #[test]
+    fn insertion_conserves_the_application(
+        trace in trace_strategy(),
+        mode_drpm in any::<bool>(),
+        spread in 0.0f64..0.3,
+        jitter in 0.0f64..0.3,
+        seed in 0u64..1000,
+    ) {
+        let params = ultrastar36z15();
+        let mode = if mode_drpm { CmMode::Drpm } else { CmMode::Tpm };
+        let out = insert_directives(
+            &trace,
+            &params,
+            &NoiseModel { spread, gap_jitter: jitter, seed },
+            mode,
+            50e-6,
+        );
+        prop_assert_eq!(out.trace.validate(), Ok(()));
+        prop_assert_eq!(io_multiset(&out.trace), io_multiset(&trace));
+        let c0 = trace.stats().compute_secs;
+        let c1 = out.trace.stats().compute_secs;
+        prop_assert!((c0 - c1).abs() < 1e-6);
+        prop_assert_eq!(out.trace.stats().power_calls, out.inserted as u64);
+        for e in &out.trace.events {
+            if let AppEvent::Power { disk, .. } = e {
+                prop_assert!(disk.0 < trace.pool_size);
+            }
+        }
+    }
+
+    /// Per disk, the call stream alternates slow-down / restore: a
+    /// restore (SetRpm to max or SpinUp) never appears without a
+    /// preceding un-restored slow-down.
+    #[test]
+    fn calls_alternate_per_disk(trace in trace_strategy(), seed in 0u64..200) {
+        let params = ultrastar36z15();
+        let max = RpmLadder::new(&params).max_level();
+        let out = insert_directives(
+            &trace,
+            &params,
+            &NoiseModel { spread: 0.1, gap_jitter: 0.1, seed },
+            CmMode::Drpm,
+            50e-6,
+        );
+        let mut lowered = vec![false; trace.pool_size as usize];
+        for e in &out.trace.events {
+            if let AppEvent::Power { disk, action } = e {
+                let d = disk.0 as usize;
+                match action {
+                    PowerAction::SetRpm(l) if *l < max => {
+                        prop_assert!(!lowered[d], "double slow-down on disk {d}");
+                        lowered[d] = true;
+                    }
+                    PowerAction::SetRpm(_) => {
+                        prop_assert!(lowered[d], "restore without slow-down on disk {d}");
+                        lowered[d] = false;
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// The decision list covers every positive-length gap of every disk
+    /// that appears in the trace: #decisions == #requests-per-disk sums
+    /// (+1 trailing each) minus zero-length gaps.
+    #[test]
+    fn decisions_cover_disks(trace in trace_strategy()) {
+        let params = ultrastar36z15();
+        let out = insert_directives(
+            &trace,
+            &params,
+            &NoiseModel::exact(),
+            CmMode::Drpm,
+            50e-6,
+        );
+        let mut per_disk = vec![0u64; trace.pool_size as usize];
+        for r in trace.requests() {
+            per_disk[r.disk.0 as usize] += 1;
+        }
+        // Each disk contributes at most one gap per request plus the
+        // trailing gap — including request-free disks, whose single
+        // whole-program gap still gets a decision.
+        let upper: u64 = per_disk.iter().map(|&n| n + 1).sum();
+        prop_assert!(out.decisions.len() as u64 <= upper);
+    }
+}

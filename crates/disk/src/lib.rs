@@ -1,0 +1,36 @@
+//! Disk device and power model substrate.
+//!
+//! This crate models the server-class disk the paper evaluates on — the IBM
+//! Ultrastar 36Z15 (Table 1 of the paper) — at the level of detail the
+//! paper's simulator needs:
+//!
+//! * a **service-time model** (seek + rotational latency + transfer), with
+//!   rotational latency and transfer rate scaled by the current spindle
+//!   speed ([`service`]),
+//! * a **TPM power-state machine** (active / idle / standby with explicit
+//!   spin-up / spin-down transitions; [`power`]),
+//! * a **DRPM multi-RPM ladder** (3,000..15,000 RPM in 1,200 RPM steps,
+//!   with the `(rpm/rpm_max)^2.8` spindle-power law of Gurumurthi et al.;
+//!   [`rpm`]),
+//! * **break-even analysis** used by both the ideal (oracle) policies and
+//!   the compiler-directed policies to decide whether and how deep to power
+//!   a disk down for a known idle gap ([`breakeven`]), and
+//! * an **energy integrator** that turns `(state, duration)` intervals into
+//!   a joule breakdown ([`energy`]).
+//!
+//! All times are in **seconds**, energies in **joules**, powers in
+//! **watts**, and sizes in **bytes**, unless a name says otherwise.
+
+pub mod breakeven;
+pub mod energy;
+pub mod params;
+pub mod power;
+pub mod rpm;
+pub mod service;
+
+pub use breakeven::{best_rpm_for_gap, tpm_break_even_secs, RpmChoice};
+pub use energy::{EnergyBreakdown, EnergyIntegrator};
+pub use params::{laptop_disk, ultrastar36z15, DiskParams};
+pub use power::{DiskPowerState, PowerEvent, PowerStateMachine};
+pub use rpm::{RpmLadder, RpmLevel};
+pub use service::{service_time_secs, ServiceRequest};

@@ -1,0 +1,300 @@
+//! Disk model parameters (Table 1 of the paper).
+//!
+//! The paper evaluates on the IBM Ultrastar 36Z15, a 15,000 RPM SCSI
+//! server disk. [`ultrastar36z15`] reproduces Table 1 verbatim; every other
+//! component of this workspace takes a [`DiskParams`] so alternative disk
+//! models can be plugged in (the sensitivity benches exercise this).
+
+use serde::{Deserialize, Serialize};
+
+/// Complete parameter set of one disk model.
+///
+/// Field values and names mirror Table 1 of the paper. Times are seconds,
+/// powers watts, energies joules, capacities/sizes bytes, and rates
+/// bytes/second; `rpm` fields are revolutions per minute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiskParams {
+    /// Human-readable model name, e.g. `"IBM Ultrastar 36Z15"`.
+    pub model: String,
+    /// Formatted storage capacity in bytes (18 GB for the 36Z15).
+    pub capacity_bytes: u64,
+    /// Nominal (maximum) spindle speed in RPM.
+    pub rpm_max: u32,
+    /// Average seek time in seconds (RPM-independent).
+    pub avg_seek_secs: f64,
+    /// Average rotational latency in seconds *at `rpm_max`* (half a
+    /// revolution: `30.0 / rpm_max`).
+    pub avg_rotation_secs: f64,
+    /// Internal (media) transfer rate in bytes/second *at `rpm_max`*.
+    pub transfer_rate_bps: f64,
+    /// Power while actively servicing a request at full speed, watts.
+    pub active_power_w: f64,
+    /// Power while spinning idle at full speed, watts.
+    pub idle_power_w: f64,
+    /// Power in standby (spindle stopped), watts.
+    pub standby_power_w: f64,
+    /// Energy to spin down (idle -> standby), joules.
+    pub spin_down_energy_j: f64,
+    /// Time to spin down (idle -> standby), seconds.
+    pub spin_down_secs: f64,
+    /// Energy to spin up (standby -> active), joules.
+    pub spin_up_energy_j: f64,
+    /// Time to spin up (standby -> active), seconds.
+    pub spin_up_secs: f64,
+    /// Lowest DRPM speed level, RPM.
+    pub rpm_min: u32,
+    /// DRPM speed-step granularity, RPM.
+    pub rpm_step: u32,
+    /// Time to change spindle speed by one `rpm_step`, seconds.
+    ///
+    /// The paper states only that RPM modulation "is usually much smaller
+    /// than typical spin-up/down times". Table 2's base numbers imply
+    /// request service every ~6.5 ms round-robin over 8 disks, i.e.
+    /// per-disk idle gaps of ~50-150 ms — and the paper's DRPM results
+    /// (IDRPM cutting disk energy in half at zero performance cost) are
+    /// only reachable if those gaps are exploitable. We therefore charge
+    /// 2 ms per 1,200 RPM step (20 ms full swing), three orders of
+    /// magnitude below the 12.4 s spin-down+up — the premise the DRPM
+    /// model rests on. The `transition_step_sensitivity` ablation bench
+    /// sweeps this parameter and shows the paper's DRPM-family results
+    /// collapse once steps reach the 100 ms scale.
+    pub rpm_transition_secs_per_step: f64,
+    /// Exponent of the spindle power law `P ~ (rpm/rpm_max)^k` used to
+    /// scale idle/active power to reduced speeds (2.8 per the DRPM model).
+    pub spindle_power_exponent: f64,
+    /// Window size (requests) of the reactive DRPM controller heuristic.
+    /// The paper uses 30 because its single-application traces are short.
+    pub drpm_window: usize,
+}
+
+impl DiskParams {
+    /// Extra power drawn while servicing a request, on top of the idle
+    /// (spinning) power at the same speed.
+    ///
+    /// The active/idle difference of the 36Z15 is 3.3 W and is dominated by
+    /// arm and channel electronics, which do not scale with spindle speed,
+    /// so we treat it as RPM-independent.
+    #[must_use]
+    pub fn active_extra_power_w(&self) -> f64 {
+        self.active_power_w - self.idle_power_w
+    }
+
+    /// Number of discrete RPM levels, including both `rpm_min` and
+    /// `rpm_max`.
+    #[must_use]
+    pub fn rpm_level_count(&self) -> usize {
+        ((self.rpm_max - self.rpm_min) / self.rpm_step) as usize + 1
+    }
+
+    /// Cheap structural sanity check; returns a description of the first
+    /// violated constraint, if any.
+    ///
+    /// This is used by the simulator constructors so that a malformed
+    /// custom disk model fails loudly at setup rather than producing NaN
+    /// joules mid-run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rpm_max == 0 || self.rpm_min == 0 {
+            return Err("rpm_max and rpm_min must be positive".into());
+        }
+        if self.rpm_min > self.rpm_max {
+            return Err(format!(
+                "rpm_min ({}) exceeds rpm_max ({})",
+                self.rpm_min, self.rpm_max
+            ));
+        }
+        if self.rpm_step == 0 {
+            return Err("rpm_step must be positive".into());
+        }
+        if !(self.rpm_max - self.rpm_min).is_multiple_of(self.rpm_step) {
+            return Err(format!(
+                "rpm range {}..{} is not a whole number of {} RPM steps",
+                self.rpm_min, self.rpm_max, self.rpm_step
+            ));
+        }
+        if self.transfer_rate_bps <= 0.0 {
+            return Err("transfer_rate_bps must be positive".into());
+        }
+        for (name, v) in [
+            ("avg_seek_secs", self.avg_seek_secs),
+            ("avg_rotation_secs", self.avg_rotation_secs),
+            ("spin_down_secs", self.spin_down_secs),
+            ("spin_up_secs", self.spin_up_secs),
+            ("spin_down_energy_j", self.spin_down_energy_j),
+            ("spin_up_energy_j", self.spin_up_energy_j),
+            ("rpm_transition_secs_per_step", self.rpm_transition_secs_per_step),
+        ] {
+            if v.partial_cmp(&0.0).is_none() || v < 0.0 || !v.is_finite() {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
+            }
+        }
+        if !(self.standby_power_w >= 0.0
+            && self.idle_power_w > self.standby_power_w
+            && self.active_power_w >= self.idle_power_w)
+        {
+            return Err(format!(
+                "power ordering violated: standby {} <= idle {} <= active {}",
+                self.standby_power_w, self.idle_power_w, self.active_power_w
+            ));
+        }
+        if self.spindle_power_exponent <= 0.0 {
+            return Err("spindle_power_exponent must be positive".into());
+        }
+        if self.drpm_window == 0 {
+            return Err("drpm_window must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// The paper's default disk: IBM Ultrastar 36Z15, exactly as in Table 1.
+#[must_use]
+pub fn ultrastar36z15() -> DiskParams {
+    DiskParams {
+        model: "IBM Ultrastar 36Z15".to_string(),
+        capacity_bytes: 18 * 1024 * 1024 * 1024,
+        rpm_max: 15_000,
+        avg_seek_secs: 3.4e-3,
+        avg_rotation_secs: 2.0e-3,
+        transfer_rate_bps: 55.0 * 1024.0 * 1024.0,
+        active_power_w: 13.5,
+        idle_power_w: 10.2,
+        standby_power_w: 2.5,
+        spin_down_energy_j: 13.0,
+        spin_down_secs: 1.5,
+        spin_up_energy_j: 135.0,
+        spin_up_secs: 10.9,
+        rpm_min: 3_000,
+        rpm_step: 1_200,
+        rpm_transition_secs_per_step: 0.002,
+        spindle_power_exponent: 2.8,
+        drpm_window: 30,
+    }
+}
+
+/// A contemporaneous laptop disk (modeled on the Hitachi Travelstar
+/// class the TPM literature [7, 8] studied): low spin-up cost, slow
+/// media.
+///
+/// Section 2 of the paper: "While TPM is an effective approach in the
+/// domain of laptop/desktop systems, recent studies demonstrated that it
+/// is not an appropriate choice for large servers" — the difference is
+/// entirely in these numbers. The laptop disk's break-even idleness is
+/// ~2.3 s against the server disk's ~15.2 s, so the second-scale idle
+/// gaps scientific codes expose are exploitable by TPM on a laptop disk
+/// and useless on the Ultrastar. The `section2` experiment in the repro
+/// binary demonstrates this.
+#[must_use]
+pub fn laptop_disk() -> DiskParams {
+    DiskParams {
+        model: "laptop 2.5in 4200rpm".to_string(),
+        capacity_bytes: 40 * 1024 * 1024 * 1024,
+        rpm_max: 4_200,
+        avg_seek_secs: 12.0e-3,
+        avg_rotation_secs: 30.0 / 4200.0,
+        transfer_rate_bps: 20.0 * 1024.0 * 1024.0,
+        active_power_w: 2.5,
+        idle_power_w: 1.3,
+        standby_power_w: 0.2,
+        spin_down_energy_j: 1.0,
+        spin_down_secs: 0.5,
+        spin_up_energy_j: 4.0,
+        spin_up_secs: 1.6,
+        // A single-speed spindle: the ladder degenerates to one level, so
+        // every DRPM-family scheme reduces to "do nothing".
+        rpm_min: 4_200,
+        rpm_step: 1_200,
+        rpm_transition_secs_per_step: 0.002,
+        spindle_power_exponent: 2.8,
+        drpm_window: 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laptop_disk_validates_and_breaks_even_fast() {
+        let p = laptop_disk();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.rpm_level_count(), 1, "single-speed spindle");
+        let be = crate::breakeven::tpm_break_even_secs(&p);
+        assert!(
+            be < 5.0,
+            "laptop break-even must be second-scale, got {be}"
+        );
+    }
+
+    #[test]
+    fn table1_values_match_paper() {
+        let p = ultrastar36z15();
+        assert_eq!(p.rpm_max, 15_000);
+        assert_eq!(p.rpm_min, 3_000);
+        assert_eq!(p.rpm_step, 1_200);
+        assert!((p.avg_seek_secs - 0.0034).abs() < 1e-12);
+        assert!((p.avg_rotation_secs - 0.002).abs() < 1e-12);
+        assert!((p.active_power_w - 13.5).abs() < 1e-12);
+        assert!((p.idle_power_w - 10.2).abs() < 1e-12);
+        assert!((p.standby_power_w - 2.5).abs() < 1e-12);
+        assert!((p.spin_down_energy_j - 13.0).abs() < 1e-12);
+        assert!((p.spin_up_energy_j - 135.0).abs() < 1e-12);
+        assert!((p.spin_down_secs - 1.5).abs() < 1e-12);
+        assert!((p.spin_up_secs - 10.9).abs() < 1e-12);
+        assert_eq!(p.drpm_window, 30);
+    }
+
+    #[test]
+    fn rotation_latency_is_half_revolution_at_full_speed() {
+        let p = ultrastar36z15();
+        // 30 / 15000 RPM = 2 ms, as the datasheet row in Table 1 states.
+        assert!((30.0 / f64::from(p.rpm_max) - p.avg_rotation_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_count_covers_full_ladder() {
+        let p = ultrastar36z15();
+        // 3000, 4200, ..., 15000 -> 11 levels.
+        assert_eq!(p.rpm_level_count(), 11);
+    }
+
+    #[test]
+    fn default_params_validate() {
+        assert_eq!(ultrastar36z15().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_rpm_ordering() {
+        let mut p = ultrastar36z15();
+        p.rpm_min = 16_000;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_integral_step() {
+        let mut p = ultrastar36z15();
+        p.rpm_step = 1_000; // (15000-3000) % 1000 == 0 -> actually fine
+        assert!(p.validate().is_ok());
+        p.rpm_step = 900; // 12000 % 900 != 0
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inverted_power_ordering() {
+        let mut p = ultrastar36z15();
+        p.idle_power_w = 1.0; // below standby
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nan_times() {
+        let mut p = ultrastar36z15();
+        p.spin_up_secs = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn active_extra_power_is_positive() {
+        let p = ultrastar36z15();
+        assert!((p.active_extra_power_w() - 3.3).abs() < 1e-9);
+    }
+}

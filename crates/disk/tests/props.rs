@@ -1,0 +1,150 @@
+//! Property tests for the disk power model.
+
+use proptest::prelude::*;
+use sdpm_disk::{
+    best_rpm_for_gap, service_time_secs, tpm_break_even_secs, ultrastar36z15, PowerStateMachine,
+    RpmLadder, RpmLevel, ServiceRequest,
+};
+
+/// Random legal event scripts for the power-state machine.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Advance(f64),
+    Service(f64),
+    SpinDownUp(f64),
+    SetRpm(u8, f64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.001f64..30.0).prop_map(Op::Advance),
+        (0.0001f64..0.5).prop_map(Op::Service),
+        (0.0f64..30.0).prop_map(Op::SpinDownUp),
+        (0u8..11, 0.0f64..5.0).prop_map(|(l, d)| Op::SetRpm(l, d)),
+    ]
+}
+
+proptest! {
+    /// Any legal event script keeps the joule ledger consistent: the
+    /// total equals the sum of the per-state parts, the accounted seconds
+    /// equal the elapsed clock, and energy never decreases.
+    #[test]
+    fn power_machine_ledger_is_consistent(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut m = PowerStateMachine::new(ultrastar36z15());
+        let mut t = 0.0f64;
+        let mut prev_total = 0.0f64;
+        for op in ops {
+            match op {
+                Op::Advance(dt) => {
+                    t = m.now().max(t) + dt;
+                    m.advance(t).unwrap();
+                }
+                Op::Service(dur) => {
+                    // Only from a steady idle state.
+                    t = m.ready_time().max(t);
+                    m.advance(t).unwrap();
+                    if m.state().can_service() {
+                        m.begin_service(t).unwrap();
+                        t += dur;
+                        m.end_service(t).unwrap();
+                    }
+                }
+                Op::SpinDownUp(dwell) => {
+                    t = m.ready_time().max(t);
+                    m.advance(t).unwrap();
+                    if m.state().can_service() && m.spin_down(t).is_ok() {
+                        t += 1.5 + dwell;
+                        m.advance(t).unwrap();
+                        m.spin_up(t).unwrap();
+                        t += 10.9;
+                        m.advance(t).unwrap();
+                    }
+                }
+                Op::SetRpm(level, dwell) => {
+                    t = m.ready_time().max(t);
+                    m.advance(t).unwrap();
+                    if m.state().can_service() {
+                        m.set_rpm(t, RpmLevel(level)).unwrap();
+                        t = m.ready_time() + dwell;
+                        m.advance(t).unwrap();
+                    }
+                }
+            }
+            let b = m.energy().breakdown();
+            let parts = b.active_j + b.idle_j + b.standby_j + b.spin_up_j + b.spin_down_j
+                + b.transition_j;
+            prop_assert!((b.total_j() - parts).abs() < 1e-6);
+            prop_assert!(b.total_j() + 1e-9 >= prev_total, "energy must not decrease");
+            prev_total = b.total_j();
+            prop_assert!((b.total_secs() - m.now()).abs() < 1e-6,
+                "accounted {} vs clock {}", b.total_secs(), m.now());
+        }
+    }
+
+    /// The gap decision is optimal: no single-level plan beats it, and it
+    /// is always feasible.
+    #[test]
+    fn best_rpm_is_optimal_and_feasible(gap in 0.0f64..100.0) {
+        let p = ultrastar36z15();
+        let ladder = RpmLadder::new(&p);
+        let max = ladder.max_level();
+        let c = best_rpm_for_gap(&ladder, max, gap);
+        prop_assert!(c.saved_j() >= -1e-9);
+        for level in ladder.levels() {
+            let t_in = ladder.transition_secs(max, level);
+            let t_out = ladder.transition_secs(level, max);
+            if t_in + t_out > gap {
+                continue;
+            }
+            let e = ladder.transition_energy_j(max, level)
+                + ladder.idle_power_w(level) * (gap - t_in - t_out)
+                + ladder.transition_energy_j(level, max);
+            prop_assert!(c.predicted_energy_j <= e + 1e-9);
+        }
+    }
+
+    /// Savings are monotone in gap length.
+    #[test]
+    fn savings_monotone_in_gap(g1 in 0.0f64..50.0, delta in 0.0f64..50.0) {
+        let p = ultrastar36z15();
+        let ladder = RpmLadder::new(&p);
+        let max = ladder.max_level();
+        let s1 = best_rpm_for_gap(&ladder, max, g1).saved_j();
+        let s2 = best_rpm_for_gap(&ladder, max, g1 + delta).saved_j();
+        prop_assert!(s2 + 1e-9 >= s1);
+    }
+
+    /// Service time decreases with level and increases with size.
+    #[test]
+    fn service_time_monotone(size in 0u64..10_000_000, seq in any::<bool>()) {
+        let p = ultrastar36z15();
+        let ladder = RpmLadder::new(&p);
+        let req = ServiceRequest { size_bytes: size, sequential: seq };
+        let mut prev = f64::INFINITY;
+        for level in ladder.levels() {
+            let t = service_time_secs(&p, &ladder, level, req);
+            prop_assert!(t <= prev + 1e-15);
+            prev = t;
+        }
+        let bigger = ServiceRequest { size_bytes: size + 1024, sequential: seq };
+        let max = ladder.max_level();
+        prop_assert!(
+            service_time_secs(&p, &ladder, max, bigger)
+                > service_time_secs(&p, &ladder, max, req)
+        );
+    }
+
+    /// TPM break-even really is the zero crossing: cycling a gap just
+    /// above it saves, just below it loses.
+    #[test]
+    fn break_even_is_a_zero_crossing(eps in 0.01f64..2.0) {
+        let p = ultrastar36z15();
+        let be = tpm_break_even_secs(&p);
+        let above = sdpm_disk::breakeven::tpm_energy_saved_j(&p, be + eps).unwrap();
+        let below = sdpm_disk::breakeven::tpm_energy_saved_j(&p, (be - eps).max(12.4)).unwrap();
+        prop_assert!(above > 0.0);
+        if be - eps > 12.4 {
+            prop_assert!(below < 0.0);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Statement dependence analysis and loop-distribution legality.
+//!
+//! Loop fission (distribution) may separate two statements into different
+//! loops only if no dependence runs *backward* between them. We use the
+//! standard recipe: build the statement dependence graph, collapse its
+//! strongly-connected components, and emit the components in topological
+//! order — each component becomes one fissioned loop (this is what the
+//! Fig. 11 algorithm calls "Generate fissioned loops").
+//!
+//! The dependence test is deliberately conservative (and documented as
+//! such in DESIGN.md): two statements conflict when they touch a common
+//! array and at least one writes it. A conflict whose subscript
+//! expressions are *identical* is a loop-independent dependence and only
+//! constrains statement order (a forward edge). Any other conflict —
+//! differing constants (loop-carried at some distance) or differing
+//! coefficients (unanalyzable) — couples the statements in both
+//! directions, forcing them into the same fissioned loop. This is exactly
+//! the granularity the paper's evaluation depends on: `wupwise` and
+//! `galgel` contain cross-iteration couplings that make their nests
+//! non-fissionable, while the other four kernels' statements conflict at
+//! most loop-independently.
+
+use crate::nest::{LoopNest, RefKind, Statement};
+use serde::{Deserialize, Serialize};
+
+/// Directed dependence graph over the statements of one nest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependenceGraph {
+    /// Number of statements (nodes).
+    pub nodes: usize,
+    /// Adjacency list: `succs[p]` holds all `q` with an edge `p -> q`.
+    pub succs: Vec<Vec<usize>>,
+}
+
+fn conflicting_pairs<'a>(
+    a: &'a Statement,
+    b: &'a Statement,
+) -> impl Iterator<Item = (&'a crate::nest::ArrayRef, &'a crate::nest::ArrayRef)> {
+    a.refs.iter().flat_map(move |ra| {
+        b.refs.iter().filter_map(move |rb| {
+            let conflict = ra.array == rb.array
+                && (ra.kind == RefKind::Write || rb.kind == RefKind::Write);
+            conflict.then_some((ra, rb))
+        })
+    })
+}
+
+impl DependenceGraph {
+    /// Builds the dependence graph of `nest`'s body.
+    #[must_use]
+    pub fn of_nest(nest: &LoopNest) -> Self {
+        let n = nest.stmts.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut add = |from: usize, to: usize| {
+            if from != to && !succs[from].contains(&to) {
+                succs[from].push(to);
+            }
+        };
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let mut forward = false;
+                let mut coupled = false;
+                for (ra, rb) in conflicting_pairs(&nest.stmts[p], &nest.stmts[q]) {
+                    if ra.subscripts == rb.subscripts {
+                        forward = true; // loop-independent: order only
+                    } else {
+                        coupled = true; // loop-carried or unanalyzable
+                    }
+                }
+                if forward || coupled {
+                    add(p, q);
+                }
+                if coupled {
+                    add(q, p);
+                }
+            }
+        }
+        DependenceGraph { nodes: n, succs }
+    }
+
+    /// Strongly-connected components in topological order of the condensed
+    /// graph; within a component, statements keep source order.
+    #[must_use]
+    pub fn scc_topological(&self) -> Vec<Vec<usize>> {
+        // Tarjan's algorithm, iterative to be safe on large bodies. Tarjan
+        // emits SCCs in *reverse* topological order, so reverse at the end.
+        const UNVISITED: usize = usize::MAX;
+        let n = self.nodes;
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+
+        #[derive(Clone, Copy)]
+        struct Frame {
+            v: usize,
+            child: usize,
+        }
+
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            let mut frames = vec![Frame { v: root, child: 0 }];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(frame) = frames.last_mut() {
+                let v = frame.v;
+                if frame.child < self.succs[v].len() {
+                    let w = self.succs[v][frame.child];
+                    frame.child += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push(Frame { v: w, child: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        comps.push(comp);
+                    }
+                    let lv = low[v];
+                    frames.pop();
+                    if let Some(parent) = frames.last() {
+                        low[parent.v] = low[parent.v].min(lv);
+                    }
+                }
+            }
+        }
+        comps.reverse();
+
+        // Tarjan's output is *a* topological order, but ties between
+        // unconstrained components land arbitrarily. Re-order with Kahn's
+        // algorithm, always emitting the ready component whose earliest
+        // statement comes first in source order — fissioned loops then
+        // appear in a stable, source-like order.
+        let mut comp_of = vec![0usize; n];
+        for (ci, comp) in comps.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = ci;
+            }
+        }
+        let m = comps.len();
+        let mut indegree = vec![0usize; m];
+        let mut cond_succs: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for v in 0..n {
+            for &w in &self.succs[v] {
+                let (cv, cw) = (comp_of[v], comp_of[w]);
+                if cv != cw && !cond_succs[cv].contains(&cw) {
+                    cond_succs[cv].push(cw);
+                    indegree[cw] += 1;
+                }
+            }
+        }
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut ready: BinaryHeap<Reverse<(usize, usize)>> = (0..m)
+            .filter(|&c| indegree[c] == 0)
+            .map(|c| Reverse((comps[c][0], c)))
+            .collect();
+        let mut ordered = Vec::with_capacity(m);
+        while let Some(Reverse((_, c))) = ready.pop() {
+            ordered.push(comps[c].clone());
+            for &s in &cond_succs[c] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    ready.push(Reverse((comps[s][0], s)));
+                }
+            }
+        }
+        debug_assert_eq!(ordered.len(), m, "condensation must be acyclic");
+        ordered
+    }
+}
+
+/// The statement partition loop distribution would produce for `nest`:
+/// one group per fissioned loop, in the order the loops must execute.
+#[must_use]
+pub fn fission_groups(nest: &LoopNest) -> Vec<Vec<usize>> {
+    DependenceGraph::of_nest(nest).scc_topological()
+}
+
+/// True if `nest` can be distributed into more than one loop.
+#[must_use]
+pub fn is_fissionable(nest: &LoopNest) -> bool {
+    nest.stmts.len() > 1 && fission_groups(nest).len() > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AffineExpr;
+    use crate::nest::{ArrayRef, LoopDim};
+
+    fn stmt(label: &str, refs: Vec<ArrayRef>) -> Statement {
+        Statement {
+            label: label.into(),
+            refs,
+        }
+    }
+
+    fn nest_of(stmts: Vec<Statement>) -> LoopNest {
+        LoopNest {
+            label: "n".into(),
+            loops: vec![LoopDim::simple(100)],
+            stmts,
+            cycles_per_iter: 1.0,
+        }
+    }
+
+    fn i() -> AffineExpr {
+        AffineExpr::var(1, 0)
+    }
+
+    #[test]
+    fn independent_statements_fully_fission() {
+        // S1: A[i] = ...; S2: B[i] = ... — no shared arrays.
+        let n = nest_of(vec![
+            stmt("S1", vec![ArrayRef::write(0, vec![i()])]),
+            stmt("S2", vec![ArrayRef::write(1, vec![i()])]),
+        ]);
+        assert!(is_fissionable(&n));
+        assert_eq!(fission_groups(&n), vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn loop_independent_dependence_allows_ordered_fission() {
+        // S1: A[i] = B[i]; S2: C[i] = A[i] — same subscripts: S1 -> S2.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![ArrayRef::write(0, vec![i()]), ArrayRef::read(1, vec![i()])],
+            ),
+            stmt(
+                "S2",
+                vec![ArrayRef::write(2, vec![i()]), ArrayRef::read(0, vec![i()])],
+            ),
+        ]);
+        assert!(is_fissionable(&n));
+        let groups = fission_groups(&n);
+        assert_eq!(groups, vec![vec![0], vec![1]], "S1's loop must run first");
+    }
+
+    #[test]
+    fn loop_carried_coupling_blocks_fission() {
+        // S1: A[i] = B[i]; S2: B[i] = A[i+1] — cross-iteration coupling.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![ArrayRef::write(0, vec![i()]), ArrayRef::read(1, vec![i()])],
+            ),
+            stmt(
+                "S2",
+                vec![
+                    ArrayRef::write(1, vec![i()]),
+                    ArrayRef::read(0, vec![i().shifted(1)]),
+                ],
+            ),
+        ]);
+        assert!(!is_fissionable(&n));
+        assert_eq!(fission_groups(&n), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn read_read_sharing_is_no_dependence() {
+        // Both statements only read A: they can split freely.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![ArrayRef::write(1, vec![i()]), ArrayRef::read(0, vec![i()])],
+            ),
+            stmt(
+                "S2",
+                vec![ArrayRef::write(2, vec![i()]), ArrayRef::read(0, vec![i()])],
+            ),
+        ]);
+        assert!(is_fissionable(&n));
+        let g = DependenceGraph::of_nest(&n);
+        assert!(g.succs[0].is_empty());
+        assert!(g.succs[1].is_empty());
+    }
+
+    #[test]
+    fn chain_of_dependences_orders_groups() {
+        // S1 -> S2 -> S3 via loop-independent deps; 3 groups in order.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![ArrayRef::write(0, vec![i()])],
+            ),
+            stmt(
+                "S2",
+                vec![ArrayRef::read(0, vec![i()]), ArrayRef::write(1, vec![i()])],
+            ),
+            stmt(
+                "S3",
+                vec![ArrayRef::read(1, vec![i()]), ArrayRef::write(2, vec![i()])],
+            ),
+        ]);
+        assert_eq!(fission_groups(&n), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn cycle_through_intermediate_statement_collapses_to_one_group() {
+        // S1 writes A reads C(shifted); S2 writes B reads A(shifted);
+        // S3 writes C reads B(shifted): a 3-cycle of couplings.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![
+                    ArrayRef::write(0, vec![i()]),
+                    ArrayRef::read(2, vec![i().shifted(1)]),
+                ],
+            ),
+            stmt(
+                "S2",
+                vec![
+                    ArrayRef::write(1, vec![i()]),
+                    ArrayRef::read(0, vec![i().shifted(1)]),
+                ],
+            ),
+            stmt(
+                "S3",
+                vec![
+                    ArrayRef::write(2, vec![i()]),
+                    ArrayRef::read(1, vec![i().shifted(1)]),
+                ],
+            ),
+        ]);
+        assert!(!is_fissionable(&n));
+        assert_eq!(fission_groups(&n), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn single_statement_nest_is_not_fissionable() {
+        let n = nest_of(vec![stmt("S1", vec![ArrayRef::write(0, vec![i()])])]);
+        assert!(!is_fissionable(&n));
+        assert_eq!(fission_groups(&n).len(), 1);
+    }
+
+    #[test]
+    fn mixed_coupled_and_free_statements() {
+        // S1 <-> S2 coupled; S3 independent: two groups.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![
+                    ArrayRef::write(0, vec![i()]),
+                    ArrayRef::read(1, vec![i().shifted(1)]),
+                ],
+            ),
+            stmt(
+                "S2",
+                vec![
+                    ArrayRef::write(1, vec![i()]),
+                    ArrayRef::read(0, vec![i().shifted(1)]),
+                ],
+            ),
+            stmt("S3", vec![ArrayRef::write(2, vec![i()])]),
+        ]);
+        let groups = fission_groups(&n);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.contains(&vec![0, 1]));
+        assert!(groups.contains(&vec![2]));
+    }
+
+    #[test]
+    fn write_write_conflicts_couple_when_subscripts_differ() {
+        let n = nest_of(vec![
+            stmt("S1", vec![ArrayRef::write(0, vec![i()])]),
+            stmt("S2", vec![ArrayRef::write(0, vec![i().shifted(2)])]),
+        ]);
+        assert!(!is_fissionable(&n));
+    }
+}

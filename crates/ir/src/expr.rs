@@ -1,0 +1,219 @@
+//! Affine expressions over loop induction variables.
+//!
+//! Every array subscript in the IR is an affine function
+//! `c0*i0 + c1*i1 + ... + k` of the enclosing loops' induction variables —
+//! the class of subscripts the paper's compiler analyses (and classic
+//! locality/parallelism analyses) handle exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// `coeffs[d] * ivar[d] + ... + constant`, with one coefficient per
+/// enclosing loop, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffineExpr {
+    /// Per-loop coefficients, outermost loop first.
+    pub coeffs: Vec<i64>,
+    /// Constant term.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `k` in a nest of `depth` loops.
+    #[must_use]
+    pub fn constant(depth: usize, k: i64) -> Self {
+        AffineExpr {
+            coeffs: vec![0; depth],
+            constant: k,
+        }
+    }
+
+    /// The expression `ivar[d]` in a nest of `depth` loops.
+    ///
+    /// # Panics
+    /// If `d >= depth`.
+    #[must_use]
+    pub fn var(depth: usize, d: usize) -> Self {
+        assert!(d < depth, "loop index {d} out of range for depth {depth}");
+        let mut coeffs = vec![0; depth];
+        coeffs[d] = 1;
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// The expression `a * ivar[d] + k`.
+    #[must_use]
+    pub fn scaled_var(depth: usize, d: usize, a: i64, k: i64) -> Self {
+        assert!(d < depth, "loop index {d} out of range for depth {depth}");
+        let mut coeffs = vec![0; depth];
+        coeffs[d] = a;
+        AffineExpr {
+            coeffs,
+            constant: k,
+        }
+    }
+
+    /// Number of loops this expression is formed over.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates at the point `ivars` (outermost first).
+    ///
+    /// # Panics
+    /// If `ivars.len() != self.depth()`.
+    #[must_use]
+    pub fn eval(&self, ivars: &[i64]) -> i64 {
+        assert_eq!(
+            ivars.len(),
+            self.coeffs.len(),
+            "evaluating depth-{} expression at a {}-d point",
+            self.coeffs.len(),
+            ivars.len()
+        );
+        let mut v = self.constant;
+        for (c, i) in self.coeffs.iter().zip(ivars) {
+            v += c * i;
+        }
+        v
+    }
+
+    /// The coefficient of loop `d`, or 0 past the stored depth.
+    #[must_use]
+    pub fn coeff(&self, d: usize) -> i64 {
+        self.coeffs.get(d).copied().unwrap_or(0)
+    }
+
+    /// True if the expression does not mention any induction variable.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0)
+    }
+
+    /// Returns a copy with the constant shifted by `dk`.
+    #[must_use]
+    pub fn shifted(&self, dk: i64) -> Self {
+        AffineExpr {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant + dk,
+        }
+    }
+
+    /// Substitutes each induction variable with an affine expression over
+    /// a *new* loop nest: `subst[d]` is the value of old variable `d`
+    /// written in the new nest's variables. Used by strip-mining/tiling,
+    /// where `i = ii*T + i'`.
+    ///
+    /// # Panics
+    /// If `subst.len() != self.depth()` or the substitution expressions
+    /// disagree on the new depth.
+    #[must_use]
+    pub fn substituted(&self, subst: &[AffineExpr]) -> Self {
+        assert_eq!(subst.len(), self.coeffs.len(), "one substitution per old var");
+        let new_depth = subst.first().map_or(0, AffineExpr::depth);
+        let mut coeffs = vec![0i64; new_depth];
+        let mut constant = self.constant;
+        for (c, s) in self.coeffs.iter().zip(subst) {
+            assert_eq!(s.depth(), new_depth, "substitutions must share a depth");
+            constant += c * s.constant;
+            for (nc, sc) in coeffs.iter_mut().zip(&s.coeffs) {
+                *nc += c * sc;
+            }
+        }
+        AffineExpr { coeffs, constant }
+    }
+
+    /// Re-expresses this expression in a nest whose loops are a subset of
+    /// the original, given `map[d] = Some(new_d)` for kept loops and
+    /// `None` for dropped ones (whose value is fixed at `fixed[d]`).
+    ///
+    /// Used by the fission/tiling transformations when statements move to
+    /// nests with fewer or reordered loops.
+    #[must_use]
+    pub fn remapped(&self, new_depth: usize, map: &[Option<usize>], fixed: &[i64]) -> Self {
+        assert_eq!(map.len(), self.coeffs.len());
+        assert_eq!(fixed.len(), self.coeffs.len());
+        let mut coeffs = vec![0i64; new_depth];
+        let mut constant = self.constant;
+        for (d, &c) in self.coeffs.iter().enumerate() {
+            match map[d] {
+                Some(nd) => {
+                    assert!(nd < new_depth, "remap target {nd} out of range");
+                    coeffs[nd] += c;
+                }
+                None => constant += c * fixed[d],
+            }
+        }
+        AffineExpr { coeffs, constant }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_expression_ignores_ivars() {
+        let e = AffineExpr::constant(2, 7);
+        assert_eq!(e.eval(&[10, 20]), 7);
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn var_selects_one_ivar() {
+        let e = AffineExpr::var(3, 1);
+        assert_eq!(e.eval(&[5, 9, 13]), 9);
+        assert!(!e.is_constant());
+    }
+
+    #[test]
+    fn scaled_var_applies_coefficient_and_offset() {
+        let e = AffineExpr::scaled_var(2, 0, 3, -1);
+        assert_eq!(e.eval(&[4, 100]), 11);
+    }
+
+    #[test]
+    fn shifted_moves_only_the_constant() {
+        let e = AffineExpr::var(1, 0).shifted(10);
+        assert_eq!(e.eval(&[5]), 15);
+    }
+
+    #[test]
+    fn coeff_past_depth_is_zero() {
+        let e = AffineExpr::var(2, 0);
+        assert_eq!(e.coeff(0), 1);
+        assert_eq!(e.coeff(5), 0);
+    }
+
+    #[test]
+    fn remap_drops_fixed_loops_into_constant() {
+        // e = 2*i + 3*j + 1 in (i, j); fix i = 4, keep j as new loop 0.
+        let e = AffineExpr {
+            coeffs: vec![2, 3],
+            constant: 1,
+        };
+        let r = e.remapped(1, &[None, Some(0)], &[4, 0]);
+        assert_eq!(r.coeffs, vec![3]);
+        assert_eq!(r.constant, 9);
+        assert_eq!(r.eval(&[2]), e.eval(&[4, 2]));
+    }
+
+    #[test]
+    fn remap_can_reorder_loops() {
+        // Swap (i, j) -> (j, i).
+        let e = AffineExpr {
+            coeffs: vec![5, 7],
+            constant: 0,
+        };
+        let r = e.remapped(2, &[Some(1), Some(0)], &[0, 0]);
+        assert_eq!(r.eval(&[3, 2]), e.eval(&[2, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "depth-2 expression")]
+    fn eval_checks_arity() {
+        let _ = AffineExpr::var(2, 0).eval(&[1]);
+    }
+}

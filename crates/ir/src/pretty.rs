@@ -1,0 +1,232 @@
+//! Pseudo-source rendering of IR programs.
+//!
+//! Analyses work on the IR; humans debugging a workload model want to see
+//! the loop nests the way the paper writes them (Fig. 2(a), Fig. 9(a)).
+//! [`render_program`] prints a program as indented pseudo-C with the
+//! per-array disk layouts as comments.
+
+use crate::expr::AffineExpr;
+use crate::nest::{LoopNest, RefKind};
+use crate::program::Program;
+use std::fmt::Write;
+
+/// Canonical induction-variable names: `i`, `j`, `k`, then `i3`, `i4`, …
+fn ivar_name(depth: usize) -> String {
+    match depth {
+        0 => "i".into(),
+        1 => "j".into(),
+        2 => "k".into(),
+        d => format!("i{d}"),
+    }
+}
+
+/// Renders an affine expression over the nest's induction variables.
+#[must_use]
+pub fn render_expr(e: &AffineExpr) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (d, &c) in e.coeffs.iter().enumerate() {
+        match c {
+            0 => {}
+            1 => parts.push(ivar_name(d)),
+            -1 => parts.push(format!("-{}", ivar_name(d))),
+            c => parts.push(format!("{c}*{}", ivar_name(d))),
+        }
+    }
+    if e.constant != 0 || parts.is_empty() {
+        parts.push(e.constant.to_string());
+    }
+    let mut out = String::new();
+    for (i, p) in parts.iter().enumerate() {
+        if i == 0 {
+            out.push_str(p);
+        } else if let Some(stripped) = p.strip_prefix('-') {
+            write!(out, " - {stripped}").unwrap();
+        } else {
+            write!(out, " + {p}").unwrap();
+        }
+    }
+    out
+}
+
+/// Renders one loop nest as indented pseudo-C.
+#[must_use]
+pub fn render_nest(nest: &LoopNest, program: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "// {} ({} iterations)", nest.label, nest.iter_count()).unwrap();
+    for (d, l) in nest.loops.iter().enumerate() {
+        let iv = ivar_name(d);
+        let indent = "  ".repeat(d);
+        if l.step == 1 {
+            writeln!(
+                out,
+                "{indent}for ({iv} = {}; {iv} < {}; {iv}++) {{",
+                l.lower,
+                l.lower + l.count as i64
+            )
+            .unwrap();
+        } else {
+            writeln!(
+                out,
+                "{indent}for ({iv} = {}; /* {} trips */; {iv} += {}) {{",
+                l.lower, l.count, l.step
+            )
+            .unwrap();
+        }
+    }
+    let body_indent = "  ".repeat(nest.depth());
+    if nest.stmts.is_empty() {
+        writeln!(out, "{body_indent}/* compute on cached data */").unwrap();
+    }
+    for stmt in &nest.stmts {
+        let mut writes = Vec::new();
+        let mut reads = Vec::new();
+        for r in &stmt.refs {
+            let subs: Vec<String> = r.subscripts.iter().map(render_expr).collect();
+            let txt = format!("{}[{}]", program.arrays[r.array].name, subs.join("]["));
+            match r.kind {
+                RefKind::Write => writes.push(txt),
+                RefKind::Read => reads.push(txt),
+            }
+        }
+        let rhs = if reads.is_empty() {
+            "...".to_string()
+        } else {
+            reads.join(" op ")
+        };
+        if writes.is_empty() {
+            writeln!(out, "{body_indent}use({rhs});  // {}", stmt.label).unwrap();
+        } else {
+            writeln!(
+                out,
+                "{body_indent}{} = {rhs};  // {}",
+                writes.join(" = "),
+                stmt.label
+            )
+            .unwrap();
+        }
+    }
+    for d in (0..nest.depth()).rev() {
+        writeln!(out, "{}}}", "  ".repeat(d)).unwrap();
+    }
+    out
+}
+
+/// Renders a whole program: array declarations with layouts, then nests.
+#[must_use]
+pub fn render_program(program: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "// program: {}", program.name).unwrap();
+    for a in &program.arrays {
+        let dims: Vec<String> = a.dims.iter().map(u64::to_string).collect();
+        writeln!(
+            out,
+            "double {}[{}];  // {:?}, layout ({}, {}, {} B)",
+            a.name,
+            dims.join("]["),
+            a.order,
+            a.striping.start_disk,
+            a.striping.stripe_factor,
+            a.striping.stripe_bytes
+        )
+        .unwrap();
+    }
+    writeln!(out).unwrap();
+    for nest in &program.nests {
+        out.push_str(&render_nest(nest, program));
+        writeln!(out).unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::{ArrayRef, LoopDim, Statement};
+    use sdpm_layout::{ArrayFile, DiskId, StorageOrder, Striping};
+
+    fn program() -> Program {
+        let a = ArrayFile {
+            name: "U1".into(),
+            dims: vec![64, 64],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: 4,
+                stripe_bytes: 1024,
+            },
+            base_block: 0,
+        };
+        Program {
+            name: "demo".into(),
+            arrays: vec![a],
+            nests: vec![LoopNest {
+                label: "nest1".into(),
+                loops: vec![LoopDim::simple(64), LoopDim::simple(64)],
+                stmts: vec![Statement {
+                    label: "S1".into(),
+                    refs: vec![
+                        ArrayRef::write(
+                            0,
+                            vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1)],
+                        ),
+                        ArrayRef::read(
+                            0,
+                            vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1).shifted(1)],
+                        ),
+                    ],
+                }],
+                cycles_per_iter: 10.0,
+            }],
+            clock_hz: 1e9,
+        }
+    }
+
+    #[test]
+    fn expressions_render_readably() {
+        assert_eq!(render_expr(&AffineExpr::var(2, 0)), "i");
+        assert_eq!(render_expr(&AffineExpr::var(2, 1).shifted(1)), "j + 1");
+        assert_eq!(render_expr(&AffineExpr::var(2, 1).shifted(-2)), "j - 2");
+        assert_eq!(render_expr(&AffineExpr::scaled_var(2, 0, 3, 5)), "3*i + 5");
+        assert_eq!(render_expr(&AffineExpr::constant(2, 0)), "0");
+        assert_eq!(
+            render_expr(&AffineExpr {
+                coeffs: vec![-1, 2],
+                constant: 0
+            }),
+            "-i + 2*j"
+        );
+    }
+
+    #[test]
+    fn nest_renders_loops_and_statement() {
+        let p = program();
+        let s = render_nest(&p.nests[0], &p);
+        assert!(s.contains("for (i = 0; i < 64; i++) {"));
+        assert!(s.contains("  for (j = 0; j < 64; j++) {"));
+        assert!(s.contains("U1[i][j] = U1[i][j + 1];  // S1"));
+        assert_eq!(s.matches('}').count(), 2);
+    }
+
+    #[test]
+    fn program_renders_layout_comment() {
+        let p = program();
+        let s = render_program(&p);
+        assert!(s.contains("double U1[64][64];"));
+        assert!(s.contains("layout (disk0, 4, 1024 B)"));
+    }
+
+    #[test]
+    fn deep_nests_get_numbered_ivars() {
+        assert_eq!(ivar_name(3), "i3");
+        assert_eq!(ivar_name(2), "k");
+    }
+
+    #[test]
+    fn compute_only_nest_renders_placeholder() {
+        let mut p = program();
+        p.nests[0].stmts.clear();
+        let s = render_nest(&p.nests[0], &p);
+        assert!(s.contains("/* compute on cached data */"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the loop-nest IR.
+
+use proptest::prelude::*;
+use sdpm_ir::conform::{linearized_ref, storage_strides};
+use sdpm_ir::{
+    disk_activity, walk_nest, AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement,
+};
+use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
+
+fn small_nest() -> impl Strategy<Value = LoopNest> {
+    proptest::collection::vec((0i64..5, 1u64..8, prop_oneof![Just(1i64), Just(2), Just(-1)]), 1..4)
+        .prop_map(|loops| LoopNest {
+            label: "n".into(),
+            loops: loops
+                .into_iter()
+                .map(|(lower, count, step)| LoopDim { lower, count, step })
+                .collect(),
+            stmts: vec![],
+            cycles_per_iter: 1.0,
+        })
+}
+
+proptest! {
+    /// walk_nest visits exactly iter_count() iterations, in flat order,
+    /// and each ivars vector matches ivars_of.
+    #[test]
+    fn walk_matches_ivars_of(nest in small_nest()) {
+        let mut count = 0u64;
+        let mut prev_flat = None;
+        walk_nest(&nest, |flat, ivars| {
+            if let Some(p) = prev_flat {
+                assert_eq!(flat, p + 1);
+            }
+            prev_flat = Some(flat);
+            assert_eq!(ivars, nest.ivars_of(flat).as_slice());
+            count += 1;
+        });
+        prop_assert_eq!(count, nest.iter_count());
+    }
+
+    /// Affine substitution commutes with evaluation.
+    #[test]
+    fn substitution_commutes_with_eval(
+        coeffs in proptest::collection::vec(-4i64..5, 2),
+        k in -10i64..10,
+        sub_coeffs in proptest::collection::vec(-3i64..4, 6),
+        sub_consts in proptest::collection::vec(-5i64..6, 2),
+        point in proptest::collection::vec(-7i64..8, 3),
+    ) {
+        let e = AffineExpr { coeffs: coeffs.clone(), constant: k };
+        let subst: Vec<AffineExpr> = (0..2)
+            .map(|i| AffineExpr {
+                coeffs: sub_coeffs[i * 3..(i + 1) * 3].to_vec(),
+                constant: sub_consts[i],
+            })
+            .collect();
+        let composed = e.substituted(&subst);
+        let via_subst = composed.eval(&point);
+        let old_point: Vec<i64> = subst.iter().map(|s| s.eval(&point)).collect();
+        let direct = e.eval(&old_point);
+        prop_assert_eq!(via_subst, direct);
+    }
+
+    /// The linearized reference equals per-dimension linearization at
+    /// every iteration point.
+    #[test]
+    fn linearized_ref_matches_elementwise(
+        rows in 1u64..10,
+        cols in 1u64..10,
+        order_col in any::<bool>(),
+        swap in any::<bool>(),
+    ) {
+        let order = if order_col { StorageOrder::ColMajor } else { StorageOrder::RowMajor };
+        let file = ArrayFile {
+            name: "A".into(),
+            dims: vec![rows, cols],
+            element_bytes: 8,
+            order,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: 1,
+                stripe_bytes: 64,
+            },
+            base_block: 0,
+        };
+        // Ref A[i][j] or A[j][i] over nest (i in rows, j in cols).
+        let (s0, s1) = if swap {
+            (AffineExpr::var(2, 1), AffineExpr::var(2, 0))
+        } else {
+            (AffineExpr::var(2, 0), AffineExpr::var(2, 1))
+        };
+        let (n0, n1) = if swap { (cols, rows) } else { (rows, cols) };
+        let nest = LoopNest {
+            label: "n".into(),
+            loops: vec![LoopDim::simple(n0), LoopDim::simple(n1)],
+            stmts: vec![],
+            cycles_per_iter: 1.0,
+        };
+        let r = ArrayRef::read(0, vec![s0, s1]);
+        let lin = linearized_ref(&r, &file, order);
+        let strides = storage_strides(&file.dims, order);
+        walk_nest(&nest, |_, ivars| {
+            let elem = r.element_at(ivars);
+            let direct: i64 = elem.iter().zip(&strides).map(|(&e, &s)| e * s).sum();
+            assert_eq!(lin.eval(ivars), direct);
+        });
+    }
+
+    /// Disk activity intervals are sorted, disjoint, within bounds, and
+    /// their per-disk union covers every touched iteration.
+    #[test]
+    fn activity_intervals_are_well_formed(
+        elems in 16u64..512,
+        stripe in 8u64..256,
+        factor in 1u32..6,
+        pool_n in 1u32..6,
+    ) {
+        let factor = factor.min(pool_n);
+        let file = ArrayFile {
+            name: "A".into(),
+            dims: vec![elems],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: factor,
+                stripe_bytes: stripe,
+            },
+            base_block: 0,
+        };
+        let p = Program {
+            name: "t".into(),
+            arrays: vec![file],
+            nests: vec![LoopNest {
+                label: "n".into(),
+                loops: vec![LoopDim::simple(elems)],
+                stmts: vec![Statement {
+                    label: "S".into(),
+                    refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+                }],
+                cycles_per_iter: 1.0,
+            }],
+            clock_hz: 1e9,
+        };
+        let pool = DiskPool::new(pool_n);
+        p.validate(pool).unwrap();
+        let am = disk_activity(&p, pool);
+        let nest = &am.nests[0];
+        let mut covered = 0u64;
+        for list in &nest.per_disk {
+            for w in list.windows(2) {
+                prop_assert!(w[0].end < w[1].start);
+            }
+            for iv in list {
+                prop_assert!(iv.start < iv.end && iv.end <= nest.iter_count);
+                covered += iv.end - iv.start;
+            }
+        }
+        // One ref per iteration touching exactly one disk: full cover.
+        prop_assert_eq!(covered, elems);
+    }
+}

@@ -1,0 +1,170 @@
+//! Proportional disk allocation for array groups.
+//!
+//! The last step of the Fig. 11 fission algorithm: "Allocate disks to
+//! array groups based on total data size in each group". Each group gets a
+//! **disjoint, contiguous** run of disks, at least one each, with the
+//! remaining disks distributed by the largest-remainder method so the
+//! shares track the byte proportions as closely as integer counts allow.
+
+use crate::pool::{DiskId, DiskPool, DiskSet};
+
+/// Allocates the disks of `pool` to `sizes.len()` groups proportionally to
+/// `sizes`, returning one contiguous, disjoint [`DiskSet`] per group that
+/// together cover the whole pool.
+///
+/// # Errors
+/// * if `sizes` is empty,
+/// * if there are more groups than disks (every group needs at least one),
+/// * if every group size is zero (no proportion to honor).
+pub fn allocate_proportional(pool: DiskPool, sizes: &[u64]) -> Result<Vec<DiskSet>, String> {
+    if sizes.is_empty() {
+        return Err("no array groups to allocate disks to".into());
+    }
+    let disks = pool.count() as u64;
+    let groups = sizes.len() as u64;
+    if groups > disks {
+        return Err(format!(
+            "{groups} array groups cannot each get a disk from a {disks}-disk pool"
+        ));
+    }
+    let total: u64 = sizes.iter().sum();
+    if total == 0 {
+        return Err("all array groups are empty".into());
+    }
+
+    // Start from the guaranteed one disk per group, then hand out the
+    // remaining disks by largest fractional remainder of the ideal share.
+    let mut counts = vec![1u64; sizes.len()];
+    let spare = disks - groups;
+    // Ideal share of the *spare* disks, proportional to size.
+    let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(sizes.len());
+    let mut assigned = 0u64;
+    for (i, &size) in sizes.iter().enumerate() {
+        let ideal = spare as f64 * size as f64 / total as f64;
+        let floor = ideal.floor() as u64;
+        counts[i] += floor;
+        assigned += floor;
+        remainders.push((i, ideal - floor as f64));
+    }
+    // Largest remainders first; tie-break on larger group size, then lower
+    // index, for determinism.
+    remainders.sort_by(|&(i, ra), &(j, rb)| {
+        rb.partial_cmp(&ra)
+            .unwrap()
+            .then_with(|| sizes[j].cmp(&sizes[i]))
+            .then_with(|| i.cmp(&j))
+    });
+    let mut left = spare - assigned;
+    for &(i, _) in &remainders {
+        if left == 0 {
+            break;
+        }
+        counts[i] += 1;
+        left -= 1;
+    }
+    debug_assert_eq!(counts.iter().sum::<u64>(), disks);
+
+    // Carve contiguous runs in group order.
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut next = 0u32;
+    for &c in &counts {
+        let set: DiskSet = (next..next + c as u32).map(DiskId).collect();
+        out.push(set);
+        next += c as u32;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lens(sets: &[DiskSet]) -> Vec<u32> {
+        sets.iter().map(DiskSet::len).collect()
+    }
+
+    #[test]
+    fn equal_groups_split_evenly() {
+        let pool = DiskPool::new(8);
+        let sets = allocate_proportional(pool, &[100, 100, 100, 100]).unwrap();
+        assert_eq!(lens(&sets), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn paper_figure9_example_allocation() {
+        // Fig. 9(c): four equally-sized groups {U1,U2,U5}, {U3,U4,U8},
+        // {U6,U7}, {U9,U10} with sizes 3:3:2:2 over 10 disks ->
+        // 3, 3, 2, 2 disks.
+        let pool = DiskPool::new(10);
+        let sets = allocate_proportional(pool, &[3, 3, 2, 2]).unwrap();
+        assert_eq!(lens(&sets), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn allocations_are_disjoint_and_cover_pool() {
+        let pool = DiskPool::new(8);
+        let sets = allocate_proportional(pool, &[5, 1, 1]).unwrap();
+        let mut union = DiskSet::empty();
+        for (i, s) in sets.iter().enumerate() {
+            assert!(!s.is_empty(), "group {i} got no disk");
+            assert!(union.is_disjoint(*s), "group {i} overlaps predecessors");
+            union = union.union(*s);
+        }
+        assert_eq!(union, DiskSet::full(pool));
+    }
+
+    #[test]
+    fn big_group_gets_more_disks() {
+        let pool = DiskPool::new(8);
+        let sets = allocate_proportional(pool, &[700, 100]).unwrap();
+        assert!(sets[0].len() > sets[1].len());
+        assert_eq!(sets[0].len() + sets[1].len(), 8);
+        // Largest remainder: ideals over the 6 spare disks are 5.25 and
+        // 0.75, so the leftover disk goes to the small group -> [6, 2].
+        assert_eq!(lens(&sets), vec![6, 2]);
+    }
+
+    #[test]
+    fn tiny_group_still_gets_one_disk() {
+        let pool = DiskPool::new(4);
+        let sets = allocate_proportional(pool, &[1_000_000, 1, 1, 1]).unwrap();
+        assert_eq!(lens(&sets), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn single_group_takes_everything() {
+        let pool = DiskPool::new(8);
+        let sets = allocate_proportional(pool, &[42]).unwrap();
+        assert_eq!(sets.len(), 1);
+        assert_eq!(sets[0], DiskSet::full(pool));
+    }
+
+    #[test]
+    fn too_many_groups_is_an_error() {
+        let pool = DiskPool::new(2);
+        assert!(allocate_proportional(pool, &[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn degenerate_inputs_are_errors() {
+        let pool = DiskPool::new(4);
+        assert!(allocate_proportional(pool, &[]).is_err());
+        assert!(allocate_proportional(pool, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn zero_sized_group_among_nonzero_still_gets_its_floor_disk() {
+        let pool = DiskPool::new(4);
+        let sets = allocate_proportional(pool, &[10, 0]).unwrap();
+        assert_eq!(lens(&sets), vec![3, 1]);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let pool = DiskPool::new(5);
+        let a = allocate_proportional(pool, &[2, 2, 2]).unwrap();
+        let b = allocate_proportional(pool, &[2, 2, 2]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(lens(&a).iter().sum::<u32>(), 5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Storage orders and index linearization.
+//!
+//! The tiling transformation of the paper (Fig. 12) compares each array's
+//! *data access pattern* against its *storage pattern* and converts the
+//! layout (e.g. row-major to column-major) when they disagree — that is
+//! what lets `wupwise` profit from TL+DL while `galgel`, whose accesses
+//! already conform, does not.
+
+use serde::{Deserialize, Serialize};
+
+/// Memory/disk storage order of a multi-dimensional array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageOrder {
+    /// C order: the **last** subscript varies fastest.
+    RowMajor,
+    /// Fortran order: the **first** subscript varies fastest.
+    ColMajor,
+}
+
+impl StorageOrder {
+    /// The opposite order (the Fig. 12 layout transformation).
+    #[must_use]
+    pub fn transposed(self) -> StorageOrder {
+        match self {
+            StorageOrder::RowMajor => StorageOrder::ColMajor,
+            StorageOrder::ColMajor => StorageOrder::RowMajor,
+        }
+    }
+}
+
+/// Linearizes the subscript vector `idx` of an array with extents `dims`
+/// under `order`, producing a 0-based element index.
+///
+/// # Panics
+/// If `idx.len() != dims.len()` or any subscript is out of range.
+#[must_use]
+pub fn linearize(dims: &[u64], idx: &[u64], order: StorageOrder) -> u64 {
+    assert_eq!(
+        dims.len(),
+        idx.len(),
+        "subscript rank {} does not match array rank {}",
+        idx.len(),
+        dims.len()
+    );
+    let mut lin = 0u64;
+    match order {
+        StorageOrder::RowMajor => {
+            for (d, (&extent, &i)) in dims.iter().zip(idx).enumerate() {
+                assert!(i < extent, "subscript {i} out of range in dim {d} ({extent})");
+                lin = lin * extent + i;
+            }
+        }
+        StorageOrder::ColMajor => {
+            for (d, (&extent, &i)) in dims.iter().zip(idx).enumerate().rev() {
+                assert!(i < extent, "subscript {i} out of range in dim {d} ({extent})");
+                lin = lin * extent + i;
+            }
+        }
+    }
+    lin
+}
+
+/// Inverse of [`linearize`]: recovers the subscript vector of `lin`.
+#[must_use]
+pub fn delinearize(dims: &[u64], mut lin: u64, order: StorageOrder) -> Vec<u64> {
+    let mut idx = vec![0u64; dims.len()];
+    match order {
+        StorageOrder::RowMajor => {
+            for d in (0..dims.len()).rev() {
+                idx[d] = lin % dims[d];
+                lin /= dims[d];
+            }
+        }
+        StorageOrder::ColMajor => {
+            for d in 0..dims.len() {
+                idx[d] = lin % dims[d];
+                lin /= dims[d];
+            }
+        }
+    }
+    debug_assert_eq!(lin, 0, "linear index out of array bounds");
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_last_subscript_fastest() {
+        let dims = [3, 4];
+        assert_eq!(linearize(&dims, &[0, 0], StorageOrder::RowMajor), 0);
+        assert_eq!(linearize(&dims, &[0, 1], StorageOrder::RowMajor), 1);
+        assert_eq!(linearize(&dims, &[1, 0], StorageOrder::RowMajor), 4);
+        assert_eq!(linearize(&dims, &[2, 3], StorageOrder::RowMajor), 11);
+    }
+
+    #[test]
+    fn col_major_first_subscript_fastest() {
+        let dims = [3, 4];
+        assert_eq!(linearize(&dims, &[0, 0], StorageOrder::ColMajor), 0);
+        assert_eq!(linearize(&dims, &[1, 0], StorageOrder::ColMajor), 1);
+        assert_eq!(linearize(&dims, &[0, 1], StorageOrder::ColMajor), 3);
+        assert_eq!(linearize(&dims, &[2, 3], StorageOrder::ColMajor), 11);
+    }
+
+    #[test]
+    fn three_dimensional_round_trip() {
+        let dims = [5, 7, 2];
+        for order in [StorageOrder::RowMajor, StorageOrder::ColMajor] {
+            for lin in 0..(5 * 7 * 2) {
+                let idx = delinearize(&dims, lin, order);
+                assert_eq!(linearize(&dims, &idx, order), lin);
+            }
+        }
+    }
+
+    #[test]
+    fn orders_agree_on_one_dimensional_arrays() {
+        let dims = [100];
+        for i in [0u64, 1, 50, 99] {
+            assert_eq!(
+                linearize(&dims, &[i], StorageOrder::RowMajor),
+                linearize(&dims, &[i], StorageOrder::ColMajor)
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        assert_eq!(
+            StorageOrder::RowMajor.transposed().transposed(),
+            StorageOrder::RowMajor
+        );
+        assert_eq!(StorageOrder::RowMajor.transposed(), StorageOrder::ColMajor);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_subscript_panics() {
+        let _ = linearize(&[3, 4], &[3, 0], StorageOrder::RowMajor);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn rank_mismatch_panics() {
+        let _ = linearize(&[3, 4], &[1], StorageOrder::RowMajor);
+    }
+}

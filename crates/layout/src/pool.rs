@@ -1,0 +1,256 @@
+//! Disk identities, pools, and sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of one disk (one I/O node) in the storage subsystem.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DiskId(pub u32);
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+/// A fixed-size pool of disks, `disk0..disk(n-1)`.
+///
+/// The paper's default configuration (Table 1, "Striping Information") is
+/// an 8-disk pool; the stripe-factor sensitivity study (Figs. 7/8) varies
+/// this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskPool {
+    count: u32,
+}
+
+impl DiskPool {
+    /// A pool of `count` disks. `count` must be positive.
+    #[must_use]
+    pub fn new(count: u32) -> Self {
+        assert!(count > 0, "a disk pool needs at least one disk");
+        DiskPool { count }
+    }
+
+    /// Number of disks in the pool.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True if `disk` belongs to this pool.
+    #[must_use]
+    pub fn contains(&self, disk: DiskId) -> bool {
+        disk.0 < self.count
+    }
+
+    /// Iterates every disk in the pool in id order.
+    pub fn disks(&self) -> impl DoubleEndedIterator<Item = DiskId> {
+        (0..self.count).map(DiskId)
+    }
+
+    /// The `i`-th disk after `start`, wrapping around the pool.
+    #[must_use]
+    pub fn wrap(&self, start: DiskId, i: u32) -> DiskId {
+        DiskId((start.0 + i) % self.count)
+    }
+}
+
+/// A set of disks, dense over a pool.
+///
+/// Small and copy-friendly: the paper's configurations top out at a few
+/// dozen disks, so a 64-bit mask covers every experiment while keeping
+/// set algebra branch-free. Pools larger than 64 disks are rejected at
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DiskSet {
+    bits: u64,
+}
+
+impl DiskSet {
+    /// Maximum pool size representable.
+    pub const MAX_DISKS: u32 = 64;
+
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> Self {
+        DiskSet { bits: 0 }
+    }
+
+    /// The set of all disks in `pool`.
+    #[must_use]
+    pub fn full(pool: DiskPool) -> Self {
+        assert!(pool.count() <= Self::MAX_DISKS, "pool too large for DiskSet");
+        if pool.count() == Self::MAX_DISKS {
+            DiskSet { bits: u64::MAX }
+        } else {
+            DiskSet {
+                bits: (1u64 << pool.count()) - 1,
+            }
+        }
+    }
+
+    /// Inserts `disk`. Panics if the id exceeds [`Self::MAX_DISKS`].
+    pub fn insert(&mut self, disk: DiskId) {
+        assert!(disk.0 < Self::MAX_DISKS, "disk id too large for DiskSet");
+        self.bits |= 1u64 << disk.0;
+    }
+
+    /// Removes `disk` if present.
+    pub fn remove(&mut self, disk: DiskId) {
+        if disk.0 < Self::MAX_DISKS {
+            self.bits &= !(1u64 << disk.0);
+        }
+    }
+
+    /// True if `disk` is in the set.
+    #[must_use]
+    pub fn contains(&self, disk: DiskId) -> bool {
+        disk.0 < Self::MAX_DISKS && self.bits & (1u64 << disk.0) != 0
+    }
+
+    /// Number of disks in the set.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// True if the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: DiskSet) -> DiskSet {
+        DiskSet {
+            bits: self.bits | other.bits,
+        }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: DiskSet) -> DiskSet {
+        DiskSet {
+            bits: self.bits & other.bits,
+        }
+    }
+
+    /// Set difference (`self - other`).
+    #[must_use]
+    pub fn difference(&self, other: DiskSet) -> DiskSet {
+        DiskSet {
+            bits: self.bits & !other.bits,
+        }
+    }
+
+    /// True if the two sets share no disk.
+    #[must_use]
+    pub fn is_disjoint(&self, other: DiskSet) -> bool {
+        self.bits & other.bits == 0
+    }
+
+    /// Iterates member disks in id order.
+    pub fn iter(&self) -> impl Iterator<Item = DiskId> + '_ {
+        let bits = self.bits;
+        (0..Self::MAX_DISKS).filter_map(move |i| {
+            if bits & (1u64 << i) != 0 {
+                Some(DiskId(i))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl FromIterator<DiskId> for DiskSet {
+    fn from_iter<T: IntoIterator<Item = DiskId>>(iter: T) -> Self {
+        let mut s = DiskSet::empty();
+        for d in iter {
+            s.insert(d);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_wraps_round_robin() {
+        let p = DiskPool::new(8);
+        assert_eq!(p.wrap(DiskId(6), 0), DiskId(6));
+        assert_eq!(p.wrap(DiskId(6), 1), DiskId(7));
+        assert_eq!(p.wrap(DiskId(6), 2), DiskId(0));
+        assert_eq!(p.wrap(DiskId(0), 17), DiskId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one disk")]
+    fn empty_pool_rejected() {
+        let _ = DiskPool::new(0);
+    }
+
+    #[test]
+    fn pool_membership_and_iteration() {
+        let p = DiskPool::new(4);
+        assert!(p.contains(DiskId(3)));
+        assert!(!p.contains(DiskId(4)));
+        let ids: Vec<_> = p.disks().collect();
+        assert_eq!(ids, vec![DiskId(0), DiskId(1), DiskId(2), DiskId(3)]);
+    }
+
+    #[test]
+    fn set_basic_algebra() {
+        let mut a = DiskSet::empty();
+        a.insert(DiskId(1));
+        a.insert(DiskId(3));
+        let b: DiskSet = [DiskId(3), DiskId(5)].into_iter().collect();
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b).len(), 1);
+        assert!(a.intersection(b).contains(DiskId(3)));
+        assert_eq!(a.difference(b).iter().collect::<Vec<_>>(), vec![DiskId(1)]);
+        assert!(!a.is_disjoint(b));
+        assert!(a.difference(b).is_disjoint(b));
+    }
+
+    #[test]
+    fn full_set_covers_pool_exactly() {
+        let p = DiskPool::new(8);
+        let s = DiskSet::full(p);
+        assert_eq!(s.len(), 8);
+        assert!(s.contains(DiskId(7)));
+        assert!(!s.contains(DiskId(8)));
+        let all64 = DiskSet::full(DiskPool::new(64));
+        assert_eq!(all64.len(), 64);
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut s: DiskSet = [DiskId(2)].into_iter().collect();
+        assert!(!s.is_empty());
+        s.remove(DiskId(2));
+        assert!(s.is_empty());
+        s.remove(DiskId(70)); // out of range: ignored
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let s: DiskSet = [DiskId(5), DiskId(0), DiskId(63)].into_iter().collect();
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![DiskId(0), DiskId(5), DiskId(63)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_disk_id_rejected() {
+        let mut s = DiskSet::empty();
+        s.insert(DiskId(64));
+    }
+}

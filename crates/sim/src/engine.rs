@@ -1,0 +1,740 @@
+//! The closed-loop simulation engine.
+//!
+//! The engine replays a trace's event stream against per-disk
+//! [`PowerStateMachine`]s. Disks are advanced **lazily**: policy actions
+//! that fire during an idle stretch (a TPM threshold expiry, a reactive
+//! DRPM drift step, a scheduled oracle action) are applied — with their
+//! correct timestamps — when the disk is next touched or at finalization,
+//! so the energy integral is exact without a global event queue.
+
+use crate::policy::{DrpmConfig, Policy, ScheduledAction};
+use crate::report::{GapRecord, PerDiskReport, SimReport};
+use sdpm_disk::{
+    service_time_secs, tpm_break_even_secs, DiskParams, DiskPowerState, EnergyBreakdown,
+    PowerStateMachine, RpmLadder, RpmLevel, ServiceRequest,
+};
+use sdpm_layout::DiskPool;
+use sdpm_trace::{AppEvent, IoRequest, PowerAction, Trace};
+
+/// Per-disk runtime state beyond the power-state machine.
+struct DiskRt {
+    machine: PowerStateMachine,
+    /// When the current idle gap opened (last service completion, or 0).
+    idle_since: f64,
+    /// Deepest level reached during the current gap.
+    min_level: RpmLevel,
+    /// Level the disk is at (or shifting toward).
+    cur_level: RpmLevel,
+    /// True if the disk hit standby during the current gap.
+    hit_standby: bool,
+    /// Reference time for the next reactive-DRPM drift step.
+    drift_mark: f64,
+    /// Reactive DRPM: pause drifting after a bad window until a calm one.
+    drift_hold: bool,
+    /// Reactive DRPM response window accumulator.
+    window_sum: f64,
+    window_n: usize,
+    /// Oracle schedule for this disk (empty unless `Policy::Schedule`).
+    sched: Vec<ScheduledAction>,
+    sched_idx: usize,
+    gaps: Vec<GapRecord>,
+    requests: u64,
+}
+
+/// Closed-loop trace player. Construct with a policy, [`Engine::run`] a
+/// trace.
+pub struct Engine {
+    params: DiskParams,
+    ladder: RpmLadder,
+    pool: DiskPool,
+    policy: Policy,
+    tpm_threshold: f64,
+}
+
+impl Engine {
+    /// Creates an engine for `pool.count()` identical disks.
+    ///
+    /// # Panics
+    /// If an ideal policy is passed directly — those are lowered to
+    /// [`Policy::Schedule`] by [`crate::simulate`].
+    #[must_use]
+    pub fn new(params: DiskParams, pool: DiskPool, policy: Policy) -> Self {
+        assert!(
+            !matches!(policy, Policy::IdealTpm | Policy::IdealDrpm),
+            "ideal policies must be lowered to a Schedule (use sdpm_sim::simulate)"
+        );
+        let ladder = RpmLadder::new(&params);
+        let tpm_threshold = match &policy {
+            Policy::Tpm(cfg) => cfg
+                .threshold_secs
+                .unwrap_or_else(|| tpm_break_even_secs(&params)),
+            _ => f64::INFINITY,
+        };
+        Engine {
+            params,
+            ladder,
+            pool,
+            policy,
+            tpm_threshold,
+        }
+    }
+
+    /// Plays `trace` to completion and reports.
+    #[must_use]
+    pub fn run(&self, trace: &Trace) -> SimReport {
+        let max = self.ladder.max_level();
+        let mut disks: Vec<DiskRt> = (0..self.pool.count())
+            .map(|d| DiskRt {
+                machine: PowerStateMachine::new(self.params.clone()),
+                idle_since: 0.0,
+                min_level: max,
+                cur_level: max,
+                hit_standby: false,
+                drift_mark: 0.0,
+                drift_hold: false,
+                window_sum: 0.0,
+                window_n: 0,
+                sched: match &self.policy {
+                    Policy::Schedule(per_disk) => {
+                        per_disk.get(d as usize).cloned().unwrap_or_default()
+                    }
+                    _ => Vec::new(),
+                },
+                sched_idx: 0,
+                gaps: Vec::new(),
+                requests: 0,
+            })
+            .collect();
+
+        let mut t = 0.0f64;
+        let mut stall = 0.0f64;
+        let mut slow_sum = 0.0f64;
+        let mut nreq = 0u64;
+        let mut misfires = 0u64;
+
+        for event in &trace.events {
+            match event {
+                AppEvent::Compute { secs, .. } => t += secs,
+                AppEvent::Power { disk, action } => {
+                    if let Policy::Directive(cfg) = &self.policy {
+                        let rt = &mut disks[disk.0 as usize];
+                        self.catch_up(rt, t, &mut misfires);
+                        if !self.apply_action(rt, t, *action) {
+                            misfires += 1;
+                        }
+                        t += cfg.overhead_secs;
+                    }
+                }
+                AppEvent::Io(req) => {
+                    let rt = &mut disks[req.disk.0 as usize];
+                    self.catch_up(rt, t, &mut misfires);
+                    // The request's arrival closes the disk's idle gap.
+                    if t > rt.idle_since {
+                        rt.gaps.push(GapRecord {
+                            start: rt.idle_since,
+                            end: t,
+                            level: rt.min_level,
+                            standby: rt.hit_standby,
+                        });
+                    }
+                    let completion = self.service(rt, t, req);
+                    rt.requests += 1;
+                    let full = service_time_secs(
+                        &self.params,
+                        &self.ladder,
+                        max,
+                        ServiceRequest {
+                            size_bytes: req.size_bytes,
+                            sequential: req.sequential,
+                        },
+                    );
+                    let response = completion - t;
+                    stall += response - full;
+                    if full > 0.0 {
+                        slow_sum += response / full;
+                        nreq += 1;
+                    }
+                    t = completion;
+                    // Open the next gap.
+                    rt.idle_since = t;
+                    rt.min_level = rt.cur_level;
+                    rt.hit_standby = false;
+                    rt.drift_mark = t;
+                    // Reactive DRPM response-window controller.
+                    if let Policy::Drpm(cfg) = &self.policy {
+                        let slowdown = if full > 0.0 { response / full } else { 1.0 };
+                        Self::drpm_window_update(rt, cfg, slowdown, t, max);
+                    }
+                }
+            }
+        }
+
+        // Finalize: bring every disk to the end of execution, closing its
+        // final gap.
+        let exec_secs = t;
+        for rt in &mut disks {
+            self.catch_up(rt, exec_secs, &mut misfires);
+            let end = exec_secs.max(rt.machine.now());
+            rt.machine.advance(end).expect("finalize advance");
+            if end > rt.idle_since {
+                rt.gaps.push(GapRecord {
+                    start: rt.idle_since,
+                    end,
+                    level: rt.min_level,
+                    standby: rt.hit_standby,
+                });
+            }
+        }
+
+        let requests_total = disks.iter().map(|d| d.requests).sum();
+        let per_disk: Vec<PerDiskReport> = disks
+            .into_iter()
+            .map(|rt| PerDiskReport {
+                requests: rt.requests,
+                energy: rt.machine.energy().breakdown(),
+                spin_downs: rt.machine.spin_downs,
+                spin_ups: rt.machine.spin_ups,
+                rpm_shifts: rt.machine.rpm_shifts,
+                gaps: rt.gaps,
+            })
+            .collect();
+        let energy = per_disk
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, d| acc.merged(&d.energy));
+        SimReport {
+            policy: self.policy.label().to_string(),
+            exec_secs,
+            energy,
+            per_disk,
+            requests: requests_total,
+            stall_secs: stall,
+            mean_slowdown: if nreq == 0 { 1.0 } else { slow_sum / nreq as f64 },
+            directive_misfires: misfires,
+        }
+    }
+
+    /// Applies the policy's timed actions for one disk up to time `t`.
+    fn catch_up(&self, rt: &mut DiskRt, t: f64, misfires: &mut u64) {
+        match &self.policy {
+            Policy::Base | Policy::Directive(_) => {}
+            Policy::Tpm(_) => {
+                let fire = rt.idle_since + self.tpm_threshold;
+                if fire <= t && matches!(rt.machine.state(), DiskPowerState::Idle { .. }) {
+                    let at = fire.max(rt.machine.now());
+                    if rt.machine.spin_down(at).is_ok() {
+                        rt.hit_standby = true;
+                    } else {
+                        *misfires += 1;
+                    }
+                }
+            }
+            Policy::Drpm(cfg) => {
+                if rt.drift_hold {
+                    return;
+                }
+                let one_step = self.params.rpm_transition_secs_per_step;
+                while rt.cur_level > RpmLevel::MIN {
+                    let fire = rt.drift_mark + cfg.idle_drift_secs;
+                    if fire > t {
+                        break;
+                    }
+                    // Complete any in-flight shift first.
+                    if let DiskPowerState::Shifting { until, .. } = rt.machine.state() {
+                        rt.machine.advance(until).expect("finish shift");
+                    }
+                    let at = fire.max(rt.machine.now());
+                    let target = self.ladder.step_down(rt.cur_level);
+                    if rt.machine.set_rpm(at, target).is_ok() {
+                        rt.cur_level = target;
+                        rt.min_level = rt.min_level.min(target);
+                        rt.drift_mark = at + one_step;
+                    } else {
+                        *misfires += 1;
+                        break;
+                    }
+                }
+            }
+            Policy::Schedule(_) => {
+                while rt.sched_idx < rt.sched.len() && rt.sched[rt.sched_idx].at <= t {
+                    let a = rt.sched[rt.sched_idx];
+                    rt.sched_idx += 1;
+                    if !self.apply_action(rt, a.at, a.action) {
+                        *misfires += 1;
+                    }
+                }
+            }
+            Policy::IdealTpm | Policy::IdealDrpm => {
+                unreachable!("ideal policies are lowered before Engine::new")
+            }
+        }
+    }
+
+    /// Makes the disk serviceable at or after `t`, begins and completes
+    /// service, and returns the completion time.
+    fn service(&self, rt: &mut DiskRt, t: f64, req: &IoRequest) -> f64 {
+        // Bring the machine to the arrival time first, so transitions that
+        // finished before `t` are seen as completed (a spin-down that ended
+        // an hour ago is a standby disk, not an in-flight transition).
+        rt.machine
+            .advance(t.max(rt.machine.now()))
+            .expect("advance to arrival");
+        let start = match rt.machine.state() {
+            DiskPowerState::Idle { .. } => t.max(rt.machine.now()),
+            DiskPowerState::Active { .. } => {
+                unreachable!("closed-loop app cannot overlap requests on one disk")
+            }
+            DiskPowerState::Standby => {
+                // Demand wake-up: full spin-up penalty.
+                let at = t.max(rt.machine.now());
+                rt.machine.spin_up(at).expect("spin up from standby");
+                rt.cur_level = self.ladder.max_level();
+                at + self.params.spin_up_secs
+            }
+            DiskPowerState::SpinningDown { until } => {
+                rt.machine.advance(until).expect("finish spin-down");
+                rt.machine.spin_up(until).expect("spin up after spin-down");
+                rt.cur_level = self.ladder.max_level();
+                until + self.params.spin_up_secs
+            }
+            DiskPowerState::SpinningUp { until } | DiskPowerState::Shifting { until, .. } => {
+                until.max(t)
+            }
+        };
+        let start = start.max(rt.machine.now());
+        let level = rt
+            .machine
+            .begin_service(start)
+            .expect("disk must be serviceable at start");
+        rt.cur_level = level;
+        let st = service_time_secs(
+            &self.params,
+            &self.ladder,
+            level,
+            ServiceRequest {
+                size_bytes: req.size_bytes,
+                sequential: req.sequential,
+            },
+        );
+        let completion = start + st;
+        rt.machine.end_service(completion).expect("end service");
+        completion
+    }
+
+    /// Reactive DRPM window bookkeeping after a completed request.
+    fn drpm_window_update(rt: &mut DiskRt, cfg: &DrpmConfig, slowdown: f64, t: f64, max: RpmLevel) {
+        rt.window_sum += slowdown;
+        rt.window_n += 1;
+        // Immediate per-request reaction ([10]'s upper tolerance): a
+        // severely slow service ramps the disk up one level right away;
+        // moderate slowdowns wait for the window check, which is what
+        // lets penalties linger after deep drifts (the paper's Fig. 6
+        // large-stripe behavior).
+        if slowdown > cfg.upper_tolerance && rt.cur_level < max {
+            let target = RpmLevel((rt.cur_level.0 + 1).min(max.0));
+            if rt.machine.set_rpm(t, target).is_ok() {
+                rt.cur_level = target;
+            }
+        }
+        if rt.window_n < cfg.window {
+            return;
+        }
+        let avg = rt.window_sum / rt.window_n as f64;
+        rt.window_sum = 0.0;
+        rt.window_n = 0;
+        if avg > cfg.upper_tolerance {
+            // Compensate: restore full speed and hold it until the
+            // response recovers (the slowdown/restore oscillation the
+            // paper describes for large stripe sizes).
+            if rt.machine.set_rpm(t, max).is_ok() {
+                rt.cur_level = max;
+            }
+            rt.drift_hold = true;
+        } else if avg <= cfg.lower_tolerance {
+            rt.drift_hold = false;
+        }
+    }
+
+    /// Applies one power-management call at time `t`. Returns false if the
+    /// call could not be applied as issued (a misfire).
+    fn apply_action(&self, rt: &mut DiskRt, t: f64, action: PowerAction) -> bool {
+        match action {
+            PowerAction::SpinDown => {
+                // Let an in-flight shift finish, then spin down.
+                if let DiskPowerState::Shifting { until, .. } = rt.machine.state() {
+                    rt.machine.advance(until).expect("finish shift");
+                }
+                let at = t.max(rt.machine.now());
+                if rt.machine.spin_down(at).is_ok() {
+                    rt.hit_standby = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            PowerAction::SpinUp => {
+                if let DiskPowerState::SpinningDown { until } = rt.machine.state() {
+                    rt.machine.advance(until).expect("finish spin-down");
+                }
+                let at = t.max(rt.machine.now());
+                if rt.machine.spin_up(at).is_ok() {
+                    rt.cur_level = self.ladder.max_level();
+                    true
+                } else {
+                    false
+                }
+            }
+            PowerAction::SetRpm(level) => {
+                if !self.ladder.contains(level) {
+                    return false;
+                }
+                match rt.machine.state() {
+                    DiskPowerState::Shifting { until, .. }
+                    | DiskPowerState::SpinningUp { until } => {
+                        rt.machine.advance(until).expect("finish transition");
+                    }
+                    _ => {}
+                }
+                let at = t.max(rt.machine.now());
+                if rt.machine.set_rpm(at, level).is_ok() {
+                    rt.cur_level = level;
+                    rt.min_level = rt.min_level.min(level);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::TpmConfig;
+    use sdpm_disk::ultrastar36z15;
+    use sdpm_layout::DiskId;
+    use sdpm_trace::ReqKind;
+
+    fn pool() -> DiskPool {
+        DiskPool::new(2)
+    }
+
+    fn io(disk: u32, size: u64, nest: usize, iter: u64) -> AppEvent {
+        AppEvent::Io(IoRequest {
+            disk: DiskId(disk),
+            start_block: 0,
+            size_bytes: size,
+            kind: ReqKind::Read,
+            sequential: false,
+            nest,
+            iter,
+        })
+    }
+
+    fn compute(nest: usize, secs: f64) -> AppEvent {
+        AppEvent::Compute {
+            nest,
+            first_iter: 0,
+            iters: 1,
+            secs,
+        }
+    }
+
+    fn trace(events: Vec<AppEvent>) -> Trace {
+        let t = Trace {
+            name: "t".into(),
+            pool_size: 2,
+            events,
+        };
+        t.validate().unwrap();
+        t
+    }
+
+    #[test]
+    fn base_run_times_compute_plus_service() {
+        let tr = trace(vec![compute(0, 1.0), io(0, 4096, 0, 0), compute(0, 1.0)]);
+        let r = Engine::new(ultrastar36z15(), pool(), Policy::Base).run(&tr);
+        let svc = 0.0034 + 0.002 + 4096.0 / (55.0 * 1024.0 * 1024.0);
+        assert!((r.exec_secs - (2.0 + svc)).abs() < 1e-9);
+        assert_eq!(r.requests, 1);
+        assert!((r.stall_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_energy_is_idle_dominated() {
+        let tr = trace(vec![compute(0, 10.0)]);
+        let r = Engine::new(ultrastar36z15(), pool(), Policy::Base).run(&tr);
+        // Two disks idling 10 s at 10.2 W.
+        assert!((r.total_energy_j() - 2.0 * 102.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tpm_spins_down_after_threshold_and_pays_wakeup() {
+        let tr = trace(vec![
+            io(0, 4096, 0, 0),
+            compute(0, 100.0),
+            io(0, 4096, 0, 1),
+        ]);
+        let r = Engine::new(
+            ultrastar36z15(),
+            pool(),
+            Policy::Tpm(TpmConfig::default()),
+        )
+        .run(&tr);
+        let d0 = &r.per_disk[0];
+        assert_eq!(d0.spin_downs, 1);
+        assert_eq!(d0.spin_ups, 1);
+        // The wake-up stalls the app by the full spin-up time.
+        assert!(r.stall_secs > 10.0, "stall {}", r.stall_secs);
+        // Gap record shows standby.
+        assert!(d0.gaps.iter().any(|g| g.standby));
+    }
+
+    #[test]
+    fn tpm_ignores_short_gaps() {
+        let tr = trace(vec![io(0, 4096, 0, 0), compute(0, 5.0), io(0, 4096, 0, 1)]);
+        let r = Engine::new(
+            ultrastar36z15(),
+            pool(),
+            Policy::Tpm(TpmConfig::default()),
+        )
+        .run(&tr);
+        assert_eq!(r.per_disk[0].spin_downs, 0);
+        assert!(r.stall_secs < 1e-9);
+    }
+
+    #[test]
+    fn tpm_saves_energy_on_very_long_gaps() {
+        let tr = trace(vec![
+            io(0, 4096, 0, 0),
+            compute(0, 500.0),
+            io(0, 4096, 0, 1),
+        ]);
+        let p = ultrastar36z15();
+        let base = Engine::new(p.clone(), pool(), Policy::Base).run(&tr);
+        let tpm = Engine::new(p, pool(), Policy::Tpm(TpmConfig::default())).run(&tr);
+        assert!(tpm.total_energy_j() < base.total_energy_j());
+    }
+
+    #[test]
+    fn drpm_drifts_down_while_idle_and_saves() {
+        let tr = trace(vec![io(0, 4096, 0, 0), compute(0, 60.0), io(0, 4096, 0, 1)]);
+        let p = ultrastar36z15();
+        let base = Engine::new(p.clone(), pool(), Policy::Base).run(&tr);
+        let drpm = Engine::new(p, pool(), Policy::Drpm(DrpmConfig::default())).run(&tr);
+        assert!(drpm.total_energy_j() < base.total_energy_j());
+        assert!(drpm.per_disk[0].rpm_shifts > 0);
+        // The second request finds the disk slow: a real stall.
+        assert!(drpm.stall_secs > 0.0);
+        // Gap record captured a deep dwell level.
+        let deep = drpm.per_disk[0]
+            .gaps
+            .iter()
+            .map(|g| g.level)
+            .min()
+            .unwrap();
+        assert_eq!(deep, RpmLevel::MIN);
+    }
+
+    #[test]
+    fn drpm_untouched_disk_drifts_to_bottom() {
+        let tr = trace(vec![compute(0, 30.0)]);
+        let p = ultrastar36z15();
+        let r = Engine::new(p, pool(), Policy::Drpm(DrpmConfig::default())).run(&tr);
+        // Disk 1 never used: it should have drifted all the way down.
+        assert_eq!(r.per_disk[1].gaps.len(), 1);
+        assert_eq!(r.per_disk[1].gaps[0].level, RpmLevel::MIN);
+    }
+
+    #[test]
+    fn directive_policy_executes_power_calls() {
+        let p = ultrastar36z15();
+        let ladder = RpmLadder::new(&p);
+        let low = RpmLevel(0);
+        let back = ladder.transition_secs(low, ladder.max_level());
+        let tr = trace(vec![
+            io(0, 4096, 0, 0),
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SetRpm(low),
+            },
+            compute(0, 30.0),
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SetRpm(ladder.max_level()),
+            },
+            compute(0, back + 0.1), // pre-activation distance
+            io(0, 4096, 0, 1),
+        ]);
+        let base = Engine::new(p.clone(), pool(), Policy::Base).run(&tr);
+        let cm = Engine::new(
+            p,
+            pool(),
+            Policy::Directive(DirectiveConfigForTest::default().0),
+        )
+        .run(&tr);
+        assert!(cm.total_energy_j() < base.total_energy_j());
+        // Pre-activation hides the transition: negligible stall.
+        assert!(cm.stall_secs < 1e-6, "stall {}", cm.stall_secs);
+        assert_eq!(cm.directive_misfires, 0);
+    }
+
+    /// Helper so the test reads clearly.
+    #[derive(Default)]
+    struct DirectiveConfigForTest(crate::policy::DirectiveConfig);
+
+    #[test]
+    fn directive_spin_down_and_preactivate_hides_spinup() {
+        let p = ultrastar36z15();
+        let tr = trace(vec![
+            io(0, 4096, 0, 0),
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinDown,
+            },
+            compute(0, 60.0),
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinUp,
+            },
+            compute(0, 11.0), // > 10.9 s spin-up
+            io(0, 4096, 0, 1),
+        ]);
+        let cm = Engine::new(
+            p.clone(),
+            pool(),
+            Policy::Directive(crate::policy::DirectiveConfig::default()),
+        )
+        .run(&tr);
+        assert_eq!(cm.per_disk[0].spin_downs, 1);
+        assert_eq!(cm.per_disk[0].spin_ups, 1);
+        assert!(cm.stall_secs < 1e-6, "stall {}", cm.stall_secs);
+        let base = Engine::new(p, pool(), Policy::Base).run(&tr);
+        assert!(cm.total_energy_j() < base.total_energy_j());
+    }
+
+    #[test]
+    fn late_preactivation_stalls_but_recovers() {
+        let p = ultrastar36z15();
+        let tr = trace(vec![
+            io(0, 4096, 0, 0),
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinDown,
+            },
+            compute(0, 60.0),
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinUp,
+            },
+            compute(0, 2.0), // far less than the 10.9 s spin-up
+            io(0, 4096, 0, 1),
+        ]);
+        let cm = Engine::new(
+            p,
+            pool(),
+            Policy::Directive(crate::policy::DirectiveConfig::default()),
+        )
+        .run(&tr);
+        // The app waits out the remaining ~8.9 s of spin-up.
+        assert!(cm.stall_secs > 8.0 && cm.stall_secs < 10.0, "{}", cm.stall_secs);
+    }
+
+    #[test]
+    fn misfired_directives_are_counted_not_fatal() {
+        let p = ultrastar36z15();
+        let tr = trace(vec![
+            // Spin up a disk that is already spinning.
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinUp,
+            },
+            // Set an off-ladder level.
+            AppEvent::Power {
+                disk: DiskId(1),
+                action: PowerAction::SetRpm(RpmLevel(99)),
+            },
+            compute(0, 1.0),
+        ]);
+        let cm = Engine::new(
+            p,
+            pool(),
+            Policy::Directive(crate::policy::DirectiveConfig::default()),
+        )
+        .run(&tr);
+        assert_eq!(cm.directive_misfires, 2);
+    }
+
+    #[test]
+    fn schedule_policy_replays_timed_actions() {
+        let p = ultrastar36z15();
+        let ladder = RpmLadder::new(&p);
+        let low = RpmLevel(2);
+        let sched = vec![
+            vec![
+                ScheduledAction {
+                    at: 1.0,
+                    action: PowerAction::SetRpm(low),
+                },
+                ScheduledAction {
+                    at: 20.0 - ladder.transition_secs(low, ladder.max_level()),
+                    action: PowerAction::SetRpm(ladder.max_level()),
+                },
+            ],
+            vec![],
+        ];
+        let tr = trace(vec![compute(0, 20.0), io(0, 4096, 0, 0)]);
+        let r = Engine::new(p, pool(), Policy::schedule(sched)).run(&tr);
+        assert_eq!(r.per_disk[0].rpm_shifts, 2);
+        assert!(r.stall_secs < 1e-6, "pre-activation exact: {}", r.stall_secs);
+        assert_eq!(r.per_disk[0].gaps[0].level, low);
+    }
+
+    #[test]
+    fn power_events_are_inert_under_base_policy() {
+        let p = ultrastar36z15();
+        let tr = trace(vec![
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinDown,
+            },
+            compute(0, 5.0),
+        ]);
+        let r = Engine::new(p, pool(), Policy::Base).run(&tr);
+        assert_eq!(r.per_disk[0].spin_downs, 0);
+        assert!((r.exec_secs - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_records_cover_execution_for_unused_disk() {
+        let p = ultrastar36z15();
+        let tr = trace(vec![compute(0, 7.0)]);
+        let r = Engine::new(p, pool(), Policy::Base).run(&tr);
+        for d in &r.per_disk {
+            assert_eq!(d.gaps.len(), 1);
+            assert!((d.gaps[0].len_secs() - 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sequential_requests_are_cheaper_than_random() {
+        let p = ultrastar36z15();
+        let mk = |seq: bool| {
+            trace(vec![
+                io(0, 65536, 0, 0),
+                AppEvent::Io(IoRequest {
+                    disk: DiskId(0),
+                    start_block: 128,
+                    size_bytes: 65536,
+                    kind: ReqKind::Read,
+                    sequential: seq,
+                    nest: 0,
+                    iter: 1,
+                }),
+            ])
+        };
+        let seq = Engine::new(p.clone(), pool(), Policy::Base).run(&mk(true));
+        let rnd = Engine::new(p, pool(), Policy::Base).run(&mk(false));
+        assert!(seq.exec_secs < rnd.exec_secs);
+    }
+}

@@ -1,0 +1,99 @@
+//! Trace-driven multi-disk power simulator.
+//!
+//! The simulator plays an application event stream ([`sdpm_trace::Trace`])
+//! against a bank of modeled disks and reports execution time and a
+//! per-disk energy breakdown. It is *closed-loop*: the application blocks
+//! on each I/O request, so any extra device latency — low-RPM service, an
+//! in-flight speed shift, a spin-up from standby — lengthens execution
+//! time, which is how the paper's Fig. 4 penalties arise.
+//!
+//! Seven schemes from Section 4.2 are covered by five policy kinds:
+//!
+//! | paper scheme | here |
+//! |---|---|
+//! | Base          | [`Policy::Base`] |
+//! | TPM           | [`Policy::Tpm`] (fixed idleness threshold) |
+//! | ITPM          | [`Policy::IdealTpm`] (oracle two-pass) |
+//! | DRPM          | [`Policy::Drpm`] (reactive window heuristic of [10]) |
+//! | IDRPM         | [`Policy::IdealDrpm`] (oracle two-pass) |
+//! | CMTPM, CMDRPM | [`Policy::Directive`] (executes compiler-inserted calls carried by the trace) |
+//!
+//! The oracle policies run the trace twice: a Base pass recovers the true
+//! per-disk idle gaps, from which a provably-feasible action schedule is
+//! built ([`oracle`]) and replayed.
+//!
+//! # Example
+//!
+//! ```
+//! use sdpm_disk::ultrastar36z15;
+//! use sdpm_layout::{DiskId, DiskPool};
+//! use sdpm_sim::{simulate, Policy};
+//! use sdpm_trace::{AppEvent, IoRequest, ReqKind, Trace};
+//!
+//! // One request, 30 s of compute, another request: a classic idle gap.
+//! let io = |iter| AppEvent::Io(IoRequest {
+//!     disk: DiskId(0), start_block: iter * 128, size_bytes: 65536,
+//!     kind: ReqKind::Read, sequential: false, nest: 0, iter,
+//! });
+//! let trace = Trace {
+//!     name: "demo".into(),
+//!     pool_size: 2,
+//!     events: vec![
+//!         io(0),
+//!         AppEvent::Compute { nest: 0, first_iter: 1, iters: 1, secs: 30.0 },
+//!         io(2),
+//!     ],
+//! };
+//! let pool = DiskPool::new(2);
+//! let base = simulate(&trace, &ultrastar36z15(), pool, &Policy::Base);
+//! let ideal = simulate(&trace, &ultrastar36z15(), pool, &Policy::IdealDrpm);
+//! assert!(ideal.total_energy_j() < base.total_energy_j());
+//! assert_eq!(ideal.exec_secs, base.exec_secs); // pre-activation hides the shifts
+//! ```
+
+pub mod engine;
+pub mod openloop;
+pub mod oracle;
+pub mod policy;
+pub mod report;
+
+pub use engine::Engine;
+pub use openloop::{replay_open_loop, OpenDiskReport, OpenLoopReport};
+pub use policy::{DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
+pub use report::{GapRecord, PerDiskReport, SimReport};
+
+use sdpm_disk::DiskParams;
+use sdpm_layout::DiskPool;
+use sdpm_trace::Trace;
+
+/// Simulates `trace` on `pool.count()` disks of model `params` under
+/// `policy`.
+///
+/// # Panics
+/// If `params` fails validation, the trace fails validation, or the trace
+/// was generated for a different pool size.
+#[must_use]
+pub fn simulate(trace: &Trace, params: &DiskParams, pool: DiskPool, policy: &Policy) -> SimReport {
+    params.validate().expect("simulate requires valid DiskParams");
+    trace.validate().expect("simulate requires a valid trace");
+    assert_eq!(
+        trace.pool_size,
+        pool.count(),
+        "trace generated for a {}-disk pool, simulating {}",
+        trace.pool_size,
+        pool.count()
+    );
+    match policy {
+        Policy::IdealTpm => {
+            let base = Engine::new(params.clone(), pool, Policy::Base).run(trace);
+            let sched = oracle::ideal_tpm_schedule(&base, params);
+            Engine::new(params.clone(), pool, Policy::schedule(sched)).run(trace)
+        }
+        Policy::IdealDrpm => {
+            let base = Engine::new(params.clone(), pool, Policy::Base).run(trace);
+            let sched = oracle::ideal_drpm_schedule(&base, params);
+            Engine::new(params.clone(), pool, Policy::schedule(sched)).run(trace)
+        }
+        p => Engine::new(params.clone(), pool, p.clone()).run(trace),
+    }
+}

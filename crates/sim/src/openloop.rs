@@ -1,0 +1,336 @@
+//! Open-loop (DiskSim-style) trace replay.
+//!
+//! The paper's simulator is "driven by externally-provided disk I/O
+//! request traces" whose records carry fixed arrival timestamps — the
+//! classic open-loop discipline, where delays show up as *response-time*
+//! degradation and queue growth rather than a longer application run.
+//! This module provides that second lens on the same traces: requests
+//! arrive at the trace's nominal timestamps and each disk drains a FIFO
+//! queue at a chosen spindle speed.
+//!
+//! The closed-loop engine ([`crate::engine`]) remains the primary model
+//! (it is what execution-time figures need); the open-loop replay serves
+//! to (a) cross-validate service accounting between the two disciplines,
+//! (b) expose queueing effects that the blocking application hides —
+//! e.g. the response-time cliff when a whole workload is concentrated on
+//! few disks (the PDC baseline) or served at a reduced RPM level.
+
+use crate::report::GapRecord;
+use sdpm_disk::{
+    service_time_secs, DiskParams, EnergyBreakdown, PowerStateMachine, RpmLadder, RpmLevel,
+    ServiceRequest,
+};
+use sdpm_layout::DiskPool;
+use sdpm_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Per-disk outcome of an open-loop replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenDiskReport {
+    /// Requests serviced by this disk.
+    pub requests: u64,
+    /// Seconds the disk spent servicing.
+    pub busy_secs: f64,
+    /// Largest queue depth observed (including the request in service).
+    pub max_queue_depth: usize,
+    /// Joule ledger for this disk.
+    pub energy: EnergyBreakdown,
+    /// Idle gaps between services (demand boundaries, like the
+    /// closed-loop engine's records).
+    pub gaps: Vec<GapRecord>,
+}
+
+/// Whole-replay outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopReport {
+    /// Completion time of the last request (>= the last arrival).
+    pub makespan_secs: f64,
+    /// Disk-subsystem energy over the makespan.
+    pub energy: EnergyBreakdown,
+    /// Mean request response time (completion - arrival), seconds.
+    pub mean_response_secs: f64,
+    /// Worst response time, seconds.
+    pub max_response_secs: f64,
+    /// Per-disk details.
+    pub per_disk: Vec<OpenDiskReport>,
+}
+
+impl OpenLoopReport {
+    /// Total joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.energy.total_j()
+    }
+}
+
+/// Replays `trace` open-loop: every request arrives at its nominal
+/// timestamp and is serviced FIFO by its disk at the fixed spindle speed
+/// `level`.
+///
+/// # Panics
+/// If the parameters or trace are invalid, the pool does not match, or
+/// `level` is off the disk's ladder.
+#[must_use]
+pub fn replay_open_loop(
+    trace: &Trace,
+    params: &DiskParams,
+    pool: DiskPool,
+    level: RpmLevel,
+) -> OpenLoopReport {
+    params.validate().expect("replay requires valid DiskParams");
+    trace.validate().expect("replay requires a valid trace");
+    assert_eq!(trace.pool_size, pool.count(), "trace/pool mismatch");
+    let ladder = RpmLadder::new(params);
+    assert!(ladder.contains(level), "RPM level off the ladder");
+
+    struct DiskState {
+        machine: PowerStateMachine,
+        available_at: f64,
+        busy_secs: f64,
+        requests: u64,
+        last_end: f64,
+        gaps: Vec<GapRecord>,
+        /// (arrival, completion) of in-flight work, to track queue depth.
+        inflight: Vec<(f64, f64)>,
+        max_queue_depth: usize,
+    }
+    let mut disks: Vec<DiskState> = (0..pool.count())
+        .map(|_| {
+            let mut machine = PowerStateMachine::new(params.clone());
+            // Park the disk at the study level from t = 0.
+            machine.set_rpm(0.0, level).expect("level change");
+            DiskState {
+                machine,
+                available_at: 0.0,
+                busy_secs: 0.0,
+                requests: 0,
+                last_end: 0.0,
+                gaps: Vec::new(),
+                inflight: Vec::new(),
+                max_queue_depth: 0,
+            }
+        })
+        .collect();
+
+    let arrivals = trace.nominal_arrivals();
+    let requests: Vec<_> = trace.requests().collect();
+    debug_assert_eq!(arrivals.len(), requests.len());
+
+    let mut responses = 0.0f64;
+    let mut max_response = 0.0f64;
+    let mut makespan = 0.0f64;
+    let settle = ladder.transition_secs(ladder.max_level(), level);
+
+    for ((arrival_ms, _, _, _, _), req) in arrivals.iter().zip(&requests) {
+        let arrival = (arrival_ms / 1e3).max(settle);
+        let d = &mut disks[req.disk.0 as usize];
+        // Queue-depth accounting: drop completed in-flight entries.
+        d.inflight.retain(|&(_, c)| c > arrival);
+        let start = d.available_at.max(arrival);
+        if start > d.last_end {
+            d.gaps.push(GapRecord {
+                start: d.last_end,
+                end: start,
+                level,
+                standby: false,
+            });
+        }
+        let st = service_time_secs(
+            params,
+            &ladder,
+            level,
+            ServiceRequest {
+                size_bytes: req.size_bytes,
+                sequential: req.sequential,
+            },
+        );
+        let completion = start + st;
+        d.machine.advance(start).expect("advance to start");
+        d.machine.begin_service(start).expect("begin");
+        d.machine.end_service(completion).expect("end");
+        d.available_at = completion;
+        d.last_end = completion;
+        d.busy_secs += st;
+        d.requests += 1;
+        d.inflight.push((arrival, completion));
+        d.max_queue_depth = d.max_queue_depth.max(d.inflight.len());
+        let response = completion - arrival;
+        responses += response;
+        max_response = max_response.max(response);
+        makespan = makespan.max(completion);
+    }
+
+    // Account trailing idleness to the makespan on every disk.
+    let mut energy = EnergyBreakdown::default();
+    let per_disk: Vec<OpenDiskReport> = disks
+        .into_iter()
+        .map(|mut d| {
+            let end = makespan.max(d.machine.now());
+            d.machine.advance(end).expect("finalize");
+            if end > d.last_end {
+                d.gaps.push(GapRecord {
+                    start: d.last_end,
+                    end,
+                    level,
+                    standby: false,
+                });
+            }
+            let e = d.machine.energy().breakdown();
+            energy = energy.merged(&e);
+            OpenDiskReport {
+                requests: d.requests,
+                busy_secs: d.busy_secs,
+                max_queue_depth: d.max_queue_depth,
+                energy: e,
+                gaps: d.gaps,
+            }
+        })
+        .collect();
+
+    let n = requests.len().max(1) as f64;
+    OpenLoopReport {
+        makespan_secs: makespan,
+        energy,
+        mean_response_secs: responses / n,
+        max_response_secs: max_response,
+        per_disk,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_disk::ultrastar36z15;
+    use sdpm_layout::DiskId;
+    use sdpm_trace::{AppEvent, IoRequest, ReqKind};
+
+    fn trace_with_spacing(n: usize, gap_secs: f64, size: u64) -> Trace {
+        let mut events = Vec::new();
+        for i in 0..n {
+            events.push(AppEvent::Compute {
+                nest: 0,
+                first_iter: i as u64 * 2,
+                iters: 1,
+                secs: gap_secs,
+            });
+            events.push(AppEvent::Io(IoRequest {
+                disk: DiskId((i % 2) as u32),
+                start_block: i as u64 * 100,
+                size_bytes: size,
+                kind: ReqKind::Read,
+                sequential: false,
+                nest: 0,
+                iter: i as u64 * 2 + 1,
+            }));
+        }
+        Trace {
+            name: "open".into(),
+            pool_size: 2,
+            events,
+        }
+    }
+
+    fn setup() -> (DiskParams, RpmLadder) {
+        let p = ultrastar36z15();
+        let l = RpmLadder::new(&p);
+        (p, l)
+    }
+
+    #[test]
+    fn uncontended_replay_has_pure_service_responses() {
+        let (p, l) = setup();
+        let t = trace_with_spacing(20, 0.1, 64 * 1024); // plenty of slack
+        let r = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
+        let st = service_time_secs(
+            &p,
+            &l,
+            l.max_level(),
+            ServiceRequest {
+                size_bytes: 64 * 1024,
+                sequential: false,
+            },
+        );
+        assert!((r.mean_response_secs - st).abs() < 1e-9);
+        assert!((r.max_response_secs - st).abs() < 1e-9);
+        assert_eq!(
+            r.per_disk.iter().map(|d| d.max_queue_depth).max(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn overload_builds_queues_and_inflates_responses() {
+        let (p, l) = setup();
+        // Arrivals every 1 ms, service ~6.5 ms: heavy overload.
+        let t = trace_with_spacing(100, 0.001, 64 * 1024);
+        let r = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
+        assert!(r.max_response_secs > 10.0 * r.per_disk[0].busy_secs / 50.0);
+        assert!(r.per_disk.iter().any(|d| d.max_queue_depth > 5));
+        // Makespan extends past the last arrival.
+        assert!(r.makespan_secs > 0.001 * 100.0 + 0.0065);
+    }
+
+    #[test]
+    fn slow_spindle_saves_energy_but_slows_responses() {
+        let (p, l) = setup();
+        let t = trace_with_spacing(50, 0.05, 64 * 1024);
+        let full = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
+        let slow = replay_open_loop(&t, &p, DiskPool::new(2), RpmLevel(2));
+        assert!(slow.mean_response_secs > 1.5 * full.mean_response_secs);
+        // Average *power* drops at the slow level (energy integrates over
+        // a longer makespan, so compare rates).
+        let p_full = full.total_energy_j() / full.makespan_secs;
+        let p_slow = slow.total_energy_j() / slow.makespan_secs;
+        assert!(p_slow < 0.7 * p_full, "avg power {p_slow} vs {p_full}");
+    }
+
+    #[test]
+    fn open_and_closed_loop_agree_on_uncontended_service_totals() {
+        let (p, l) = setup();
+        let t = trace_with_spacing(30, 0.1, 64 * 1024);
+        let open = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
+        let closed = crate::simulate(&t, &p, DiskPool::new(2), &crate::Policy::Base);
+        let open_busy: f64 = open.per_disk.iter().map(|d| d.busy_secs).sum();
+        let closed_busy: f64 = closed
+            .per_disk
+            .iter()
+            .map(|d| d.energy.active_secs)
+            .sum();
+        assert!((open_busy - closed_busy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_replays_to_zero() {
+        let (p, l) = setup();
+        let t = Trace {
+            name: "empty".into(),
+            pool_size: 2,
+            events: vec![],
+        };
+        let r = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
+        assert_eq!(r.makespan_secs, 0.0);
+        assert_eq!(r.total_energy_j(), 0.0);
+    }
+
+    #[test]
+    fn gaps_cover_idle_stretches() {
+        let (p, l) = setup();
+        let t = trace_with_spacing(4, 1.0, 4096);
+        let r = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
+        for d in &r.per_disk {
+            for w in d.gaps.windows(2) {
+                assert!(w[0].end <= w[1].start + 1e-12);
+            }
+            let gap_total: f64 = d.gaps.iter().map(GapRecord::len_secs).sum();
+            assert!((gap_total + d.busy_secs - r.makespan_secs).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "off the ladder")]
+    fn bad_level_is_rejected() {
+        let (p, _) = setup();
+        let t = trace_with_spacing(1, 0.1, 4096);
+        let _ = replay_open_loop(&t, &p, DiskPool::new(2), RpmLevel(99));
+    }
+}

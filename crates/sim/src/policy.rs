@@ -1,0 +1,136 @@
+//! Power-management policies.
+
+use sdpm_trace::PowerAction;
+use serde::{Deserialize, Serialize};
+
+/// Reactive TPM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct TpmConfig {
+    /// Idleness threshold in seconds after which the disk spins down.
+    /// `None` selects the break-even time (the classic "2-competitive"
+    /// fixed threshold).
+    pub threshold_secs: Option<f64>,
+}
+
+
+/// Reactive DRPM configuration (the window heuristic of Gurumurthi et al.
+/// [10], as the paper parameterizes it).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DrpmConfig {
+    /// Response-time observation window, in requests (paper: 30).
+    pub window: usize,
+    /// Upper tolerance on the window's mean service slowdown (observed /
+    /// full-speed): exceeding it makes the controller raise the disk's
+    /// speed.
+    pub upper_tolerance: f64,
+    /// Lower tolerance: a window mean below it lets the disk keep
+    /// drifting down.
+    pub lower_tolerance: f64,
+    /// Seconds of continuous idleness after which an idle disk drifts one
+    /// RPM level down (repeating while it stays idle).
+    pub idle_drift_secs: f64,
+}
+
+impl Default for DrpmConfig {
+    fn default() -> Self {
+        DrpmConfig {
+            window: 30,
+            upper_tolerance: 1.3,
+            lower_tolerance: 1.1,
+            idle_drift_secs: 0.055,
+        }
+    }
+}
+
+/// Compiler-directed execution configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DirectiveConfig {
+    /// Application-side overhead of one power-management call (`Tm` in the
+    /// paper's pre-activation formula (1)), charged as compute time.
+    pub overhead_secs: f64,
+}
+
+impl Default for DirectiveConfig {
+    fn default() -> Self {
+        DirectiveConfig {
+            overhead_secs: 50e-6,
+        }
+    }
+}
+
+/// A timed oracle action on one disk.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledAction {
+    /// Absolute simulated time the action fires.
+    pub at: f64,
+    /// What to do.
+    pub action: PowerAction,
+}
+
+/// Power-management policy to simulate under.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// No power management: disks idle at full speed between requests.
+    Base,
+    /// Traditional (reactive) spin-down power management.
+    Tpm(TpmConfig),
+    /// Oracle TPM: spins down exactly the gaps that pay off, with perfect
+    /// pre-activation. Not implementable; an upper bound (Section 4.2).
+    IdealTpm,
+    /// Reactive DRPM.
+    Drpm(DrpmConfig),
+    /// Oracle DRPM: optimal speed per idle gap, perfect pre-activation.
+    IdealDrpm,
+    /// Execute the `Power` events embedded in the trace by the compiler
+    /// (CMTPM / CMDRPM, depending on which calls the compiler inserted).
+    Directive(DirectiveConfig),
+    /// Internal: replay a precomputed per-disk action schedule (used by
+    /// the oracle policies' second pass).
+    Schedule(Vec<Vec<ScheduledAction>>),
+}
+
+impl Policy {
+    /// Wraps a per-disk schedule.
+    #[must_use]
+    pub fn schedule(per_disk: Vec<Vec<ScheduledAction>>) -> Policy {
+        Policy::Schedule(per_disk)
+    }
+
+    /// Short display name matching the paper's scheme labels.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::Base => "Base",
+            Policy::Tpm(_) => "TPM",
+            Policy::IdealTpm => "ITPM",
+            Policy::Drpm(_) => "DRPM",
+            Policy::IdealDrpm => "IDRPM",
+            Policy::Directive(_) => "CM",
+            Policy::Schedule(_) => "Schedule",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let d = DrpmConfig::default();
+        assert_eq!(d.window, 30);
+        assert!(d.upper_tolerance > d.lower_tolerance);
+        let t = TpmConfig::default();
+        assert!(t.threshold_secs.is_none());
+    }
+
+    #[test]
+    fn labels_are_paper_scheme_names() {
+        assert_eq!(Policy::Base.label(), "Base");
+        assert_eq!(Policy::Tpm(TpmConfig::default()).label(), "TPM");
+        assert_eq!(Policy::IdealTpm.label(), "ITPM");
+        assert_eq!(Policy::Drpm(DrpmConfig::default()).label(), "DRPM");
+        assert_eq!(Policy::IdealDrpm.label(), "IDRPM");
+    }
+}

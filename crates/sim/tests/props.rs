@@ -1,0 +1,130 @@
+//! Property tests for the simulator: conservation laws and policy
+//! dominance relations on randomized closed-loop traces.
+
+use proptest::prelude::*;
+use sdpm_disk::ultrastar36z15;
+use sdpm_layout::{DiskId, DiskPool};
+use sdpm_sim::{simulate, DrpmConfig, Policy, TpmConfig};
+use sdpm_trace::{AppEvent, IoRequest, ReqKind, Trace};
+
+/// Random alternating compute/IO traces over a small pool.
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    let pool = 3u32;
+    proptest::collection::vec(
+        (
+            0.0f64..20.0, // compute gap
+            0..pool,      // disk
+            1u64..512 * 1024,
+            any::<bool>(),
+        ),
+        1..30,
+    )
+    .prop_map(move |items| {
+        let mut events = Vec::new();
+        for (i, (gap, disk, size, seq)) in items.into_iter().enumerate() {
+            events.push(AppEvent::Compute {
+                nest: 0,
+                first_iter: i as u64 * 2,
+                iters: 1,
+                secs: gap,
+            });
+            events.push(AppEvent::Io(IoRequest {
+                disk: DiskId(disk),
+                start_block: i as u64 * 1000,
+                size_bytes: size,
+                kind: ReqKind::Read,
+                sequential: seq,
+                nest: 0,
+                iter: i as u64 * 2 + 1,
+            }));
+        }
+        Trace {
+            name: "prop".into(),
+            pool_size: pool,
+            events,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Per-disk accounted seconds equal the run length; gaps are sorted
+    /// and within the run; requests are all serviced.
+    #[test]
+    fn base_run_conservation(trace in trace_strategy()) {
+        let pool = DiskPool::new(trace.pool_size);
+        let r = simulate(&trace, &ultrastar36z15(), pool, &Policy::Base);
+        prop_assert_eq!(r.requests, trace.stats().requests);
+        for d in &r.per_disk {
+            prop_assert!((d.energy.total_secs() - r.exec_secs).abs() < 1e-6,
+                "disk accounted {} vs exec {}", d.energy.total_secs(), r.exec_secs);
+            for w in d.gaps.windows(2) {
+                prop_assert!(w[0].end <= w[1].start + 1e-12);
+            }
+            for g in &d.gaps {
+                prop_assert!(g.start >= -1e-12 && g.end <= r.exec_secs + 1e-9);
+            }
+        }
+        prop_assert!(r.stall_secs.abs() < 1e-9, "base run never stalls");
+    }
+
+    /// The oracle policies never lose to Base on energy and never extend
+    /// execution.
+    #[test]
+    fn oracles_dominate_base(trace in trace_strategy()) {
+        let p = ultrastar36z15();
+        let pool = DiskPool::new(trace.pool_size);
+        let base = simulate(&trace, &p, pool, &Policy::Base);
+        for policy in [Policy::IdealTpm, Policy::IdealDrpm] {
+            let r = simulate(&trace, &p, pool, &policy);
+            prop_assert!(r.total_energy_j() <= base.total_energy_j() + 1e-6,
+                "{} lost energy: {} vs {}", r.policy, r.total_energy_j(), base.total_energy_j());
+            prop_assert!(r.exec_secs <= base.exec_secs + 1e-6,
+                "{} slowed down", r.policy);
+        }
+    }
+
+    /// Reactive policies may trade time for energy but never corrupt the
+    /// ledger, and TPM with an infinite threshold degenerates to Base.
+    #[test]
+    fn reactive_runs_are_consistent(trace in trace_strategy()) {
+        let p = ultrastar36z15();
+        let pool = DiskPool::new(trace.pool_size);
+        let base = simulate(&trace, &p, pool, &Policy::Base);
+        let drpm = simulate(&trace, &p, pool, &Policy::Drpm(DrpmConfig::default()));
+        prop_assert!(drpm.exec_secs + 1e-9 >= base.exec_secs,
+            "reactive DRPM cannot run faster than base");
+        for d in &drpm.per_disk {
+            prop_assert!((d.energy.total_secs() - drpm.exec_secs).abs() < 1e-6);
+        }
+        let inf = simulate(
+            &trace,
+            &p,
+            pool,
+            &Policy::Tpm(TpmConfig {
+                threshold_secs: Some(f64::INFINITY),
+            }),
+        );
+        prop_assert!((inf.total_energy_j() - base.total_energy_j()).abs() < 1e-6);
+        prop_assert!((inf.exec_secs - base.exec_secs).abs() < 1e-12);
+    }
+
+    /// Determinism: the same trace and policy give bit-identical reports.
+    #[test]
+    fn simulation_is_deterministic(trace in trace_strategy()) {
+        let p = ultrastar36z15();
+        let pool = DiskPool::new(trace.pool_size);
+        for policy in [
+            Policy::Base,
+            Policy::Tpm(TpmConfig::default()),
+            Policy::Drpm(DrpmConfig::default()),
+            Policy::IdealDrpm,
+        ] {
+            let a = simulate(&trace, &p, pool, &policy);
+            let b = simulate(&trace, &p, pool, &policy);
+            prop_assert_eq!(a.total_energy_j().to_bits(), b.total_energy_j().to_bits());
+            prop_assert_eq!(a.exec_secs.to_bits(), b.exec_secs.to_bits());
+        }
+    }
+}

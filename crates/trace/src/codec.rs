@@ -1,0 +1,367 @@
+//! Compact binary trace encoding.
+//!
+//! Traces for the larger workloads run to tens of thousands of events;
+//! the benchmark harness stores and replays them, so a compact,
+//! allocation-light binary form beats generic serialization. The format
+//! is little-endian, tagged per event:
+//!
+//! ```text
+//! header:  magic "SDPM" | version u16 | pool_size u32 | name_len u16 | name
+//! count:   u64
+//! event:   tag u8
+//!   0 = Compute: nest u32 | first_iter u64 | iters u64 | secs f64
+//!   1 = Io:      disk u32 | block u64 | size u64 | flags u8 | nest u32 | iter u64
+//!                flags bit0 = write, bit1 = sequential
+//!   2 = Power:   disk u32 | action u8 | level u8
+//!                action 0 = SpinDown, 1 = SpinUp, 2 = SetRpm(level)
+//! ```
+
+use crate::event::{AppEvent, IoRequest, PowerAction, ReqKind};
+use crate::trace::Trace;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sdpm_disk::RpmLevel;
+use sdpm_layout::DiskId;
+
+const MAGIC: &[u8; 4] = b"SDPM";
+const VERSION: u16 = 1;
+
+/// Encoding/decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Missing or wrong magic/version header.
+    BadHeader,
+    /// The buffer ended mid-record.
+    Truncated,
+    /// An unknown event tag or action byte.
+    BadTag(u8),
+    /// The name field is not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "bad trace header"),
+            CodecError::Truncated => write!(f, "truncated trace"),
+            CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
+            CodecError::BadName => write!(f, "trace name is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes `trace` into the binary format.
+#[must_use]
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + trace.events.len() * 34);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(trace.pool_size);
+    let name = trace.name.as_bytes();
+    buf.put_u16_le(name.len() as u16);
+    buf.put_slice(name);
+    buf.put_u64_le(trace.events.len() as u64);
+    for e in &trace.events {
+        match e {
+            AppEvent::Compute {
+                nest,
+                first_iter,
+                iters,
+                secs,
+            } => {
+                buf.put_u8(0);
+                buf.put_u32_le(*nest as u32);
+                buf.put_u64_le(*first_iter);
+                buf.put_u64_le(*iters);
+                buf.put_f64_le(*secs);
+            }
+            AppEvent::Io(r) => {
+                buf.put_u8(1);
+                buf.put_u32_le(r.disk.0);
+                buf.put_u64_le(r.start_block);
+                buf.put_u64_le(r.size_bytes);
+                let mut flags = 0u8;
+                if r.kind == ReqKind::Write {
+                    flags |= 1;
+                }
+                if r.sequential {
+                    flags |= 2;
+                }
+                buf.put_u8(flags);
+                buf.put_u32_le(r.nest as u32);
+                buf.put_u64_le(r.iter);
+            }
+            AppEvent::Power { disk, action } => {
+                buf.put_u8(2);
+                buf.put_u32_le(disk.0);
+                match action {
+                    PowerAction::SpinDown => {
+                        buf.put_u8(0);
+                        buf.put_u8(0);
+                    }
+                    PowerAction::SpinUp => {
+                        buf.put_u8(1);
+                        buf.put_u8(0);
+                    }
+                    PowerAction::SetRpm(l) => {
+                        buf.put_u8(2);
+                        buf.put_u8(l.0);
+                    }
+                }
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Deserializes a trace previously produced by [`encode`].
+pub fn decode(mut buf: &[u8]) -> Result<Trace, CodecError> {
+    need(&buf, 4 + 2 + 4 + 2)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    if buf.get_u16_le() != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let pool_size = buf.get_u32_le();
+    let name_len = buf.get_u16_le() as usize;
+    need(&buf, name_len + 8)?;
+    let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
+        .map_err(|_| CodecError::BadName)?;
+    let count = buf.get_u64_le() as usize;
+    // The smallest event record is 7 bytes (a Power event), so a count
+    // exceeding remaining/7 cannot be satisfied — cap the reservation so
+    // a corrupted count cannot trigger an allocation failure before the
+    // Truncated error surfaces.
+    let mut events = Vec::with_capacity(count.min(buf.remaining() / 7 + 1));
+    for _ in 0..count {
+        need(&buf, 1)?;
+        match buf.get_u8() {
+            0 => {
+                need(&buf, 4 + 8 + 8 + 8)?;
+                events.push(AppEvent::Compute {
+                    nest: buf.get_u32_le() as usize,
+                    first_iter: buf.get_u64_le(),
+                    iters: buf.get_u64_le(),
+                    secs: buf.get_f64_le(),
+                });
+            }
+            1 => {
+                need(&buf, 4 + 8 + 8 + 1 + 4 + 8)?;
+                let disk = DiskId(buf.get_u32_le());
+                let start_block = buf.get_u64_le();
+                let size_bytes = buf.get_u64_le();
+                let flags = buf.get_u8();
+                let nest = buf.get_u32_le() as usize;
+                let iter = buf.get_u64_le();
+                events.push(AppEvent::Io(IoRequest {
+                    disk,
+                    start_block,
+                    size_bytes,
+                    kind: if flags & 1 != 0 {
+                        ReqKind::Write
+                    } else {
+                        ReqKind::Read
+                    },
+                    sequential: flags & 2 != 0,
+                    nest,
+                    iter,
+                }));
+            }
+            2 => {
+                need(&buf, 4 + 1 + 1)?;
+                let disk = DiskId(buf.get_u32_le());
+                let action = buf.get_u8();
+                let level = buf.get_u8();
+                let action = match action {
+                    0 => PowerAction::SpinDown,
+                    1 => PowerAction::SpinUp,
+                    2 => PowerAction::SetRpm(RpmLevel(level)),
+                    t => return Err(CodecError::BadTag(t)),
+                };
+                events.push(AppEvent::Power { disk, action });
+            }
+            t => return Err(CodecError::BadTag(t)),
+        }
+    }
+    Ok(Trace {
+        name,
+        pool_size,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            name: "sample-app".into(),
+            pool_size: 8,
+            events: vec![
+                AppEvent::Compute {
+                    nest: 0,
+                    first_iter: 0,
+                    iters: 100,
+                    secs: 0.125,
+                },
+                AppEvent::Io(IoRequest {
+                    disk: DiskId(3),
+                    start_block: 9_999_999,
+                    size_bytes: 65_536,
+                    kind: ReqKind::Write,
+                    sequential: true,
+                    nest: 0,
+                    iter: 100,
+                }),
+                AppEvent::Power {
+                    disk: DiskId(7),
+                    action: PowerAction::SetRpm(RpmLevel(4)),
+                },
+                AppEvent::Power {
+                    disk: DiskId(1),
+                    action: PowerAction::SpinDown,
+                },
+                AppEvent::Power {
+                    disk: DiskId(1),
+                    action: PowerAction::SpinUp,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample();
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let t = Trace {
+            name: String::new(),
+            pool_size: 1,
+            events: vec![],
+        };
+        assert_eq!(decode(&encode(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[0] = b'X';
+        assert_eq!(decode(&bytes), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode(&sample()).to_vec();
+        for cut in 0..bytes.len() {
+            let r = decode(&bytes[..cut]);
+            assert!(r.is_err(), "decode of {cut}-byte prefix must fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let t = Trace {
+            name: "x".into(),
+            pool_size: 1,
+            events: vec![],
+        };
+        let mut bytes = encode(&t).to_vec();
+        // Bump the count and append a bogus tag.
+        let count_pos = 4 + 2 + 4 + 2 + 1;
+        bytes[count_pos] = 1;
+        bytes.push(9);
+        assert_eq!(decode(&bytes), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = encode(&sample()).to_vec();
+        bytes[4] = 0xFF;
+        assert_eq!(decode(&bytes), Err(CodecError::BadHeader));
+    }
+}
+
+/// Writes a trace to `path` in the binary format.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn write_file(trace: &Trace, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(trace))
+}
+
+/// Reads a trace previously written with [`write_file`].
+///
+/// # Errors
+/// Filesystem errors, or a [`CodecError`] (wrapped as `InvalidData`).
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Trace> {
+    let bytes = std::fs::read(path)?;
+    decode(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod file_tests {
+    use super::*;
+    use crate::event::{AppEvent, IoRequest, ReqKind};
+    use sdpm_layout::DiskId;
+
+    #[test]
+    fn file_round_trip() {
+        let t = Trace {
+            name: "file-rt".into(),
+            pool_size: 4,
+            events: vec![
+                AppEvent::Compute {
+                    nest: 0,
+                    first_iter: 0,
+                    iters: 5,
+                    secs: 0.25,
+                },
+                AppEvent::Io(IoRequest {
+                    disk: DiskId(2),
+                    start_block: 77,
+                    size_bytes: 4096,
+                    kind: ReqKind::Read,
+                    sequential: false,
+                    nest: 0,
+                    iter: 4,
+                }),
+            ],
+        };
+        let dir = std::env::temp_dir().join("sdpm-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sdpm");
+        write_file(&t, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_reports_invalid_data() {
+        let dir = std::env::temp_dir().join("sdpm-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.sdpm");
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = read_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+}

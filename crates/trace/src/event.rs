@@ -1,0 +1,210 @@
+//! The application event stream.
+
+use sdpm_disk::RpmLevel;
+use sdpm_layout::DiskId;
+use sdpm_ir::NestId;
+use serde::{Deserialize, Serialize};
+
+/// Read or write request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    Read,
+    Write,
+}
+
+/// One block-level disk I/O request.
+///
+/// This is the paper's trace 4-tuple — arrival time, start block, size,
+/// type — in closed-loop form: instead of a fixed arrival timestamp the
+/// request is positioned by the `Compute` events preceding it in the
+/// stream, and additionally carries the disk it resolves to (the paper's
+/// simulator re-derives this from the striping configuration; we resolve
+/// it at generation time, which is the same information) and its
+/// provenance in iteration space (used by the oracle policies and the
+/// Table 3 misprediction accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Disk the request targets.
+    pub disk: DiskId,
+    /// Starting block number on the disk.
+    pub start_block: u64,
+    /// Request size in bytes.
+    pub size_bytes: u64,
+    /// Read or write.
+    pub kind: ReqKind,
+    /// True if the request directly continues the previous request on the
+    /// same disk (the service model then skips positioning).
+    pub sequential: bool,
+    /// Nest that issued the request.
+    pub nest: NestId,
+    /// Flat iteration (within the nest) that issued the request.
+    pub iter: u64,
+}
+
+/// An explicit power-management call inserted by the compiler
+/// (Section 3's `spin_down` / `spin_up` / `set_RPM`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PowerAction {
+    /// `spin_down(disk)` — TPM disks.
+    SpinDown,
+    /// `spin_up(disk)` — TPM pre-activation.
+    SpinUp,
+    /// `set_RPM(level, disk)` — DRPM disks (pre-activation passes the
+    /// maximum level).
+    SetRpm(RpmLevel),
+}
+
+/// One event of the application stream, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AppEvent {
+    /// The application computes for `secs` without touching the disk
+    /// subsystem; covers iterations `[first_iter, first_iter + iters)` of
+    /// `nest`.
+    Compute {
+        nest: NestId,
+        first_iter: u64,
+        iters: u64,
+        secs: f64,
+    },
+    /// A blocking disk request: the application stalls until it completes.
+    Io(IoRequest),
+    /// A compiler-inserted power-management call on `disk`. Non-blocking;
+    /// the simulator charges the configured call overhead (`Tm` in the
+    /// paper's formula (1)) as compute time.
+    Power { disk: DiskId, action: PowerAction },
+}
+
+impl AppEvent {
+    /// The nest this event belongs to, if any (`Power` events sit between
+    /// compute segments and carry no nest of their own).
+    #[must_use]
+    pub fn nest(&self) -> Option<NestId> {
+        match self {
+            AppEvent::Compute { nest, .. } => Some(*nest),
+            AppEvent::Io(r) => Some(r.nest),
+            AppEvent::Power { .. } => None,
+        }
+    }
+
+    /// Splits a `Compute` event at iteration `at` (absolute within the
+    /// nest), returning the two halves. Seconds are split proportionally.
+    ///
+    /// # Panics
+    /// If the event is not `Compute` or `at` is outside
+    /// `(first_iter, first_iter + iters)` exclusive on both ends.
+    #[must_use]
+    pub fn split_compute(self, at: u64) -> (AppEvent, AppEvent) {
+        match self {
+            AppEvent::Compute {
+                nest,
+                first_iter,
+                iters,
+                secs,
+            } => {
+                assert!(
+                    at > first_iter && at < first_iter + iters,
+                    "split point {at} outside ({first_iter}, {})",
+                    first_iter + iters
+                );
+                let left_iters = at - first_iter;
+                let right_iters = iters - left_iters;
+                let left_secs = secs * left_iters as f64 / iters as f64;
+                (
+                    AppEvent::Compute {
+                        nest,
+                        first_iter,
+                        iters: left_iters,
+                        secs: left_secs,
+                    },
+                    AppEvent::Compute {
+                        nest,
+                        first_iter: at,
+                        iters: right_iters,
+                        secs: secs - left_secs,
+                    },
+                )
+            }
+            _ => panic!("split_compute on a non-Compute event"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_compute_partitions_iterations_and_time() {
+        let e = AppEvent::Compute {
+            nest: 2,
+            first_iter: 100,
+            iters: 10,
+            secs: 5.0,
+        };
+        let (l, r) = e.split_compute(103);
+        match (l, r) {
+            (
+                AppEvent::Compute {
+                    first_iter: fl,
+                    iters: il,
+                    secs: sl,
+                    nest: nl,
+                },
+                AppEvent::Compute {
+                    first_iter: fr,
+                    iters: ir,
+                    secs: sr,
+                    ..
+                },
+            ) => {
+                assert_eq!((fl, il, fr, ir, nl), (100, 3, 103, 7, 2));
+                assert!((sl - 1.5).abs() < 1e-12);
+                assert!((sl + sr - 5.0).abs() < 1e-12);
+            }
+            _ => panic!("split produced non-compute events"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn split_at_boundary_is_rejected() {
+        let e = AppEvent::Compute {
+            nest: 0,
+            first_iter: 0,
+            iters: 5,
+            secs: 1.0,
+        };
+        let _ = e.split_compute(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-Compute")]
+    fn split_io_is_rejected() {
+        let e = AppEvent::Io(IoRequest {
+            disk: DiskId(0),
+            start_block: 0,
+            size_bytes: 1,
+            kind: ReqKind::Read,
+            sequential: false,
+            nest: 0,
+            iter: 0,
+        });
+        let _ = e.split_compute(1);
+    }
+
+    #[test]
+    fn nest_accessor() {
+        let c = AppEvent::Compute {
+            nest: 3,
+            first_iter: 0,
+            iters: 1,
+            secs: 0.1,
+        };
+        assert_eq!(c.nest(), Some(3));
+        let p = AppEvent::Power {
+            disk: DiskId(1),
+            action: PowerAction::SpinDown,
+        };
+        assert_eq!(p.nest(), None);
+    }
+}

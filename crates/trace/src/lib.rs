@@ -1,0 +1,30 @@
+//! I/O traces, trace generation, and power-management directives.
+//!
+//! The paper's toolchain (Fig. 1) runs the compiler-instrumented program
+//! once to produce a disk I/O request trace — each request a 4-tuple
+//! `(arrival time ms, start block, request size, read|write)` — which then
+//! drives the disk power simulator. This crate owns that interface layer:
+//!
+//! * [`event`] — the application event stream: `Compute` segments, blocking
+//!   [`IoRequest`]s, and the explicit power-management calls
+//!   (`spin_down` / `spin_up` / `set_RPM`) the compiler inserts,
+//! * [`trace`] — whole traces with provenance, statistics, and the paper's
+//!   nominal 4-tuple view,
+//! * [`gen`] — the trace generator: walks an IR program, filters element
+//!   accesses through a one-chunk-per-array buffer cache, and emits
+//!   block-level striped requests,
+//! * [`codec`] — a compact binary encoding for storing/replaying traces.
+//!
+//! Traces are *closed-loop*: each request carries the compute time that
+//! precedes it rather than a fixed wall-clock arrival, so the simulator
+//! can propagate device stalls into application execution time — exactly
+//! the effect behind the paper's Fig. 4 performance comparison.
+
+pub mod codec;
+pub mod event;
+pub mod gen;
+pub mod trace;
+
+pub use event::{AppEvent, IoRequest, PowerAction, ReqKind};
+pub use gen::{generate, TraceGenConfig};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,240 @@
+//! Whole traces: provenance, statistics, and the paper's 4-tuple view.
+
+use crate::event::{AppEvent, IoRequest, ReqKind};
+use sdpm_layout::DiskId;
+use serde::{Deserialize, Serialize};
+
+/// A complete application trace: the event stream plus the pool size it
+/// was generated against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Application name the trace came from.
+    pub name: String,
+    /// Disk pool size the striping was resolved against.
+    pub pool_size: u32,
+    /// Events in program order.
+    pub events: Vec<AppEvent>,
+}
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total number of I/O requests.
+    pub requests: u64,
+    /// Total bytes requested.
+    pub bytes: u64,
+    /// Requests per disk (indexed by disk id).
+    pub per_disk_requests: Vec<u64>,
+    /// Pure compute seconds (no stalls).
+    pub compute_secs: f64,
+    /// Number of power-management calls in the stream.
+    pub power_calls: u64,
+    /// Fraction of requests marked sequential.
+    pub sequential_fraction: f64,
+}
+
+impl Trace {
+    /// Computes aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> TraceStats {
+        let mut requests = 0u64;
+        let mut bytes = 0u64;
+        let mut per_disk = vec![0u64; self.pool_size as usize];
+        let mut compute_secs = 0.0;
+        let mut power_calls = 0u64;
+        let mut sequential = 0u64;
+        for e in &self.events {
+            match e {
+                AppEvent::Compute { secs, .. } => compute_secs += secs,
+                AppEvent::Io(r) => {
+                    requests += 1;
+                    bytes += r.size_bytes;
+                    per_disk[r.disk.0 as usize] += 1;
+                    if r.sequential {
+                        sequential += 1;
+                    }
+                }
+                AppEvent::Power { .. } => power_calls += 1,
+            }
+        }
+        TraceStats {
+            requests,
+            bytes,
+            per_disk_requests: per_disk,
+            compute_secs,
+            power_calls,
+            sequential_fraction: if requests == 0 {
+                0.0
+            } else {
+                sequential as f64 / requests as f64
+            },
+        }
+    }
+
+    /// The paper's trace view: `(arrival ms, start block, size bytes,
+    /// kind, disk)` per request, with arrivals on the *nominal* (stall-
+    /// free) timeline — compute time only, as if every request completed
+    /// instantaneously.
+    #[must_use]
+    pub fn nominal_arrivals(&self) -> Vec<(f64, u64, u64, ReqKind, DiskId)> {
+        let mut t = 0.0f64;
+        let mut out = Vec::new();
+        for e in &self.events {
+            match e {
+                AppEvent::Compute { secs, .. } => t += secs,
+                AppEvent::Io(r) => out.push((t * 1e3, r.start_block, r.size_bytes, r.kind, r.disk)),
+                AppEvent::Power { .. } => {}
+            }
+        }
+        out
+    }
+
+    /// Iterates just the I/O requests, in order.
+    pub fn requests(&self) -> impl Iterator<Item = &IoRequest> {
+        self.events.iter().filter_map(|e| match e {
+            AppEvent::Io(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// Structural sanity: disks in range, compute segments non-negative
+    /// and in nest order, request sizes positive.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_nest = 0usize;
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                AppEvent::Compute { nest, secs, .. } => {
+                    if *secs < 0.0 || !secs.is_finite() {
+                        return Err(format!("event {i}: bad compute duration {secs}"));
+                    }
+                    if *nest < last_nest {
+                        return Err(format!(
+                            "event {i}: nest order regressed {last_nest} -> {nest}"
+                        ));
+                    }
+                    last_nest = *nest;
+                }
+                AppEvent::Io(r) => {
+                    if r.disk.0 >= self.pool_size {
+                        return Err(format!("event {i}: disk {} out of pool", r.disk));
+                    }
+                    if r.size_bytes == 0 {
+                        return Err(format!("event {i}: zero-byte request"));
+                    }
+                    if r.nest < last_nest {
+                        return Err(format!(
+                            "event {i}: nest order regressed {last_nest} -> {}",
+                            r.nest
+                        ));
+                    }
+                    last_nest = r.nest;
+                }
+                AppEvent::Power { disk, .. } => {
+                    if disk.0 >= self.pool_size {
+                        return Err(format!("event {i}: power call on out-of-pool {disk}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::PowerAction;
+
+    fn io(disk: u32, block: u64, size: u64, nest: usize, seq: bool) -> AppEvent {
+        AppEvent::Io(IoRequest {
+            disk: DiskId(disk),
+            start_block: block,
+            size_bytes: size,
+            kind: ReqKind::Read,
+            sequential: seq,
+            nest,
+            iter: 0,
+        })
+    }
+
+    fn compute(nest: usize, secs: f64) -> AppEvent {
+        AppEvent::Compute {
+            nest,
+            first_iter: 0,
+            iters: 1,
+            secs,
+        }
+    }
+
+    fn sample() -> Trace {
+        Trace {
+            name: "t".into(),
+            pool_size: 4,
+            events: vec![
+                compute(0, 1.0),
+                io(0, 100, 4096, 0, false),
+                compute(0, 0.5),
+                io(1, 100, 8192, 0, false),
+                AppEvent::Power {
+                    disk: DiskId(2),
+                    action: PowerAction::SpinDown,
+                },
+                compute(1, 2.0),
+                io(0, 108, 4096, 1, true),
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let s = sample().stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.bytes, 16384);
+        assert_eq!(s.per_disk_requests, vec![2, 1, 0, 0]);
+        assert!((s.compute_secs - 3.5).abs() < 1e-12);
+        assert_eq!(s.power_calls, 1);
+        assert!((s.sequential_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nominal_arrivals_accumulate_compute_only() {
+        let arr = sample().nominal_arrivals();
+        assert_eq!(arr.len(), 3);
+        assert!((arr[0].0 - 1000.0).abs() < 1e-9);
+        assert!((arr[1].0 - 1500.0).abs() < 1e-9);
+        assert!((arr[2].0 - 3500.0).abs() < 1e-9);
+        assert_eq!(arr[2].1, 108);
+    }
+
+    #[test]
+    fn validate_accepts_sample() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_pool_disk() {
+        let mut t = sample();
+        t.pool_size = 1;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_nest_regression() {
+        let mut t = sample();
+        t.events.push(compute(0, 1.0)); // nest 0 after nest 1
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_byte_request() {
+        let mut t = sample();
+        t.events.push(io(0, 0, 0, 1, false));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn requests_iterator_skips_non_io() {
+        let t = sample();
+        assert_eq!(t.requests().count(), 3);
+    }
+}

@@ -1,0 +1,181 @@
+//! Property tests for traces: codec round-trips and generator
+//! conservation laws.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use sdpm_disk::RpmLevel;
+use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
+use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+use sdpm_trace::codec::{decode, encode};
+use sdpm_trace::{generate, AppEvent, IoRequest, PowerAction, ReqKind, Trace, TraceGenConfig};
+
+fn event_strategy(pool: u32, nest: usize) -> impl Strategy<Value = AppEvent> {
+    prop_oneof![
+        (0u64..1000, 1u64..100, 0.0f64..10.0).prop_map(move |(first, iters, secs)| {
+            AppEvent::Compute {
+                nest,
+                first_iter: first,
+                iters,
+                secs,
+            }
+        }),
+        (
+            0..pool,
+            0u64..1_000_000,
+            1u64..1_000_000,
+            any::<bool>(),
+            any::<bool>(),
+            0u64..10_000
+        )
+            .prop_map(move |(d, block, size, write, seq, iter)| {
+                AppEvent::Io(IoRequest {
+                    disk: DiskId(d),
+                    start_block: block,
+                    size_bytes: size,
+                    kind: if write { ReqKind::Write } else { ReqKind::Read },
+                    sequential: seq,
+                    nest,
+                    iter,
+                })
+            }),
+        (0..pool, 0u8..3, 0u8..11).prop_map(move |(d, a, l)| AppEvent::Power {
+            disk: DiskId(d),
+            action: match a {
+                0 => PowerAction::SpinDown,
+                1 => PowerAction::SpinUp,
+                _ => PowerAction::SetRpm(RpmLevel(l)),
+            },
+        }),
+    ]
+}
+
+proptest! {
+    /// encode/decode round-trips arbitrary traces exactly.
+    #[test]
+    fn codec_round_trips(
+        pool in 1u32..16,
+        name in "[a-z0-9.]{0,20}",
+        events in proptest::collection::vec((0usize..4, 0u32..1000), 0..60),
+    ) {
+        // Build events with non-decreasing nest ids (validity not needed
+        // for the codec, but keeps things tidy).
+        let mut evs = Vec::new();
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let mut last_nest = 0usize;
+        for (nest_inc, _) in events {
+            last_nest += nest_inc % 2;
+            let e = event_strategy(pool, last_nest)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            evs.push(e);
+        }
+        let t = Trace {
+            name,
+            pool_size: pool,
+            events: evs,
+        };
+        let bytes = encode(&t);
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Trace generation conserves compute time, covers each scanned byte
+    /// exactly once per cold sweep, and yields only valid traces.
+    #[test]
+    fn generation_conservation(
+        elems in 64u64..4096,
+        chunk_pow in 7u32..14,
+        factor in 1u32..8,
+        cycles in 1.0f64..2000.0,
+    ) {
+        let chunk = 1u64 << chunk_pow;
+        let pool = DiskPool::new(8);
+        let file = ArrayFile {
+            name: "A".into(),
+            dims: vec![elems],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: factor,
+                stripe_bytes: 4096,
+            },
+            base_block: 0,
+        };
+        let p = Program {
+            name: "scan".into(),
+            arrays: vec![file],
+            nests: vec![LoopNest {
+                label: "n".into(),
+                loops: vec![LoopDim::simple(elems)],
+                stmts: vec![Statement {
+                    label: "S".into(),
+                    refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+                }],
+                cycles_per_iter: cycles,
+            }],
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        };
+        p.validate(pool).unwrap();
+        let t = generate(&p, pool, TraceGenConfig {
+            io_chunk_bytes: chunk,
+            detect_sequential: false,
+        });
+        prop_assert_eq!(t.validate(), Ok(()));
+        let stats = t.stats();
+        // Cold sequential scan: every byte fetched exactly once.
+        prop_assert_eq!(stats.bytes, elems * 8);
+        // Compute fully accounted.
+        let expected = elems as f64 * cycles / Program::PAPER_CLOCK_HZ;
+        prop_assert!((stats.compute_secs - expected).abs() < 1e-9);
+        // Requests equal the chunk count (split across stripes).
+        let chunks = (elems * 8).div_ceil(chunk);
+        prop_assert!(stats.requests >= chunks);
+    }
+
+    /// Nominal arrivals are non-decreasing and one per request.
+    #[test]
+    fn nominal_arrivals_monotone(
+        elems in 64u64..2048,
+        chunk_pow in 7u32..12,
+    ) {
+        let chunk = 1u64 << chunk_pow;
+        let pool = DiskPool::new(4);
+        let file = ArrayFile {
+            name: "A".into(),
+            dims: vec![elems],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: 4,
+                stripe_bytes: 2048,
+            },
+            base_block: 0,
+        };
+        let p = Program {
+            name: "scan".into(),
+            arrays: vec![file],
+            nests: vec![LoopNest {
+                label: "n".into(),
+                loops: vec![LoopDim::simple(elems)],
+                stmts: vec![Statement {
+                    label: "S".into(),
+                    refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+                }],
+                cycles_per_iter: 100.0,
+            }],
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        };
+        let t = generate(&p, pool, TraceGenConfig {
+            io_chunk_bytes: chunk,
+            detect_sequential: true,
+        });
+        let arrivals = t.nominal_arrivals();
+        prop_assert_eq!(arrivals.len() as u64, t.stats().requests);
+        for w in arrivals.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+        }
+    }
+}

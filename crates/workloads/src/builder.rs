@@ -1,0 +1,450 @@
+//! Phase-structured program builder.
+//!
+//! Scientific kernels alternate I/O-intensive sweeps over disk-resident
+//! arrays with compute-heavy stretches on cached working sets. The
+//! builder assembles such programs from declarative [`PhaseSpec`]s,
+//! producing `sdpm-ir` programs whose per-disk idleness has the two
+//! scales the paper's evaluation exercises: fragmented intra-sweep gaps
+//! (a disk waits while the other stripes are scanned) and long
+//! inter-phase gaps (a disk's arrays are not touched at all).
+
+use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+use sdpm_layout::{ArrayFile, StorageOrder, Striping};
+
+/// One disk-resident array of the workload.
+#[derive(Debug, Clone)]
+pub struct ArraySpec {
+    /// Array name.
+    pub name: String,
+    /// Shape in elements (8-byte doubles).
+    pub dims: Vec<u64>,
+    /// Storage order on disk.
+    pub order: StorageOrder,
+}
+
+impl ArraySpec {
+    /// A 1-D array of `elems` doubles.
+    #[must_use]
+    pub fn vector(name: &str, elems: u64) -> Self {
+        ArraySpec {
+            name: name.into(),
+            dims: vec![elems],
+            order: StorageOrder::RowMajor,
+        }
+    }
+
+    /// A 2-D row-major array.
+    #[must_use]
+    pub fn matrix(name: &str, rows: u64, cols: u64) -> Self {
+        ArraySpec {
+            name: name.into(),
+            dims: vec![rows, cols],
+            order: StorageOrder::RowMajor,
+        }
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub fn elems(&self) -> u64 {
+        self.dims.iter().product()
+    }
+}
+
+/// One phase of the workload.
+#[derive(Debug, Clone)]
+pub enum PhaseSpec {
+    /// Unit-stride co-scan of several same-length 1-D arrays: one
+    /// statement reading (or writing) `arrays[k][i]` for all `k`.
+    /// `fraction` scans only the leading part of each array.
+    Scan {
+        arrays: Vec<usize>,
+        fraction: f64,
+        write: bool,
+        cycles_per_elem: f64,
+    },
+    /// Column walk over a 2-D row-major array: `for c { for r { a[r][c] } }`.
+    /// Non-conforming (innermost stride = #columns); the Fig. 12 layout
+    /// transposition fixes it.
+    ColScan { array: usize, cycles_per_elem: f64 },
+    /// Pure computation on a cached working set: no disk traffic.
+    Compute { secs: f64, iters: u64 },
+    /// A two-statement cross-iteration coupling over two same-length 1-D
+    /// arrays (`a[i] = f(b[i+1]); b[i] = g(a[i+1])`): scans both arrays
+    /// but is **not fissionable** and glues them into one array group.
+    CoupledScan {
+        a: usize,
+        b: usize,
+        cycles_per_elem: f64,
+    },
+    /// Like `Scan` but two statements over two disjoint array sets, so
+    /// the Fig. 11 algorithm has something to distribute.
+    FissileScan {
+        group_a: Vec<usize>,
+        group_b: Vec<usize>,
+        fraction: f64,
+        cycles_per_elem: f64,
+    },
+    /// A one-iteration nest whose single statement touches the first
+    /// element of every listed array: couples them into one array group
+    /// (used to model codes whose arrays are all transitively shared, so
+    /// the Fig. 11 disk allocation degenerates to "all disks" — wupwise
+    /// and galgel).
+    Link { arrays: Vec<usize> },
+}
+
+/// Assembles a [`Program`] from arrays and phases.
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArraySpec>,
+    phases: Vec<(String, PhaseSpec)>,
+    striping: Striping,
+    clock_hz: f64,
+}
+
+impl ProgramBuilder {
+    /// A builder using the paper's default striping and clock.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            arrays: Vec::new(),
+            phases: Vec::new(),
+            striping: Striping::default_paper(),
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        }
+    }
+
+    /// Overrides the striping applied to every array.
+    #[must_use]
+    pub fn striping(mut self, striping: Striping) -> Self {
+        self.striping = striping;
+        self
+    }
+
+    /// Adds an array, returning its id.
+    pub fn array(&mut self, spec: ArraySpec) -> usize {
+        self.arrays.push(spec);
+        self.arrays.len() - 1
+    }
+
+    /// Appends a phase.
+    pub fn phase(&mut self, label: &str, spec: PhaseSpec) -> &mut Self {
+        self.phases.push((label.into(), spec));
+        self
+    }
+
+    /// Total dataset bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.elems() * 8).sum()
+    }
+
+    fn scan_len(&self, arrays: &[usize], fraction: f64) -> u64 {
+        let min = arrays
+            .iter()
+            .map(|&a| self.arrays[a].elems())
+            .min()
+            .expect("scan phase needs at least one array");
+        ((min as f64 * fraction) as u64).max(1)
+    }
+
+    /// Builds the program. Array files are laid out one after another on
+    /// the disks (stacked `base_block`s).
+    #[must_use]
+    pub fn build(&self) -> Program {
+        let mut files = Vec::with_capacity(self.arrays.len());
+        let mut next_block = 0u64;
+        for spec in &self.arrays {
+            let f = ArrayFile {
+                name: spec.name.clone(),
+                dims: spec.dims.clone(),
+                element_bytes: 8,
+                order: spec.order,
+                striping: self.striping,
+                base_block: next_block,
+            };
+            next_block += f.per_disk_footprint_blocks();
+            files.push(f);
+        }
+
+        let mut nests = Vec::with_capacity(self.phases.len());
+        for (label, phase) in &self.phases {
+            let nest = match phase {
+                PhaseSpec::Scan {
+                    arrays,
+                    fraction,
+                    write,
+                    cycles_per_elem,
+                } => {
+                    let n = self.scan_len(arrays, *fraction);
+                    let refs = arrays
+                        .iter()
+                        .map(|&a| {
+                            let sub = vec![AffineExpr::var(1, 0)];
+                            if *write {
+                                ArrayRef::write(a, sub)
+                            } else {
+                                ArrayRef::read(a, sub)
+                            }
+                        })
+                        .collect();
+                    LoopNest {
+                        label: label.clone(),
+                        loops: vec![LoopDim::simple(n)],
+                        stmts: vec![Statement {
+                            label: format!("{label}.S1"),
+                            refs,
+                        }],
+                        cycles_per_iter: cycles_per_elem * arrays.len() as f64,
+                    }
+                }
+                PhaseSpec::ColScan {
+                    array,
+                    cycles_per_elem,
+                } => {
+                    let dims = &self.arrays[*array].dims;
+                    assert_eq!(dims.len(), 2, "ColScan needs a 2-D array");
+                    let (rows, cols) = (dims[0], dims[1]);
+                    LoopNest {
+                        label: label.clone(),
+                        loops: vec![LoopDim::simple(cols), LoopDim::simple(rows)],
+                        stmts: vec![Statement {
+                            label: format!("{label}.S1"),
+                            refs: vec![ArrayRef::read(
+                                *array,
+                                vec![AffineExpr::var(2, 1), AffineExpr::var(2, 0)],
+                            )],
+                        }],
+                        cycles_per_iter: *cycles_per_elem,
+                    }
+                }
+                PhaseSpec::Compute { secs, iters } => LoopNest {
+                    label: label.clone(),
+                    loops: vec![LoopDim::simple(*iters)],
+                    stmts: vec![],
+                    cycles_per_iter: secs * self.clock_hz / *iters as f64,
+                },
+                PhaseSpec::CoupledScan {
+                    a,
+                    b,
+                    cycles_per_elem,
+                } => {
+                    let n = self.scan_len(&[*a, *b], 1.0) - 1;
+                    let i = AffineExpr::var(1, 0);
+                    // S2 reads `a[i+1]`, which S1 writes on a *later*
+                    // iteration: a cross-iteration coupling that blocks
+                    // fission. The shifted read leads the unshifted
+                    // accesses, so the walk stays monotone per array and
+                    // the one-chunk buffer cache sees a plain scan.
+                    LoopNest {
+                        label: label.clone(),
+                        loops: vec![LoopDim::simple(n)],
+                        stmts: vec![
+                            Statement {
+                                label: format!("{label}.S1"),
+                                refs: vec![
+                                    ArrayRef::write(*a, vec![i.clone()]),
+                                    ArrayRef::read(*b, vec![i.clone()]),
+                                ],
+                            },
+                            Statement {
+                                label: format!("{label}.S2"),
+                                refs: vec![
+                                    ArrayRef::write(*b, vec![i.clone()]),
+                                    ArrayRef::read(*a, vec![i.shifted(1)]),
+                                ],
+                            },
+                        ],
+                        cycles_per_iter: *cycles_per_elem * 4.0,
+                    }
+                }
+                PhaseSpec::Link { arrays } => LoopNest {
+                    label: label.clone(),
+                    loops: vec![LoopDim::simple(1)],
+                    stmts: vec![Statement {
+                        label: format!("{label}.S1"),
+                        refs: arrays
+                            .iter()
+                            .map(|&a| {
+                                let rank = self.arrays[a].dims.len();
+                                ArrayRef::read(
+                                    a,
+                                    (0..rank).map(|_| AffineExpr::constant(1, 0)).collect(),
+                                )
+                            })
+                            .collect(),
+                    }],
+                    cycles_per_iter: 1.0,
+                },
+                PhaseSpec::FissileScan {
+                    group_a,
+                    group_b,
+                    fraction,
+                    cycles_per_elem,
+                } => {
+                    let all: Vec<usize> =
+                        group_a.iter().chain(group_b.iter()).copied().collect();
+                    let n = self.scan_len(&all, *fraction);
+                    let i = AffineExpr::var(1, 0);
+                    let refs_of = |ids: &[usize]| {
+                        ids.iter()
+                            .map(|&a| ArrayRef::read(a, vec![i.clone()]))
+                            .collect::<Vec<_>>()
+                    };
+                    LoopNest {
+                        label: label.clone(),
+                        loops: vec![LoopDim::simple(n)],
+                        stmts: vec![
+                            Statement {
+                                label: format!("{label}.S1"),
+                                refs: refs_of(group_a),
+                            },
+                            Statement {
+                                label: format!("{label}.S2"),
+                                refs: refs_of(group_b),
+                            },
+                        ],
+                        cycles_per_iter: *cycles_per_elem
+                            * (group_a.len() + group_b.len()) as f64,
+                    }
+                }
+            };
+            nests.push(nest);
+        }
+
+        Program {
+            name: self.name.clone(),
+            arrays: files,
+            nests,
+            clock_hz: self.clock_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_ir::is_fissionable;
+    use sdpm_layout::DiskPool;
+
+    fn mib(m: u64) -> u64 {
+        m * 1024 * 1024 / 8
+    }
+
+    #[test]
+    fn scan_phase_builds_valid_program() {
+        let mut b = ProgramBuilder::new("t");
+        let u = b.array(ArraySpec::vector("u", mib(16)));
+        let v = b.array(ArraySpec::vector("v", mib(16)));
+        b.phase(
+            "calc1",
+            PhaseSpec::Scan {
+                arrays: vec![u, v],
+                fraction: 1.0,
+                write: false,
+                cycles_per_elem: 100.0,
+            },
+        );
+        let p = b.build();
+        p.validate(DiskPool::new(8)).unwrap();
+        assert_eq!(p.nests.len(), 1);
+        assert_eq!(p.total_data_bytes(), 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn files_are_stacked_on_disk() {
+        let mut b = ProgramBuilder::new("t");
+        b.array(ArraySpec::vector("u", mib(16)));
+        b.array(ArraySpec::vector("v", mib(16)));
+        let p = b.build();
+        assert_eq!(p.arrays[0].base_block, 0);
+        assert!(p.arrays[1].base_block > 0);
+    }
+
+    #[test]
+    fn coupled_scan_is_not_fissionable() {
+        let mut b = ProgramBuilder::new("t");
+        let u = b.array(ArraySpec::vector("u", mib(4)));
+        let v = b.array(ArraySpec::vector("v", mib(4)));
+        b.phase(
+            "couple",
+            PhaseSpec::CoupledScan {
+                a: u,
+                b: v,
+                cycles_per_elem: 50.0,
+            },
+        );
+        let p = b.build();
+        p.validate(DiskPool::new(8)).unwrap();
+        assert!(!is_fissionable(&p.nests[0]));
+    }
+
+    #[test]
+    fn fissile_scan_is_fissionable() {
+        let mut b = ProgramBuilder::new("t");
+        let u = b.array(ArraySpec::vector("u", mib(4)));
+        let v = b.array(ArraySpec::vector("v", mib(4)));
+        b.phase(
+            "split",
+            PhaseSpec::FissileScan {
+                group_a: vec![u],
+                group_b: vec![v],
+                fraction: 1.0,
+                cycles_per_elem: 50.0,
+            },
+        );
+        let p = b.build();
+        assert!(is_fissionable(&p.nests[0]));
+    }
+
+    #[test]
+    fn col_scan_is_non_conforming() {
+        use sdpm_ir::ref_conforms;
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array(ArraySpec::matrix("a", mib(1), 8));
+        b.phase(
+            "col",
+            PhaseSpec::ColScan {
+                array: a,
+                cycles_per_elem: 50.0,
+            },
+        );
+        let p = b.build();
+        p.validate(DiskPool::new(8)).unwrap();
+        let nest = &p.nests[0];
+        let r = &nest.stmts[0].refs[0];
+        assert!(!ref_conforms(nest, r, &p.arrays[a]));
+    }
+
+    #[test]
+    fn compute_phase_time_is_exact() {
+        let mut b = ProgramBuilder::new("t");
+        b.phase(
+            "fft",
+            PhaseSpec::Compute {
+                secs: 2.5,
+                iters: 1000,
+            },
+        );
+        let p = b.build();
+        assert!((p.compute_secs() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_scan_covers_prefix() {
+        let mut b = ProgramBuilder::new("t");
+        let u = b.array(ArraySpec::vector("u", 1000));
+        b.phase(
+            "part",
+            PhaseSpec::Scan {
+                arrays: vec![u],
+                fraction: 0.25,
+                write: false,
+                cycles_per_elem: 1.0,
+            },
+        );
+        let p = b.build();
+        assert_eq!(p.nests[0].iter_count(), 250);
+    }
+}

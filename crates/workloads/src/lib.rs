@@ -1,0 +1,34 @@
+//! Benchmark workload models.
+//!
+//! The paper evaluates on six Specfp2000 kernels made disk-resident
+//! (Table 2), selecting from each application the loop nests that account
+//! for >= 90% of its I/O time. We model each kernel's dominant nests as
+//! an IR program ([`builder`]) and calibrate four observables against
+//! Table 2: total dataset size, disk request count, base (unmanaged)
+//! disk energy, and execution time ([`table2`]). Each model also carries
+//! the structural properties Section 6 depends on:
+//!
+//! | kernel  | fissionable | conforming access | dominant nest |
+//! |---------|-------------|-------------------|---------------|
+//! | wupwise | no (coupled) | no (column walk) | yes           |
+//! | swim    | yes          | yes              | no (spread)   |
+//! | mgrid   | yes          | yes              | no (V-cycle)  |
+//! | applu   | yes          | yes              | yes           |
+//! | mesa    | yes          | mixed            | yes           |
+//! | galgel  | no (coupled) | yes              | untileable    |
+//!
+//! which reproduces Fig. 13's pattern: LF+DL helps swim/mgrid/applu/mesa,
+//! TL+DL helps wupwise/applu/mesa, and galgel gets nothing.
+//!
+//! [`synth`] provides additional synthetic workloads (out-of-core
+//! stencil, blocked matrix multiply, checkpoint loop) used by the
+//! examples and property tests.
+
+pub mod bench;
+pub mod builder;
+pub mod synth;
+pub mod table2;
+
+pub use bench::{all_benchmarks, applu, galgel, mesa, mgrid, swim, wupwise, Benchmark};
+pub use builder::{ArraySpec, PhaseSpec, ProgramBuilder};
+pub use table2::Table2Row;

@@ -1,0 +1,405 @@
+//! Loop fission with array grouping and disk allocation (Fig. 11).
+//!
+//! The algorithm, as the paper sketches it:
+//!
+//! ```text
+//! AG <- {}                              // array groups
+//! for each loop nest:
+//!   for each statement:
+//!     B <- arrays accessed by the statement
+//!     if B is disjoint from every set in AG: add B as a new set
+//!     else: union B into the overlapping set(s)
+//! generate fissioned loops
+//! allocate disks to array groups by total data size
+//! ```
+//!
+//! Fissioned loops are the topologically-ordered dependence SCCs of each
+//! nest's body (legality per [`sdpm_ir::depend`]); the disk allocation is
+//! the proportional contiguous carve of [`sdpm_layout::alloc`].
+
+use sdpm_ir::{LoopNest, Program};
+use sdpm_layout::{allocate_proportional, DiskPool, DiskSet, Striping};
+use serde::{Deserialize, Serialize};
+
+/// One array group and the disks allocated to it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayGroup {
+    /// Member arrays (indices into the program's symbol table).
+    pub arrays: Vec<usize>,
+    /// Total bytes of the group's arrays.
+    pub bytes: u64,
+    /// Disks allocated to the group (empty in the layout-oblivious
+    /// variant).
+    pub disks: DiskSet,
+}
+
+/// Result of the fission transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FissionOutcome {
+    /// The transformed program (equal to the input if nothing fissioned
+    /// and the layout did not change).
+    pub program: Program,
+    /// Array groups in formation order.
+    pub groups: Vec<ArrayGroup>,
+    /// True if at least one nest was actually distributed.
+    pub fissioned_any: bool,
+}
+
+/// Union-find over array ids.
+struct ArrayUnionFind {
+    parent: Vec<usize>,
+}
+
+impl ArrayUnionFind {
+    fn new(n: usize) -> Self {
+        ArrayUnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Smaller root wins, for deterministic group order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Computes the Fig. 11 array groups of `program`: arrays accessed by a
+/// common statement are coupled (transitively). Returns groups in order of
+/// their smallest member array, each listing member arrays sorted.
+#[must_use]
+pub fn array_groups(program: &Program) -> Vec<Vec<usize>> {
+    let mut uf = ArrayUnionFind::new(program.arrays.len());
+    let mut touched = vec![false; program.arrays.len()];
+    for nest in &program.nests {
+        for stmt in &nest.stmts {
+            let arrays = stmt.arrays();
+            for &a in &arrays {
+                touched[a] = true;
+            }
+            for w in arrays.windows(2) {
+                uf.union(w[0], w[1]);
+            }
+        }
+    }
+    let n = program.arrays.len();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_group: Vec<Option<usize>> = vec![None; n];
+    for (a, &is_touched) in touched.iter().enumerate() {
+        if !is_touched {
+            continue; // unaccessed arrays keep their layout, ungrouped
+        }
+        let r = uf.find(a);
+        match root_to_group[r] {
+            Some(g) => groups[g].push(a),
+            None => {
+                root_to_group[r] = Some(groups.len());
+                groups.push(vec![a]);
+            }
+        }
+    }
+    groups
+}
+
+/// Distributes one nest along array-group boundaries: statements whose
+/// arrays belong to the same group stay in one loop, statements of
+/// different groups split (this is the Fig. 9(b) shape — one fissioned
+/// loop per array group touched by the nest).
+///
+/// Legality: statements in different array groups share no array at all
+/// (grouping is the transitive closure of array sharing), so no dependence
+/// crosses the split; statements within a group keep their source order,
+/// so intra-group dependences — the ones [`fission_groups`] would flag —
+/// are untouched. The per-iteration cycle budget splits proportionally to
+/// statement count.
+fn distribute_nest(nest: &LoopNest, group_of_array: &[usize]) -> Vec<LoopNest> {
+    // Partition statements by their arrays' group, keeping first-seen
+    // group order.
+    let mut parts: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (si, stmt) in nest.stmts.iter().enumerate() {
+        let g = stmt
+            .arrays()
+            .first()
+            .map(|&a| group_of_array[a])
+            .unwrap_or(usize::MAX);
+        debug_assert!(
+            stmt.arrays().iter().all(|&a| group_of_array[a] == g),
+            "a statement's arrays are coupled and must share one group"
+        );
+        match parts.iter_mut().find(|(pg, _)| *pg == g) {
+            Some((_, v)) => v.push(si),
+            None => parts.push((g, vec![si])),
+        }
+    }
+    if parts.len() <= 1 {
+        return vec![nest.clone()];
+    }
+    let total_stmts = nest.stmts.len() as f64;
+    parts
+        .into_iter()
+        .enumerate()
+        .map(|(gi, (_, stmt_ids))| LoopNest {
+            label: format!("{}.f{}", nest.label, gi),
+            loops: nest.loops.clone(),
+            stmts: stmt_ids.iter().map(|&s| nest.stmts[s].clone()).collect(),
+            cycles_per_iter: nest.cycles_per_iter * stmt_ids.len() as f64 / total_stmts,
+        })
+        .collect()
+}
+
+/// Applies the Fig. 11 transformation. With `layout_aware` (the DL part),
+/// arrays are re-striped over their group's allocated disks; without it
+/// (the paper's plain `LF` version) only the loops change.
+#[must_use]
+pub fn loop_fission(program: &Program, pool: DiskPool, layout_aware: bool) -> FissionOutcome {
+    // 1. Form array groups (they also drive the loop distribution).
+    let raw_groups = array_groups(program);
+    let mut group_of_array = vec![usize::MAX; program.arrays.len()];
+    for (gi, g) in raw_groups.iter().enumerate() {
+        for &a in g {
+            group_of_array[a] = gi;
+        }
+    }
+
+    // 2. Generate fissioned loops.
+    let mut nests = Vec::new();
+    let mut fissioned_any = false;
+    for nest in &program.nests {
+        let parts = distribute_nest(nest, &group_of_array);
+        fissioned_any |= parts.len() > 1;
+        nests.extend(parts);
+    }
+    let sizes: Vec<u64> = raw_groups
+        .iter()
+        .map(|g| g.iter().map(|&a| program.arrays[a].total_bytes()).sum())
+        .collect();
+
+    // 3. Allocate disks proportionally (layout-aware only, and only when
+    //    the pool can give every group a disk).
+    let mut arrays = program.arrays.clone();
+    let allocations: Vec<DiskSet> = if layout_aware && !raw_groups.is_empty() {
+        match allocate_proportional(pool, &sizes) {
+            Ok(sets) => {
+                for (g, set) in raw_groups.iter().zip(&sets) {
+                    let members: Vec<_> = set.iter().collect();
+                    let start = members[0];
+                    let factor = members.len() as u32;
+                    for &a in g {
+                        arrays[a].striping = Striping {
+                            start_disk: start,
+                            stripe_factor: factor,
+                            stripe_bytes: arrays[a].striping.stripe_bytes,
+                        };
+                    }
+                }
+                sets
+            }
+            Err(_) => vec![DiskSet::empty(); raw_groups.len()],
+        }
+    } else {
+        vec![DiskSet::empty(); raw_groups.len()]
+    };
+
+    let groups = raw_groups
+        .into_iter()
+        .zip(sizes)
+        .zip(allocations)
+        .map(|((arrays_in, bytes), disks)| ArrayGroup {
+            arrays: arrays_in,
+            bytes,
+            disks,
+        })
+        .collect();
+
+    let program = Program {
+        name: program.name.clone(),
+        arrays,
+        nests,
+        clock_hz: program.clock_hz,
+    };
+    FissionOutcome {
+        program,
+        groups,
+        fissioned_any,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Statement};
+    use sdpm_layout::{ArrayFile, DiskId, StorageOrder};
+
+    fn file(name: &str, elems: u64) -> ArrayFile {
+        ArrayFile {
+            name: name.into(),
+            dims: vec![elems],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: 8,
+                stripe_bytes: 64 * 1024,
+            },
+            base_block: 0,
+        }
+    }
+
+    fn i1() -> AffineExpr {
+        AffineExpr::var(1, 0)
+    }
+
+    /// The Fig. 9 program: three nests over ten equal arrays U1..U10.
+    /// Nest 1: U1=U2; U5=U1.  Nest 2: U3=U4; U8=U3.  Nest 3: U6=U7; U9=U10.
+    fn figure9_program(elems: u64) -> Program {
+        let stmt = |w: usize, r: usize| Statement {
+            label: format!("U{}=U{}", w + 1, r + 1),
+            refs: vec![ArrayRef::write(w, vec![i1()]), ArrayRef::read(r, vec![i1()])],
+        };
+        let nest = |label: &str, stmts: Vec<Statement>| LoopNest {
+            label: label.into(),
+            loops: vec![LoopDim::simple(elems)],
+            stmts,
+            cycles_per_iter: 100.0,
+        };
+        Program {
+            name: "fig9".into(),
+            arrays: (0..10).map(|k| file(&format!("U{}", k + 1), elems)).collect(),
+            nests: vec![
+                nest("n1", vec![stmt(0, 1), stmt(4, 0)]),
+                nest("n2", vec![stmt(2, 3), stmt(7, 2)]),
+                nest("n3", vec![stmt(5, 6), stmt(8, 9)]),
+            ],
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        }
+    }
+
+    #[test]
+    fn figure9_array_groups_match_paper() {
+        let p = figure9_program(1024);
+        let groups = array_groups(&p);
+        // Paper: {U1,U2,U5}, {U3,U4,U8}, {U6,U7}, {U9,U10}.
+        assert_eq!(
+            groups,
+            vec![vec![0, 1, 4], vec![2, 3, 7], vec![5, 6], vec![8, 9]]
+        );
+    }
+
+    #[test]
+    fn figure9_fission_yields_four_loops_like_the_paper() {
+        let p = figure9_program(1024);
+        let out = loop_fission(&p, DiskPool::new(10), false);
+        assert!(out.fissioned_any);
+        // Nests 1 and 2 are group-pure ({U1,U2,U5} and {U3,U4,U8}) and
+        // stay whole; nest 3 spans two groups and splits — four loops in
+        // total, exactly Fig. 9(b).
+        assert_eq!(out.program.nests.len(), 4);
+        assert_eq!(out.program.nests[0].stmts.len(), 2);
+        assert_eq!(out.program.nests[2].stmts.len(), 1);
+        assert_eq!(out.program.nests[3].stmts.len(), 1);
+    }
+
+    #[test]
+    fn layout_aware_fission_allocates_disjoint_contiguous_disks() {
+        let p = figure9_program(1024);
+        let out = loop_fission(&p, DiskPool::new(10), true);
+        // Groups sized 3:3:2:2 over 10 disks -> 3,3,2,2 (the paper's
+        // Fig. 9(c) allocation).
+        let lens: Vec<u32> = out.groups.iter().map(|g| g.disks.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+        let mut union = DiskSet::empty();
+        for g in &out.groups {
+            assert!(union.is_disjoint(g.disks));
+            union = union.union(g.disks);
+        }
+        // Re-striping followed the allocation.
+        let a0 = &out.program.arrays[0];
+        assert_eq!(a0.striping.stripe_factor, 3);
+        assert_eq!(a0.striping.start_disk, DiskId(0));
+        let a8 = &out.program.arrays[8];
+        assert_eq!(a8.striping.stripe_factor, 2);
+        assert_eq!(a8.striping.start_disk, DiskId(8));
+        out.program.validate(DiskPool::new(10)).unwrap();
+    }
+
+    #[test]
+    fn layout_oblivious_fission_keeps_striping() {
+        let p = figure9_program(1024);
+        let out = loop_fission(&p, DiskPool::new(10), false);
+        for a in &out.program.arrays {
+            assert_eq!(a.striping.stripe_factor, 8);
+            assert_eq!(a.striping.start_disk, DiskId(0));
+        }
+    }
+
+    #[test]
+    fn fission_preserves_total_cycles() {
+        let p = figure9_program(1024);
+        let out = loop_fission(&p, DiskPool::new(10), true);
+        let before: f64 = p.nests.iter().map(LoopNest::total_cycles).sum();
+        let after: f64 = out.program.nests.iter().map(LoopNest::total_cycles).sum();
+        assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn non_fissionable_program_passes_through() {
+        // One nest whose two statements couple cross-iteration.
+        let mut p = figure9_program(64);
+        p.nests = vec![LoopNest {
+            label: "n".into(),
+            loops: vec![LoopDim {
+                lower: 0,
+                count: 63,
+                step: 1,
+            }],
+            stmts: vec![
+                Statement {
+                    label: "S1".into(),
+                    refs: vec![
+                        ArrayRef::write(0, vec![i1()]),
+                        ArrayRef::read(1, vec![i1().shifted(1)]),
+                    ],
+                },
+                Statement {
+                    label: "S2".into(),
+                    refs: vec![
+                        ArrayRef::write(1, vec![i1()]),
+                        ArrayRef::read(0, vec![i1().shifted(1)]),
+                    ],
+                },
+            ],
+            cycles_per_iter: 10.0,
+        }];
+        let out = loop_fission(&p, DiskPool::new(8), false);
+        assert!(!out.fissioned_any);
+        assert_eq!(out.program.nests.len(), 1);
+        assert_eq!(out.program.nests[0].stmts.len(), 2);
+    }
+
+    #[test]
+    fn dl_with_more_groups_than_disks_degrades_gracefully() {
+        let p = figure9_program(1024);
+        // Only 2 disks for 4 groups: allocation impossible; striping kept.
+        let out = loop_fission(&p, DiskPool::new(2), true);
+        assert!(out.groups.iter().all(|g| g.disks.is_empty()));
+    }
+
+    #[test]
+    fn unaccessed_arrays_stay_out_of_groups() {
+        let mut p = figure9_program(256);
+        p.arrays.push(file("U11", 256));
+        let groups = array_groups(&p);
+        assert!(groups.iter().all(|g| !g.contains(&10)));
+    }
+}

@@ -1,0 +1,100 @@
+//! Disk-layout-aware code transformations (Section 6 of the paper).
+//!
+//! Two loop restructurings increase per-disk inter-access times so that
+//! power management (reactive *or* proactive) finds exploitable idleness:
+//!
+//! * [`fission`] — loop distribution with array grouping and proportional
+//!   disk allocation (the Fig. 11 algorithm). Statements that access
+//!   disjoint array sets move to separate loops; arrays coupled through a
+//!   common statement form **array groups**; each group gets a disjoint
+//!   disk set sized by its data volume. While one group's loop runs, the
+//!   other groups' disks see no traffic at all.
+//! * [`tiling`] — layout-aware loop tiling (the Fig. 12 algorithm). The
+//!   costliest nest is restructured into tile/element iterators; arrays
+//!   whose access pattern does not conform to their storage pattern are
+//!   layout-transposed; and each array's stripe size is set to its
+//!   per-tile data footprint so a tile's working set collocates on one
+//!   disk, leaving the others idle for the tile's duration.
+//!
+//! Both come in layout-*oblivious* variants (`LF`, `TL`: restructure the
+//! code but keep the original striping) used by the paper's Fig. 13
+//! ablation to show that the code transformation alone is useless — the
+//! disk layout has to move with it. [`pdc`] adds the cited reactive
+//! data-placement baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use sdpm_layout::DiskPool;
+//! use sdpm_workloads::synth::out_of_core_stencil;
+//! use sdpm_xform::loop_fission;
+//!
+//! // Two grids, alternately swept: two array groups.
+//! let program = out_of_core_stencil(4, 2, 1.0);
+//! let out = loop_fission(&program, DiskPool::new(8), true);
+//! assert!(out.fissioned_any);
+//! assert_eq!(out.groups.len(), 2);
+//! // Each group gets half of the 8-disk pool, disjointly.
+//! assert_eq!(out.groups[0].disks.len(), 4);
+//! assert!(out.groups[0].disks.is_disjoint(out.groups[1].disks));
+//! ```
+
+pub mod fission;
+pub mod pdc;
+pub mod tiling;
+
+pub use fission::{array_groups, loop_fission, ArrayGroup, FissionOutcome};
+pub use pdc::{access_volume, pdc_layout, PdcOutcome, PdcPlacement};
+pub use tiling::{loop_tiling, TilingConfig, TilingOutcome, TilingScope};
+
+use sdpm_ir::Program;
+use sdpm_layout::DiskPool;
+
+/// The four transformation versions evaluated in Section 6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transform {
+    /// Loop fission, original disk layout.
+    Lf,
+    /// Loop tiling, original disk layout.
+    Tl,
+    /// Layout-aware loop fission (Fig. 11).
+    LfDl,
+    /// Layout-aware loop tiling (Fig. 12).
+    TlDl,
+}
+
+impl Transform {
+    /// The paper's version label.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Transform::Lf => "LF",
+            Transform::Tl => "TL",
+            Transform::LfDl => "LF+DL",
+            Transform::TlDl => "TL+DL",
+        }
+    }
+
+    /// Applies the transformation to `program`, returning the transformed
+    /// program (identical to the input when the transformation finds no
+    /// opportunity, e.g. no fissionable nest).
+    #[must_use]
+    pub fn apply(&self, program: &Program, pool: DiskPool) -> Program {
+        match self {
+            Transform::Lf => loop_fission(program, pool, false).program,
+            Transform::LfDl => loop_fission(program, pool, true).program,
+            Transform::Tl => {
+                loop_tiling(program, pool, false, &TilingConfig::default()).program
+            }
+            Transform::TlDl => {
+                loop_tiling(program, pool, true, &TilingConfig::default()).program
+            }
+        }
+    }
+
+    /// All four versions, in the paper's presentation order.
+    #[must_use]
+    pub fn all() -> [Transform; 4] {
+        [Transform::Lf, Transform::Tl, Transform::LfDl, Transform::TlDl]
+    }
+}

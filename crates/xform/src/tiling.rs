@@ -1,0 +1,417 @@
+//! Layout-aware loop tiling (Fig. 12).
+//!
+//! The Fig. 12 algorithm, for one nest:
+//!
+//! ```text
+//! create tiled loop nest with tile size TS
+//! for each array: determine per-tile data size DS(i)
+//! for each array: if access pattern != storage pattern: transform layout
+//! reshape access patterns
+//! for each array: stripe_size(i) <- DS(i)
+//! ```
+//!
+//! We realize it as **strip-mining the outermost loop** into a tile
+//! iterator `ii` and an element iterator `i'` (`i = ii·T + i'`), which
+//! keeps the iteration space and every subscript affine, plus the two
+//! layout moves: arrays whose innermost stride is non-unit but becomes
+//! unit after a transpose get their storage order flipped, and every
+//! referenced array's stripe size is set to its per-tile footprint so one
+//! tile's data collocates on one disk (consecutive tiles then walk the
+//! stripe round-robin — the Fig. 10(c) tile-to-disk mapping). While a
+//! tile executes, the disks holding other tiles are idle for the whole
+//! tile duration, which is what makes TPM viable after this transform.
+//!
+//! The paper applies tiling "only to the most costly nest (as far as disk
+//! energy is concerned)" and leaves multi-nest extension to future work;
+//! [`TilingScope::AllNests`] implements that extension (see DESIGN.md §7).
+
+use sdpm_ir::conform::innermost_stride_under;
+use sdpm_ir::{AffineExpr, LoopDim, LoopNest, Program};
+use sdpm_layout::DiskPool;
+use serde::{Deserialize, Serialize};
+
+/// Which nests to tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TilingScope {
+    /// Only the nest with the highest disk-access cost (the paper's
+    /// implementation).
+    CostliestNest,
+    /// Every tileable nest (the paper's stated future extension).
+    AllNests,
+}
+
+/// Tiling configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TilingConfig {
+    /// Scope of the transformation.
+    pub scope: TilingScope,
+    /// Desired number of tiles per sweep of the outermost loop. `None`
+    /// uses the disk pool size, so each disk holds one tile per stripe
+    /// period. The actual count is the largest divisor of the loop's trip
+    /// count not exceeding the request.
+    pub tiles: Option<u32>,
+}
+
+impl Default for TilingConfig {
+    fn default() -> Self {
+        TilingConfig {
+            scope: TilingScope::CostliestNest,
+            tiles: None,
+        }
+    }
+}
+
+/// Result of the tiling transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilingOutcome {
+    /// The transformed program.
+    pub program: Program,
+    /// Indices (in the *output* nest list) of nests that were tiled.
+    pub tiled_nests: Vec<usize>,
+    /// Arrays whose storage order was transposed (layout-aware only).
+    pub transposed_arrays: Vec<usize>,
+    /// True if anything changed.
+    pub changed: bool,
+}
+
+/// Disk-cost proxy of a nest: element accesses performed.
+fn nest_cost(nest: &LoopNest) -> u64 {
+    let refs: u64 = nest.stmts.iter().map(|s| s.refs.len() as u64).sum();
+    nest.iter_count().saturating_mul(refs)
+}
+
+/// Largest tile count `t <= requested` that divides `n` with `t >= 2`
+/// and at least two trips per tile (a one-trip "tile" is the original
+/// iteration and restructures nothing).
+fn pick_tile_count(n: u64, requested: u32) -> Option<u64> {
+    let req = u64::from(requested).min(n);
+    (2..=req).rev().find(|t| n.is_multiple_of(*t) && n / t >= 2)
+}
+
+/// Strip-mines the outermost loop of `nest` into `tiles` tiles, rewriting
+/// every subscript. Returns `None` if the nest cannot be tiled (depth 0,
+/// too few trips, or no usable tile count).
+fn strip_mine(nest: &LoopNest, tiles: u64) -> Option<LoopNest> {
+    let outer = *nest.loops.first()?;
+    if outer.count < 2 || tiles < 2 || outer.count % tiles != 0 {
+        return None;
+    }
+    let tile_trips = outer.count / tiles;
+    let old_depth = nest.depth();
+    let new_depth = old_depth + 1;
+    // i_old = lower + step*(ii*T + i') ; remaining loops shift right by 1.
+    let mut subst: Vec<AffineExpr> = Vec::with_capacity(old_depth);
+    {
+        let mut coeffs = vec![0i64; new_depth];
+        coeffs[0] = outer.step * tile_trips as i64;
+        coeffs[1] = outer.step;
+        subst.push(AffineExpr {
+            coeffs,
+            constant: outer.lower,
+        });
+    }
+    for d in 1..old_depth {
+        subst.push(AffineExpr::var(new_depth, d + 1));
+    }
+    let mut loops = Vec::with_capacity(new_depth);
+    loops.push(LoopDim::simple(tiles)); // ii: tile iterator
+    loops.push(LoopDim::simple(tile_trips)); // i': element iterator
+    // Inner loops keep their own lower/step; the substitution maps their
+    // variable straight through, so express them as raw trips with the
+    // original lower/step preserved in the loop descriptor.
+    loops.extend(nest.loops.iter().skip(1).copied());
+    let stmts = nest
+        .stmts
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            for r in &mut s.refs {
+                for sub in &mut r.subscripts {
+                    *sub = sub.substituted(&subst);
+                }
+            }
+            s
+        })
+        .collect();
+    Some(LoopNest {
+        label: format!("{}.t", nest.label),
+        loops,
+        stmts,
+        cycles_per_iter: nest.cycles_per_iter,
+    })
+}
+
+/// Applies the Fig. 12 transformation.
+#[must_use]
+pub fn loop_tiling(
+    program: &Program,
+    pool: DiskPool,
+    layout_aware: bool,
+    config: &TilingConfig,
+) -> TilingOutcome {
+    let requested_tiles = config.tiles.unwrap_or(pool.count());
+    let targets: Vec<usize> = match config.scope {
+        TilingScope::CostliestNest => {
+            match program
+                .nests
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, n)| nest_cost(n))
+            {
+                Some((i, _)) => vec![i],
+                None => vec![],
+            }
+        }
+        TilingScope::AllNests => (0..program.nests.len()).collect(),
+    };
+
+    let mut out = program.clone();
+    let mut tiled_nests = Vec::new();
+    let mut transposed = Vec::new();
+    let mut changed = false;
+
+    for &ni in &targets {
+        let nest = &program.nests[ni];
+        let Some(tiles) = nest
+            .loops
+            .first()
+            .and_then(|l| pick_tile_count(l.count, requested_tiles))
+        else {
+            continue;
+        };
+        if layout_aware {
+            // Layout transformation: transpose arrays whose accesses in
+            // this nest do not conform but would after a transpose.
+            for stmt in &nest.stmts {
+                for r in &stmt.refs {
+                    let file = &out.arrays[r.array];
+                    let cur = innermost_stride_under(nest, r, file, file.order).abs();
+                    let flip =
+                        innermost_stride_under(nest, r, file, file.order.transposed()).abs();
+                    if cur != 1 && flip == 1 && !transposed.contains(&r.array) {
+                        out.arrays[r.array].order = file.order.transposed();
+                        transposed.push(r.array);
+                        changed = true;
+                    }
+                }
+            }
+            // Stripe size per array = per-tile data footprint. With the
+            // outermost loop cut into `tiles` tiles, an array swept once
+            // per outer iteration contributes total_bytes / tiles per
+            // tile.
+            let seen: Vec<usize> = nest.arrays();
+            for a in seen {
+                let file = &mut out.arrays[a];
+                let footprint = (file.total_bytes() / tiles).max(file.element_bytes);
+                if file.striping.stripe_bytes != footprint {
+                    file.striping.stripe_bytes = footprint;
+                    changed = true;
+                }
+            }
+        }
+        if let Some(tiled) = strip_mine(nest, tiles) {
+            out.nests[ni] = tiled;
+            tiled_nests.push(ni);
+            changed = true;
+        }
+    }
+
+    TilingOutcome {
+        program: out,
+        tiled_nests,
+        transposed_arrays: transposed,
+        changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_ir::{ArrayRef, Statement};
+    use sdpm_layout::{ArrayFile, DiskId, StorageOrder, Striping};
+
+    fn file_2d(name: &str, n: u64, order: StorageOrder) -> ArrayFile {
+        ArrayFile {
+            name: name.into(),
+            dims: vec![n, n],
+            element_bytes: 8,
+            order,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: 4,
+                stripe_bytes: 64 * 1024,
+            },
+            base_block: 0,
+        }
+    }
+
+    /// Fig. 10's shape: U1[i][j] (conforming) and U2[j][i]
+    /// (non-conforming on a row-major layout).
+    fn figure10_program(n: u64) -> Program {
+        let nest = LoopNest {
+            label: "n1".into(),
+            loops: vec![LoopDim::simple(n), LoopDim::simple(n)],
+            stmts: vec![Statement {
+                label: "S".into(),
+                refs: vec![
+                    ArrayRef::read(0, vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1)]),
+                    ArrayRef::read(1, vec![AffineExpr::var(2, 1), AffineExpr::var(2, 0)]),
+                ],
+            }],
+            cycles_per_iter: 50.0,
+        };
+        Program {
+            name: "fig10".into(),
+            arrays: vec![
+                file_2d("U1", n, StorageOrder::RowMajor),
+                file_2d("U2", n, StorageOrder::RowMajor),
+            ],
+            nests: vec![nest],
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        }
+    }
+
+    #[test]
+    fn strip_mine_preserves_accessed_elements() {
+        let p = figure10_program(16);
+        let tiled = strip_mine(&p.nests[0], 4).unwrap();
+        assert_eq!(tiled.iter_count(), p.nests[0].iter_count());
+        assert_eq!(tiled.depth(), 3);
+        // Collect (ref0 elements) from both versions; sets must match and
+        // the tiled order must group outer-i blocks.
+        let collect = |nest: &LoopNest| {
+            let mut v = Vec::new();
+            sdpm_ir::walk_nest(nest, |_, ivars| {
+                v.push(nest.stmts[0].refs[0].element_at(ivars));
+            });
+            v
+        };
+        let orig = collect(&p.nests[0]);
+        let tiled_elems = collect(&tiled);
+        let mut a = orig.clone();
+        let mut b = tiled_elems.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "tiling permutes but preserves the access set");
+        // With tiles of 4 rows: first 64 iterations stay within rows 0..4.
+        assert!(tiled_elems[..64].iter().all(|e| e[0] < 4));
+        assert!(tiled_elems[64..128].iter().all(|e| (4..8).contains(&e[0])));
+    }
+
+    #[test]
+    fn layout_aware_tiling_transposes_nonconforming_array() {
+        let p = figure10_program(64);
+        let out = loop_tiling(&p, DiskPool::new(4), true, &TilingConfig::default());
+        assert!(out.changed);
+        // U2[j][i] is column-walked: transposed. U1 conforms: untouched.
+        assert_eq!(out.transposed_arrays, vec![1]);
+        assert_eq!(out.program.arrays[1].order, StorageOrder::ColMajor);
+        assert_eq!(out.program.arrays[0].order, StorageOrder::RowMajor);
+        out.program.validate(DiskPool::new(4)).unwrap();
+    }
+
+    #[test]
+    fn layout_aware_tiling_sets_stripe_to_tile_footprint() {
+        let p = figure10_program(64);
+        let out = loop_tiling(&p, DiskPool::new(4), true, &TilingConfig::default());
+        // 64x64 x 8 B = 32 KiB per array; 4 tiles -> 8 KiB stripes.
+        for a in &out.program.arrays {
+            assert_eq!(a.striping.stripe_bytes, 8 * 1024);
+        }
+    }
+
+    #[test]
+    fn layout_oblivious_tiling_keeps_layout() {
+        let p = figure10_program(64);
+        let out = loop_tiling(&p, DiskPool::new(4), false, &TilingConfig::default());
+        assert!(out.changed);
+        assert!(out.transposed_arrays.is_empty());
+        for a in &out.program.arrays {
+            assert_eq!(a.striping.stripe_bytes, 64 * 1024);
+            assert_eq!(a.order, StorageOrder::RowMajor);
+        }
+    }
+
+    #[test]
+    fn conforming_program_gets_no_layout_change() {
+        // Both refs conforming: tiling still strip-mines, but no
+        // transpose happens (galgel's situation for the layout part).
+        let mut p = figure10_program(64);
+        p.nests[0].stmts[0].refs[1] =
+            ArrayRef::read(1, vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1)]);
+        let out = loop_tiling(&p, DiskPool::new(4), true, &TilingConfig::default());
+        assert!(out.transposed_arrays.is_empty());
+    }
+
+    #[test]
+    fn costliest_scope_picks_the_biggest_nest() {
+        let mut p = figure10_program(64);
+        let mut small = p.nests[0].clone();
+        small.label = "small".into();
+        small.loops = vec![LoopDim::simple(4), LoopDim::simple(4)];
+        p.nests.insert(0, small);
+        let out = loop_tiling(&p, DiskPool::new(4), false, &TilingConfig::default());
+        assert_eq!(out.tiled_nests, vec![1]);
+        assert_eq!(out.program.nests[0].label, "small");
+        assert!(out.program.nests[1].label.ends_with(".t"));
+    }
+
+    #[test]
+    fn all_nests_scope_tiles_everything_tileable() {
+        let mut p = figure10_program(64);
+        p.nests.push(p.nests[0].clone());
+        let out = loop_tiling(
+            &p,
+            DiskPool::new(4),
+            false,
+            &TilingConfig {
+                scope: TilingScope::AllNests,
+                tiles: None,
+            },
+        );
+        assert_eq!(out.tiled_nests, vec![0, 1]);
+    }
+
+    #[test]
+    fn tile_count_falls_back_to_a_divisor() {
+        // 30 trips, 4 disks requested: 4 does not divide 30, falls to 3.
+        assert_eq!(pick_tile_count(30, 4), Some(3));
+        assert_eq!(pick_tile_count(64, 4), Some(4));
+        assert_eq!(pick_tile_count(7, 4), None, "prime trip count: no tiling");
+        assert_eq!(pick_tile_count(8, 1), None);
+    }
+
+    #[test]
+    fn untileable_program_passes_through() {
+        let mut p = figure10_program(64);
+        p.nests[0].loops[0] = LoopDim::simple(7); // prime
+        p.nests[0].loops[1] = LoopDim::simple(7);
+        // Fix subscripts' bounds by shrinking arrays.
+        p.arrays[0].dims = vec![7, 7];
+        p.arrays[1].dims = vec![7, 7];
+        let out = loop_tiling(&p, DiskPool::new(4), false, &TilingConfig::default());
+        assert!(!out.changed);
+        assert_eq!(out.program, p);
+    }
+
+    #[test]
+    fn strided_outer_loop_strip_mines_correctly() {
+        let mut p = figure10_program(64);
+        // i walks 0, 2, 4, ... 30 (16 trips); j walks 0..64.
+        p.nests[0].loops[0] = LoopDim {
+            lower: 0,
+            count: 16,
+            step: 2,
+        };
+        let tiled = strip_mine(&p.nests[0], 4).unwrap();
+        let mut rows = Vec::new();
+        sdpm_ir::walk_nest(&tiled, |_, ivars| {
+            rows.push(tiled.stmts[0].refs[0].element_at(ivars)[0]);
+        });
+        let max = *rows.iter().max().unwrap();
+        let min = *rows.iter().min().unwrap();
+        assert_eq!((min, max), (0, 30));
+        // First tile covers rows 0..8 (4 trips of stride 2).
+        assert!(rows[..4 * 64].iter().all(|&r| r < 8));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the transformations: legality and conservation
+//! laws over randomized programs.
+
+use proptest::prelude::*;
+use sdpm_ir::{walk_nest, AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+use sdpm_layout::{ArrayFile, DiskId, DiskPool, DiskSet, StorageOrder, Striping};
+use sdpm_xform::{loop_fission, loop_tiling, pdc_layout, TilingConfig, TilingScope};
+
+/// A random multi-nest scan program over `n_arrays` 1-D arrays.
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (2usize..6, 1usize..5, 64u64..512).prop_flat_map(|(n_arrays, n_nests, elems)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0usize..n_arrays, 1..4),
+            n_nests..=n_nests,
+        )
+        .prop_map(move |nest_arrays| {
+            let arrays: Vec<ArrayFile> = (0..n_arrays)
+                .map(|i| ArrayFile {
+                    name: format!("A{i}"),
+                    dims: vec![elems],
+                    element_bytes: 8,
+                    order: StorageOrder::RowMajor,
+                    striping: Striping {
+                        start_disk: DiskId(0),
+                        stripe_factor: 8,
+                        stripe_bytes: 256,
+                    },
+                    base_block: (i as u64) * 1000,
+                })
+                .collect();
+            let nests: Vec<LoopNest> = nest_arrays
+                .into_iter()
+                .enumerate()
+                .map(|(ni, mut ids)| {
+                    ids.sort_unstable();
+                    ids.dedup();
+                    LoopNest {
+                        label: format!("n{ni}"),
+                        loops: vec![LoopDim::simple(elems)],
+                        stmts: vec![Statement {
+                            label: format!("n{ni}.S"),
+                            refs: ids
+                                .iter()
+                                .map(|&a| ArrayRef::read(a, vec![AffineExpr::var(1, 0)]))
+                                .collect(),
+                        }],
+                        cycles_per_iter: 10.0,
+                    }
+                })
+                .collect();
+            Program {
+                name: "prop".into(),
+                arrays,
+                nests,
+                clock_hz: 1e9,
+            }
+        })
+    })
+}
+
+/// Multiset of accessed `(array, element)` pairs over a whole program.
+fn access_multiset(p: &Program) -> Vec<(usize, i64)> {
+    let mut out = Vec::new();
+    for nest in &p.nests {
+        walk_nest(nest, |_, ivars| {
+            for stmt in &nest.stmts {
+                for r in &stmt.refs {
+                    out.push((r.array, r.subscripts[0].eval(ivars)));
+                }
+            }
+        });
+    }
+    out.sort_unstable();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fission preserves the access multiset, total cycles, and produces
+    /// a valid program; layout-aware fission allocates disjoint disks.
+    #[test]
+    fn fission_preserves_semantics(p in program_strategy()) {
+        let pool = DiskPool::new(8);
+        p.validate(pool).unwrap();
+        for layout_aware in [false, true] {
+            let out = loop_fission(&p, pool, layout_aware);
+            out.program.validate(pool).unwrap();
+            prop_assert_eq!(access_multiset(&out.program), access_multiset(&p));
+            let c0: f64 = p.nests.iter().map(LoopNest::total_cycles).sum();
+            let c1: f64 = out.program.nests.iter().map(LoopNest::total_cycles).sum();
+            prop_assert!((c0 - c1).abs() < 1e-6);
+            if layout_aware && out.groups.len() <= 8 && !out.groups.is_empty() {
+                let mut union = DiskSet::empty();
+                for g in &out.groups {
+                    if g.disks.is_empty() {
+                        continue;
+                    }
+                    prop_assert!(union.is_disjoint(g.disks));
+                    union = union.union(g.disks);
+                }
+            }
+        }
+    }
+
+    /// Tiling preserves the access multiset and iteration counts.
+    #[test]
+    fn tiling_preserves_semantics(p in program_strategy(), all_nests in any::<bool>()) {
+        let pool = DiskPool::new(8);
+        let cfg = TilingConfig {
+            scope: if all_nests { TilingScope::AllNests } else { TilingScope::CostliestNest },
+            tiles: None,
+        };
+        for layout_aware in [false, true] {
+            let out = loop_tiling(&p, pool, layout_aware, &cfg);
+            out.program.validate(pool).unwrap();
+            prop_assert_eq!(access_multiset(&out.program), access_multiset(&p));
+            let i0: u64 = p.nests.iter().map(LoopNest::iter_count).sum();
+            let i1: u64 = out.program.nests.iter().map(LoopNest::iter_count).sum();
+            prop_assert_eq!(i0, i1);
+        }
+    }
+
+    /// PDC keeps every array whole (factor 1), within the pool, and never
+    /// changes shapes or the access pattern.
+    #[test]
+    fn pdc_is_a_pure_relayout(p in program_strategy(), pool_n in 1u32..8) {
+        let pool = DiskPool::new(pool_n);
+        let out = pdc_layout(&p, pool);
+        out.program.validate(pool).unwrap();
+        prop_assert_eq!(access_multiset(&out.program), access_multiset(&p));
+        for (a, b) in p.arrays.iter().zip(&out.program.arrays) {
+            prop_assert_eq!(&a.dims, &b.dims);
+            prop_assert_eq!(b.striping.stripe_factor, 1);
+            prop_assert!(pool.contains(b.striping.start_disk));
+        }
+        // Placement is popularity-sorted.
+        let vols = sdpm_xform::access_volume(&p);
+        for w in out.placement.windows(2) {
+            prop_assert!(vols[w[0].array] >= vols[w[1].array]);
+        }
+    }
+}

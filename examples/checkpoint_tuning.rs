@@ -1,0 +1,41 @@
+//! Checkpointing solver study: sweep the compute interval between
+//! checkpoints and watch the TPM break-even crossover — below ~15.2 s of
+//! idleness spinning down costs energy, above it TPM becomes worthwhile,
+//! while DRPM-style speed control profits at every interval length.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_tuning
+//! ```
+
+use sdpm_core::{run_scheme, PipelineConfig, Scheme};
+use sdpm_disk::{tpm_break_even_secs, ultrastar36z15};
+use sdpm_workloads::synth::checkpoint_loop;
+
+fn main() {
+    let be = tpm_break_even_secs(&ultrastar36z15());
+    println!("TPM break-even idle length: {be:.2} s\n");
+    println!("interval(s)   CMTPM norm.E   CMDRPM norm.E   CMDRPM norm.T");
+    println!("-------------------------------------------------------------");
+    let cfg = PipelineConfig::default();
+    for interval in [2.0, 5.0, 10.0, 14.0, 18.0, 30.0, 60.0] {
+        let program = checkpoint_loop(16, 4, interval);
+        let base = run_scheme(&program, Scheme::Base, &cfg);
+        let cmtpm = run_scheme(&program, Scheme::CmTpm, &cfg);
+        let cmdrpm = run_scheme(&program, Scheme::CmDrpm, &cfg);
+        let marker = if interval > be { "  <- past break-even" } else { "" };
+        println!(
+            "{:8.0}    {:11.3}   {:12.3}   {:12.3}{}",
+            interval,
+            cmtpm.normalized_energy(&base),
+            cmdrpm.normalized_energy(&base),
+            cmdrpm.normalized_time(&base),
+            marker,
+        );
+    }
+    println!();
+    println!(
+        "CMTPM only acts once the compute interval exceeds the break-even \
+         length; CMDRPM's\nRPM ladder profits from every interval and never \
+         touches the execution time."
+    );
+}

@@ -1,0 +1,78 @@
+//! Layout-aware transformation showcase on a blocked matrix multiply
+//! whose `A` matrix is walked column-wise: the Fig. 12 algorithm
+//! transposes its storage order, re-stripes it to tile granularity, and
+//! the energy drops.
+//!
+//! ```text
+//! cargo run --release --example layout_transforms
+//! ```
+
+use sdpm_core::{run_scheme, PipelineConfig, Scheme};
+use sdpm_ir::{innermost_stride, ref_conforms};
+use sdpm_layout::DiskPool;
+use sdpm_workloads::synth::blocked_matmul;
+use sdpm_xform::{loop_tiling, TilingConfig};
+
+fn main() {
+    let program = blocked_matmul(21, 6.0); // 2^21 x 8 matrix = 128 MiB
+    let cfg = PipelineConfig::default();
+    let pool = DiskPool::new(cfg.disks);
+
+    // Conformance analysis of the dominant nest.
+    let nest = program
+        .nests
+        .iter()
+        .find(|n| n.label == "a-col")
+        .expect("matmul has the a-col nest");
+    let r = &nest.stmts[0].refs[0];
+    let file = &program.arrays[r.array];
+    println!(
+        "access {}[r][c] walks storage with innermost stride {} -> conforms: {}",
+        file.name,
+        innermost_stride(nest, r, file),
+        ref_conforms(nest, r, file)
+    );
+
+    // Apply Fig. 12.
+    let tiled = loop_tiling(&program, pool, true, &TilingConfig::default());
+    println!(
+        "TL+DL: tiled nests {:?}, transposed arrays {:?}",
+        tiled.tiled_nests,
+        tiled
+            .transposed_arrays
+            .iter()
+            .map(|&a| program.arrays[a].name.as_str())
+            .collect::<Vec<_>>()
+    );
+    let new_a = &tiled.program.arrays[r.array];
+    println!(
+        "{}'s stripe size moved from {} KiB to {} KiB (one tile per stripe)",
+        new_a.name,
+        program.arrays[r.array].striping.stripe_bytes / 1024,
+        new_a.striping.stripe_bytes / 1024
+    );
+
+    // Measure.
+    let base = run_scheme(&program, Scheme::Base, &cfg);
+    println!("\nversion      scheme   norm.E   norm.T   requests");
+    println!("---------------------------------------------------");
+    for (label, prog) in [("original", &program), ("TL+DL", &tiled.program)] {
+        for scheme in [Scheme::CmTpm, Scheme::CmDrpm] {
+            let r = run_scheme(prog, scheme, &cfg);
+            println!(
+                "{:9} {:8} {:8.3} {:8.3} {:10}",
+                label,
+                scheme.label(),
+                r.normalized_energy(&base),
+                r.normalized_time(&base),
+                r.requests,
+            );
+        }
+    }
+    println!();
+    println!(
+        "The transpose turns the column walk sequential (fewer, larger \
+         cache-friendly fetches)\nand tile-sized stripes keep one disk hot \
+         at a time — the rest sleep through each pass."
+    );
+}

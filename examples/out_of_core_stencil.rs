@@ -1,0 +1,70 @@
+//! An out-of-core stencil solver: the workload the paper's introduction
+//! motivates. Shows how the layout-aware loop fission of Fig. 11 places
+//! the two grids on disjoint disk sets and what that does to each
+//! power-management scheme.
+//!
+//! ```text
+//! cargo run --release --example out_of_core_stencil
+//! ```
+
+use sdpm_core::{run_scheme, PipelineConfig, Scheme};
+use sdpm_layout::DiskPool;
+use sdpm_workloads::synth::out_of_core_stencil;
+use sdpm_xform::{loop_fission, Transform};
+
+fn main() {
+    let program = out_of_core_stencil(32, 6, 4.0); // 2 x 32 MiB grids, 6 steps
+    let cfg = PipelineConfig::default();
+    let pool = DiskPool::new(cfg.disks);
+
+    println!("== out-of-core stencil: {} ==", program.name);
+    println!(
+        "data: {} MiB over {} disks, {} nests\n",
+        program.total_data_bytes() / (1024 * 1024),
+        cfg.disks,
+        program.nests.len()
+    );
+
+    // What the Fig. 11 algorithm decides.
+    let fission = loop_fission(&program, pool, true);
+    println!("array groups (Fig. 11):");
+    for (i, g) in fission.groups.iter().enumerate() {
+        let names: Vec<&str> = g
+            .arrays
+            .iter()
+            .map(|&a| program.arrays[a].name.as_str())
+            .collect();
+        println!(
+            "  group {i}: {:?}  {} MiB  -> disks {:?}",
+            names,
+            g.bytes / (1024 * 1024),
+            g.disks.iter().map(|d| d.0).collect::<Vec<_>>()
+        );
+    }
+    println!();
+
+    let base = run_scheme(&program, Scheme::Base, &cfg);
+    println!("scheme x version   norm energy   norm time");
+    println!("--------------------------------------------");
+    for scheme in [Scheme::CmTpm, Scheme::CmDrpm, Scheme::Drpm] {
+        for (label, prog) in [
+            ("original", program.clone()),
+            ("LF+DL", Transform::LfDl.apply(&program, pool)),
+        ] {
+            let r = run_scheme(&prog, scheme, &cfg);
+            println!(
+                "{:7} {:9}   {:11.3}   {:9.3}",
+                scheme.label(),
+                label,
+                r.normalized_energy(&base),
+                r.normalized_time(&base),
+            );
+        }
+    }
+    println!();
+    println!(
+        "After LF+DL each grid lives on its own half of the pool: while \
+         one grid's sweep runs,\nthe other grid's disks idle for whole \
+         phases, which the compiler exploits."
+    );
+}

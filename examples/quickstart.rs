@@ -1,0 +1,78 @@
+//! Quickstart: model a tiny out-of-core application, run it under every
+//! power-management scheme, and print the energy/time comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use sdpm_core::{run_all_schemes, PipelineConfig};
+use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+use sdpm_layout::{ArrayFile, DiskPool, StorageOrder, Striping};
+
+fn main() {
+    // 1. Describe the disk-resident data: one 64 MiB array striped with
+    //    the paper's defaults (64 KB stripes over 8 disks).
+    let field = ArrayFile {
+        name: "field".into(),
+        dims: vec![8 * 1024 * 1024], // 8 Mi doubles = 64 MiB
+        element_bytes: 8,
+        order: StorageOrder::RowMajor,
+        striping: Striping::default_paper(),
+        base_block: 0,
+    };
+
+    // 2. Describe the computation: read the field, crunch for a while,
+    //    read it again. The affine loop-nest IR is what the "compiler"
+    //    analyzes.
+    let n = field.dims[0];
+    let scan = |label: &str| LoopNest {
+        label: label.into(),
+        loops: vec![LoopDim::simple(n)],
+        stmts: vec![Statement {
+            label: format!("{label}.S1"),
+            refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+        }],
+        cycles_per_iter: 150.0,
+    };
+    let crunch = LoopNest {
+        label: "crunch".into(),
+        loops: vec![LoopDim::simple(100_000)],
+        stmts: vec![],
+        cycles_per_iter: 8.0 / 100_000.0 * Program::PAPER_CLOCK_HZ, // 8 s
+    };
+    let program = Program {
+        name: "quickstart".into(),
+        arrays: vec![field],
+        nests: vec![scan("load"), crunch, scan("reload")],
+        clock_hz: Program::PAPER_CLOCK_HZ,
+    };
+    program
+        .validate(DiskPool::new(8))
+        .expect("program is well-formed");
+
+    // 3. Run all seven schemes of the paper and compare.
+    let cfg = PipelineConfig::default();
+    let results = run_all_schemes(&program, &cfg);
+    let base_j = results[0].1.total_energy_j();
+    let base_t = results[0].1.exec_secs;
+
+    println!("scheme   energy(J)  norm.E  exec(s)  norm.T  stalls(s)");
+    println!("--------------------------------------------------------");
+    for (scheme, r) in &results {
+        println!(
+            "{:7} {:10.1} {:7.3} {:8.2} {:7.3} {:10.3}",
+            scheme.label(),
+            r.total_energy_j(),
+            r.total_energy_j() / base_j,
+            r.exec_secs,
+            r.exec_secs / base_t,
+            r.stall_secs,
+        );
+    }
+    println!();
+    println!(
+        "The compiler-managed DRPM scheme (CMDRPM) slows the idle disks \
+         during the crunch phase\nand pre-activates them before the reload, \
+         so it saves energy at (almost) no time cost."
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 2 / Table 3 calibration: every benchmark model must reproduce
+//! its paper row within tolerance.
+
+use sdpm_bench::{paper_table3, table2, table3, suite};
+
+#[test]
+fn table2_within_one_percent() {
+    for check in table2(&suite()) {
+        let err = check.worst_rel_err();
+        assert!(
+            err < 0.01,
+            "{}: worst relative error {:.3}% exceeds 1% \
+             (measured {:?} vs paper {:?})",
+            check.name,
+            err * 100.0,
+            check.measured,
+            check.paper
+        );
+    }
+}
+
+#[test]
+fn table3_within_three_points() {
+    for check in table3(&suite()) {
+        let diff = (check.measured_pct - check.paper_pct).abs();
+        assert!(
+            diff < 3.0,
+            "{}: misprediction {:.2}% vs paper {:.2}%",
+            check.name,
+            check.measured_pct,
+            check.paper_pct
+        );
+    }
+}
+
+#[test]
+fn paper_table3_rows_are_complete() {
+    for bench in suite() {
+        assert!(
+            paper_table3(bench.name).is_finite(),
+            "missing Table 3 entry for {}",
+            bench.name
+        );
+    }
+}

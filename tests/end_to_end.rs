@@ -1,0 +1,94 @@
+//! End-to-end integration: the full compiler -> trace -> simulator
+//! pipeline on real benchmark models, checking the paper's headline
+//! qualitative claims.
+
+use sdpm_bench::{config_for, run_one};
+use sdpm_core::{run_all_schemes, NoiseModel, Scheme};
+use sdpm_disk::{ultrastar36z15, RpmLadder};
+use sdpm_workloads::{galgel, swim};
+
+#[test]
+fn swim_reproduces_the_paper_scheme_ordering() {
+    let bench = swim();
+    let cfg = config_for(&bench);
+    let all = run_all_schemes(&bench.program, &cfg);
+    let get = |s: Scheme| {
+        all.iter()
+            .find(|(k, _)| *k == s)
+            .map(|(_, r)| r)
+            .unwrap()
+    };
+    let base = get(Scheme::Base);
+    // TPM family does nothing on the untransformed code.
+    assert!((get(Scheme::Tpm).normalized_energy(base) - 1.0).abs() < 1e-6);
+    assert!((get(Scheme::ITpm).normalized_energy(base) - 1.0).abs() < 1e-6);
+    assert!((get(Scheme::CmTpm).normalized_energy(base) - 1.0).abs() < 0.01);
+    // DRPM family ordering: IDRPM <= CMDRPM < DRPM < Base.
+    let e_i = get(Scheme::IDrpm).normalized_energy(base);
+    let e_cm = get(Scheme::CmDrpm).normalized_energy(base);
+    let e_d = get(Scheme::Drpm).normalized_energy(base);
+    assert!(e_i <= e_cm + 1e-9, "IDRPM {e_i} must lower-bound CMDRPM {e_cm}");
+    assert!(e_cm < e_d, "CMDRPM {e_cm} must beat reactive DRPM {e_d}");
+    assert!(e_d < 1.0, "reactive DRPM must save energy");
+    assert!(e_i < 0.55, "swim's idle structure allows deep savings");
+    // Performance: ideal/CM near 1.0, reactive pays.
+    assert!(get(Scheme::IDrpm).normalized_time(base) < 1.0 + 1e-6);
+    assert!(get(Scheme::CmDrpm).normalized_time(base) < 1.02);
+    assert!(get(Scheme::Drpm).normalized_time(base) > 1.05);
+}
+
+#[test]
+fn cmdrpm_misprediction_is_small_but_nonzero_with_noise() {
+    let bench = swim();
+    let cfg = config_for(&bench);
+    let r = run_one(&bench.program, Scheme::CmDrpm, &cfg);
+    let ladder = RpmLadder::new(&ultrastar36z15());
+    let pct = r.mispredicted_speed_fraction(&ladder) * 100.0;
+    assert!(pct > 0.5 && pct < 20.0, "swim misprediction {pct}%");
+}
+
+#[test]
+fn zero_noise_cm_tracks_the_oracle_closely() {
+    let bench = galgel();
+    let mut cfg = config_for(&bench);
+    cfg.noise = NoiseModel::exact();
+    let base = run_one(&bench.program, Scheme::Base, &cfg);
+    let idrpm = run_one(&bench.program, Scheme::IDrpm, &cfg);
+    let cm = run_one(&bench.program, Scheme::CmDrpm, &cfg);
+    let gap = cm.normalized_energy(&base) - idrpm.normalized_energy(&base);
+    assert!(
+        (0.0..0.05).contains(&gap),
+        "CM must sit within 5 points of the oracle, gap {gap}"
+    );
+    assert!(cm.stall_secs < 0.05 * base.exec_secs);
+    assert_eq!(cm.directive_misfires, 0);
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    let a = run_one(&bench.program, Scheme::CmDrpm, &cfg);
+    let b = run_one(&bench.program, Scheme::CmDrpm, &cfg);
+    assert_eq!(a.total_energy_j().to_bits(), b.total_energy_j().to_bits());
+    assert_eq!(a.exec_secs.to_bits(), b.exec_secs.to_bits());
+    assert_eq!(a.directive_misfires, b.directive_misfires);
+}
+
+#[test]
+fn energy_ledger_balances_across_all_schemes() {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    for (scheme, r) in run_all_schemes(&bench.program, &cfg) {
+        for (i, d) in r.per_disk.iter().enumerate() {
+            let accounted = d.energy.total_secs();
+            assert!(
+                (accounted - r.exec_secs).abs() < 1e-3,
+                "{:?} disk {i}: accounted {accounted} vs exec {}",
+                scheme,
+                r.exec_secs
+            );
+        }
+        assert!(r.total_energy_j() > 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Failure injection: malformed inputs must be rejected loudly or
+//! absorbed gracefully (misfire accounting), never silently corrupt a
+//! run.
+
+use sdpm_disk::{ultrastar36z15, RpmLevel};
+use sdpm_layout::{DiskId, DiskPool};
+use sdpm_sim::{simulate, DirectiveConfig, Policy};
+use sdpm_trace::codec::{decode, encode, CodecError};
+use sdpm_trace::{AppEvent, IoRequest, PowerAction, ReqKind, Trace};
+
+fn io(disk: u32, size: u64) -> AppEvent {
+    AppEvent::Io(IoRequest {
+        disk: DiskId(disk),
+        start_block: 0,
+        size_bytes: size,
+        kind: ReqKind::Read,
+        sequential: false,
+        nest: 0,
+        iter: 0,
+    })
+}
+
+fn compute(secs: f64) -> AppEvent {
+    AppEvent::Compute {
+        nest: 0,
+        first_iter: 0,
+        iters: 1,
+        secs,
+    }
+}
+
+#[test]
+fn trace_with_out_of_pool_disk_is_rejected() {
+    let t = Trace {
+        name: "bad".into(),
+        pool_size: 2,
+        events: vec![io(5, 4096)],
+    };
+    assert!(t.validate().is_err());
+}
+
+#[test]
+#[should_panic(expected = "valid trace")]
+fn simulator_refuses_invalid_traces() {
+    let t = Trace {
+        name: "bad".into(),
+        pool_size: 2,
+        events: vec![io(5, 4096)],
+    };
+    let _ = simulate(&t, &ultrastar36z15(), DiskPool::new(2), &Policy::Base);
+}
+
+#[test]
+#[should_panic(expected = "pool")]
+fn simulator_refuses_pool_mismatch() {
+    let t = Trace {
+        name: "mismatch".into(),
+        pool_size: 4,
+        events: vec![compute(1.0)],
+    };
+    let _ = simulate(&t, &ultrastar36z15(), DiskPool::new(8), &Policy::Base);
+}
+
+#[test]
+fn zero_byte_requests_are_rejected_by_validation() {
+    let t = Trace {
+        name: "zero".into(),
+        pool_size: 2,
+        events: vec![io(0, 0)],
+    };
+    assert!(t.validate().is_err());
+}
+
+#[test]
+fn hostile_directive_stream_is_absorbed_as_misfires() {
+    // Spin up a spinning disk, set an off-ladder level, spin down twice:
+    // all misfires, none fatal, energy ledger still balances.
+    let t = Trace {
+        name: "hostile".into(),
+        pool_size: 2,
+        events: vec![
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinUp,
+            },
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SetRpm(RpmLevel(200)),
+            },
+            AppEvent::Power {
+                disk: DiskId(1),
+                action: PowerAction::SpinDown,
+            },
+            AppEvent::Power {
+                disk: DiskId(1),
+                action: PowerAction::SpinDown,
+            },
+            compute(5.0),
+            io(1, 4096),
+        ],
+    };
+    let r = simulate(
+        &t,
+        &ultrastar36z15(),
+        DiskPool::new(2),
+        &Policy::Directive(DirectiveConfig::default()),
+    );
+    assert_eq!(r.directive_misfires, 3, "three of four calls are illegal");
+    for d in &r.per_disk {
+        assert!((d.energy.total_secs() - r.exec_secs).abs() < 1e-3);
+    }
+    // Disk 1 was legally spun down once and must pay the wake-up.
+    assert!(r.stall_secs > 5.0);
+}
+
+#[test]
+fn corrupted_trace_bytes_never_panic_the_decoder() {
+    let t = Trace {
+        name: "roundtrip".into(),
+        pool_size: 3,
+        events: vec![compute(0.5), io(1, 8192)],
+    };
+    let good = encode(&t).to_vec();
+    // Flip every byte one at a time: decode must return Ok or Err, never
+    // panic, and a flipped header must not round-trip silently into a
+    // different pool size with the same events... (only structural safety
+    // is asserted here).
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0xFF;
+        let _ = decode(&bad);
+    }
+    // Truncations at every length likewise.
+    for cut in 0..good.len() {
+        assert!(matches!(
+            decode(&good[..cut]),
+            Err(CodecError::Truncated) | Err(CodecError::BadHeader) | Err(_)
+        ));
+    }
+}
+
+#[test]
+fn empty_trace_simulates_to_zero_time() {
+    let t = Trace {
+        name: "empty".into(),
+        pool_size: 2,
+        events: vec![],
+    };
+    let r = simulate(&t, &ultrastar36z15(), DiskPool::new(2), &Policy::Base);
+    assert_eq!(r.exec_secs, 0.0);
+    assert_eq!(r.requests, 0);
+    assert_eq!(r.total_energy_j(), 0.0);
+}
+
+#[test]
+fn bad_disk_parameters_are_rejected_before_simulation() {
+    let mut p = ultrastar36z15();
+    p.idle_power_w = 1.0; // below standby: nonsense ordering
+    let t = Trace {
+        name: "t".into(),
+        pool_size: 1,
+        events: vec![compute(1.0)],
+    };
+    let result = std::panic::catch_unwind(|| {
+        let _ = simulate(&t, &p, DiskPool::new(1), &Policy::Base);
+    });
+    assert!(result.is_err(), "invalid DiskParams must fail fast");
+}

@@ -1,0 +1,142 @@
+//! Section 6 transformation integration: legality, layout effects, and
+//! the Fig. 13 benefit pattern.
+
+use sdpm_bench::{config_for, run_one};
+use sdpm_core::Scheme;
+use sdpm_layout::DiskPool;
+use sdpm_workloads::synth::out_of_core_stencil;
+use sdpm_workloads::{galgel, mesa, wupwise};
+use sdpm_xform::{loop_fission, loop_tiling, Transform, TilingConfig};
+
+#[test]
+fn transforms_preserve_program_validity_and_io_volume() {
+    let pool = DiskPool::new(8);
+    for bench in [wupwise(), mesa(), galgel()] {
+        let base_trace = sdpm_trace::generate(&bench.program, pool, bench.gen);
+        for t in Transform::all() {
+            let out = t.apply(&bench.program, pool);
+            out.program_validate(pool, bench.name, t.label());
+            let trace = sdpm_trace::generate(&out, pool, bench.gen);
+            // Transformations must never inflate I/O traffic. They may
+            // legitimately *shrink* it: the Fig. 12 layout transposition
+            // turns wupwise's strided column walk into a sequential scan,
+            // removing its buffer-cache re-fetches.
+            let b0 = base_trace.stats().bytes as f64;
+            let b1 = trace.stats().bytes as f64;
+            assert!(
+                b1 < b0 * 1.02,
+                "{} {}: bytes {} -> {}",
+                bench.name,
+                t.label(),
+                b0,
+                b1
+            );
+        }
+    }
+}
+
+/// Small helper trait to keep the assertion above readable.
+trait ValidateExt {
+    fn program_validate(&self, pool: DiskPool, name: &str, label: &str);
+}
+
+impl ValidateExt for sdpm_ir::Program {
+    fn program_validate(&self, pool: DiskPool, name: &str, label: &str) {
+        self.validate(pool)
+            .unwrap_or_else(|e| panic!("{name} under {label}: {e}"));
+    }
+}
+
+#[test]
+fn galgel_gains_nothing_from_any_transform() {
+    let bench = galgel();
+    let cfg = config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let base = run_one(&bench.program, Scheme::Base, &cfg);
+    let cm_none = run_one(&bench.program, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+    for t in Transform::all() {
+        let out = t.apply(&bench.program, pool);
+        let cm = run_one(&out, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+        assert!(
+            (cm - cm_none).abs() < 0.01,
+            "galgel {}: {} vs untransformed {}",
+            t.label(),
+            cm,
+            cm_none
+        );
+    }
+}
+
+#[test]
+fn wupwise_tl_dl_transposes_and_saves_big() {
+    let bench = wupwise();
+    let cfg = config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let tiled = loop_tiling(&bench.program, pool, true, &TilingConfig::default());
+    assert!(tiled.changed);
+    assert!(
+        !tiled.transposed_arrays.is_empty(),
+        "the column-walked matrix must be transposed"
+    );
+    let base = run_one(&bench.program, Scheme::Base, &cfg);
+    let cm_none = run_one(&bench.program, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+    let cm_tldl = run_one(&tiled.program, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+    assert!(
+        cm_tldl < cm_none - 0.2,
+        "TL+DL must be a large win for wupwise: {cm_tldl} vs {cm_none}"
+    );
+    // And it finally makes the TPM family viable.
+    let cmtpm = run_one(&tiled.program, Scheme::CmTpm, &cfg).normalized_energy(&base);
+    assert!(cmtpm < 0.9, "CMTPM after TL+DL: {cmtpm}");
+}
+
+#[test]
+fn layout_oblivious_variants_do_not_help() {
+    let bench = mesa();
+    let cfg = config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let base = run_one(&bench.program, Scheme::Base, &cfg);
+    let cm_none = run_one(&bench.program, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+    for t in [Transform::Lf, Transform::Tl] {
+        let out = t.apply(&bench.program, pool);
+        let cm = run_one(&out, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+        assert!(
+            cm > cm_none - 0.015,
+            "mesa {} must not beat the untransformed code: {cm} vs {cm_none}",
+            t.label()
+        );
+    }
+}
+
+#[test]
+fn mesa_layout_aware_variants_do_help() {
+    let bench = mesa();
+    let cfg = config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let base = run_one(&bench.program, Scheme::Base, &cfg);
+    let cm_none = run_one(&bench.program, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+    for t in [Transform::LfDl, Transform::TlDl] {
+        let out = t.apply(&bench.program, pool);
+        let cm = run_one(&out, Scheme::CmDrpm, &cfg).normalized_energy(&base);
+        assert!(
+            cm < cm_none - 0.03,
+            "mesa {} must improve on {cm_none}: got {cm}",
+            t.label()
+        );
+    }
+}
+
+#[test]
+fn stencil_fission_assigns_disjoint_disks() {
+    let p = out_of_core_stencil(8, 4, 1.0);
+    let pool = DiskPool::new(8);
+    let out = loop_fission(&p, pool, true);
+    assert!(out.fissioned_any);
+    assert_eq!(out.groups.len(), 2);
+    assert!(out.groups[0].disks.is_disjoint(out.groups[1].disks));
+    assert_eq!(
+        out.groups[0].disks.len() + out.groups[1].disks.len(),
+        8,
+        "equal-size groups split the pool"
+    );
+}
