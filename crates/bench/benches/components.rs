@@ -38,10 +38,26 @@ fn bench_instrumentation(c: &mut Criterion) {
     g.sample_size(20);
     g.throughput(Throughput::Elements(trace.stats().requests));
     g.bench_function("insert_directives_drpm", |b| {
-        b.iter(|| black_box(insert_directives(&trace, &params, &noise, CmMode::Drpm, 50e-6)))
+        b.iter(|| {
+            black_box(insert_directives(
+                &trace,
+                &params,
+                &noise,
+                CmMode::Drpm,
+                50e-6,
+            ))
+        })
     });
     g.bench_function("insert_directives_tpm", |b| {
-        b.iter(|| black_box(insert_directives(&trace, &params, &noise, CmMode::Tpm, 50e-6)))
+        b.iter(|| {
+            black_box(insert_directives(
+                &trace,
+                &params,
+                &noise,
+                CmMode::Tpm,
+                50e-6,
+            ))
+        })
     });
     g.finish();
 }

@@ -67,7 +67,7 @@ fn bench_fig5_fig6(c: &mut Criterion) {
             ..Striping::default_paper()
         };
         let program = with_striping(&bench.program, striping);
-        g.bench_function(format!("{kib}KiB"), |b| {
+        g.bench_function(&format!("{kib}KiB"), |b| {
             b.iter(|| black_box(run_one(&program, Scheme::CmDrpm, &cfg)))
         });
     }
@@ -88,7 +88,7 @@ fn bench_fig7_fig8(c: &mut Criterion) {
             disks: factor,
             ..config_for(&bench)
         };
-        g.bench_function(format!("{factor}disks"), |b| {
+        g.bench_function(&format!("{factor}disks"), |b| {
             b.iter(|| black_box(run_one(&program, Scheme::CmDrpm, &cfg)))
         });
     }

@@ -8,7 +8,14 @@ fn main() {
         let base = run_one(&bench.program, Scheme::Base, &cfg);
         let idrpm = run_one(&bench.program, Scheme::IDrpm, &cfg);
         let cm0 = run_one(&bench.program, Scheme::CmDrpm, &cfg);
-        let cfg_n = PipelineConfig { noise: NoiseModel { spread: bench.noise_spread, gap_jitter: bench.noise_jitter, seed: bench.noise_seed }, ..cfg.clone() };
+        let cfg_n = PipelineConfig {
+            noise: NoiseModel {
+                spread: bench.noise_spread,
+                gap_jitter: bench.noise_jitter,
+                seed: bench.noise_seed,
+            },
+            ..cfg.clone()
+        };
         let cmn = run_one(&bench.program, Scheme::CmDrpm, &cfg_n);
         println!("{:12} IDRPM {:.3} CM(noise=0) {:.3} CM(noise) {:.3}  stalls: id {:.2} cm0 {:.2} cmn {:.2} misfires {} {}",
             bench.name,
@@ -16,6 +23,6 @@ fn main() {
             cm0.normalized_energy(&base),
             cmn.normalized_energy(&base),
             idrpm.stall_secs, cm0.stall_secs, cmn.stall_secs,
-            cm0.directive_misfires, cmn.directive_misfires);
+            cm0.misfire_causes.total(), cmn.misfire_causes.total());
     }
 }

@@ -3,19 +3,65 @@
 //!
 //! ```text
 //! repro [table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig13|all]
+//! repro --trace-out run.json [--metrics-out run.jsonl] [--bench swim] [--scheme CMDRPM]
+//! repro probe <events.jsonl> [top_k]
 //! ```
 //!
 //! With no argument, runs `all`. Output pairs each measured value with
 //! the paper's reported value where the paper gives one; figures the
 //! paper only shows as charts print our measured series (the shape
 //! criteria live in EXPERIMENTS.md).
+//!
+//! `--trace-out` / `--metrics-out` run one instrumented scheme and write
+//! a Chrome `trace_event` timeline (open in Perfetto or
+//! `chrome://tracing`) and/or the raw JSONL event stream. `probe` reads
+//! a stream back and prints the top-k longest idle gaps, the misfire
+//! cause breakdown, and per-disk energy shares.
 
 use sdpm_bench::format::{norm, render_table};
 use sdpm_bench::*;
 use sdpm_disk::{tpm_break_even_secs, ultrastar36z15};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("probe") {
+        probe_events_cmd(&argv[1..]);
+        return;
+    }
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut bench_name = "swim".to_string();
+    let mut scheme_label = "CMDRPM".to_string();
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--trace-out" => trace_out = Some(val("--trace-out")),
+            "--metrics-out" => metrics_out = Some(val("--metrics-out")),
+            "--bench" => bench_name = val("--bench"),
+            "--scheme" => scheme_label = val("--scheme"),
+            _ => positional.push(a),
+        }
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        instrumented_run(
+            &bench_name,
+            &scheme_label,
+            trace_out.as_deref(),
+            metrics_out.as_deref(),
+        );
+        return;
+    }
+    let arg = positional
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| "all".to_string());
     let known = [
         "table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig13",
         "fig2", "ablate", "section2", "pdc", "timeline", "gaps", "all",
@@ -68,15 +114,238 @@ fn main() {
     }
 }
 
+/// Runs one scheme with recorders attached and writes the requested
+/// artifacts, then prints a metrics digest.
+#[cfg(feature = "obs")]
+fn instrumented_run(bench: &str, scheme: &str, trace_out: Option<&str>, metrics_out: Option<&str>) {
+    use sdpm_core::{run_scheme_with_recorder, Scheme};
+    use sdpm_obs::{ChromeTraceRecorder, FanoutRecorder, JsonlRecorder, MetricsRecorder, Recorder};
+
+    let all = suite();
+    let Some(b) = all.iter().find(|b| {
+        b.name
+            .to_ascii_lowercase()
+            .contains(&bench.to_ascii_lowercase())
+    }) else {
+        let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        eprintln!("unknown benchmark '{bench}'; one of: {}", names.join(" "));
+        std::process::exit(2);
+    };
+    let Some(scheme) = Scheme::all()
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(scheme))
+    else {
+        eprintln!("unknown scheme '{scheme}'; one of: Base TPM ITPM DRPM IDRPM CMTPM CMDRPM");
+        std::process::exit(2);
+    };
+    let cfg = config_for(b);
+
+    let metrics = MetricsRecorder::new();
+    let chrome = ChromeTraceRecorder::new();
+    let jsonl = JsonlRecorder::new(Vec::new());
+    let mut tee = FanoutRecorder::new(vec![&metrics as &dyn Recorder]);
+    if trace_out.is_some() {
+        tee.push(&chrome);
+    }
+    if metrics_out.is_some() {
+        tee.push(&jsonl);
+    }
+    let report = run_scheme_with_recorder(&b.program, scheme, &cfg, &tee);
+
+    if let Some(path) = trace_out {
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        chrome
+            .write_to(&mut f)
+            .unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote Chrome trace to {path} (open in Perfetto or chrome://tracing)");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, jsonl.into_inner()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote JSONL event stream to {path}");
+    }
+
+    let m = metrics.snapshot();
+    println!("== {} {} instrumented run ==", b.name, scheme.label());
+    let mut rows = vec![
+        vec!["exec (s)".to_string(), format!("{:.3}", report.exec_secs)],
+        vec![
+            "energy (J)".into(),
+            format!("{:.1}", report.total_energy_j()),
+        ],
+        vec!["requests".into(), m.requests.to_string()],
+        vec!["bytes".into(), m.bytes.to_string()],
+        vec!["idle gaps".into(), m.gap_count.to_string()],
+        vec!["standby gaps".into(), m.standby_gaps.to_string()],
+        vec!["spin-downs".into(), m.spin_downs.to_string()],
+        vec!["spin-ups".into(), m.spin_ups.to_string()],
+        vec!["RPM shifts".into(), m.rpm_shifts.to_string()],
+        vec!["directives issued".into(), m.directives_issued.to_string()],
+        vec!["stall (s)".into(), format!("{:.3}", m.stall_secs)],
+    ];
+    for (cause, n) in &m.misfires {
+        rows.push(vec![format!("misfire: {cause}"), n.to_string()]);
+    }
+    println!(
+        "{}",
+        render_table(&["metric".into(), "value".into()], &rows)
+    );
+    println!("gap-length histogram (s): {}", m.gap_hist.render());
+    println!("slowdown histogram (x):   {}", m.slowdown_hist.render());
+}
+
+#[cfg(not(feature = "obs"))]
+fn instrumented_run(_: &str, _: &str, _: Option<&str>, _: Option<&str>) {
+    eprintln!("--trace-out/--metrics-out need the `obs` feature (on by default; rebuild without --no-default-features)");
+    std::process::exit(2);
+}
+
+/// Reads a JSONL event stream back and prints the top-k longest idle
+/// gaps, the misfire-cause breakdown, and per-disk energy shares.
+#[cfg(feature = "obs")]
+fn probe_events_cmd(args: &[String]) {
+    use sdpm_obs::json::Value;
+    use std::collections::BTreeMap;
+
+    let Some(path) = args.first() else {
+        eprintln!("usage: repro probe <events.jsonl> [top_k]");
+        std::process::exit(2);
+    };
+    let top_k: usize = args
+        .get(1)
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("top_k must be an integer, got '{s}'");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(10);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("read {path}: {e}");
+        std::process::exit(2);
+    });
+
+    // (length, disk, opened) per closed gap; misfire counts by cause;
+    // joules by disk.
+    let mut gaps: Vec<(f64, u64, f64)> = Vec::new();
+    let mut misfires: BTreeMap<String, u64> = BTreeMap::new();
+    let mut energy: BTreeMap<u64, f64> = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Value::parse(line).unwrap_or_else(|e| {
+            eprintln!("{path}:{}: bad JSON: {e}", ln + 1);
+            std::process::exit(2);
+        });
+        let field = |k: &str| v.get(k).and_then(Value::as_f64);
+        match v.get("ev").and_then(Value::as_str) {
+            Some("gap_close") => {
+                if let (Some(t), Some(opened), Some(d)) = (
+                    field("t"),
+                    field("opened"),
+                    v.get("disk").and_then(Value::as_u64),
+                ) {
+                    gaps.push((t - opened, d, opened));
+                }
+            }
+            Some("directive_misfire") => {
+                if let Some(cause) = v.get("cause").and_then(Value::as_str) {
+                    *misfires.entry(cause.to_string()).or_insert(0) += 1;
+                }
+            }
+            Some("disk_energy") => {
+                if let (Some(d), Some(j)) = (v.get("disk").and_then(Value::as_u64), field("joules"))
+                {
+                    *energy.entry(d).or_insert(0.0) += j;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    println!("== probe: {path} ==");
+    gaps.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let rows: Vec<Vec<String>> = gaps
+        .iter()
+        .take(top_k)
+        .map(|(len, d, opened)| {
+            vec![
+                format!("disk{d}"),
+                format!("{opened:.3}"),
+                format!("{:.3}", opened + len),
+                format!("{len:.3}"),
+            ]
+        })
+        .collect();
+    println!(
+        "-- top {} longest idle gaps (of {}) --",
+        rows.len(),
+        gaps.len()
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "disk".into(),
+                "open s".into(),
+                "close s".into(),
+                "length s".into()
+            ],
+            &rows
+        )
+    );
+
+    println!("-- directive misfires --");
+    if misfires.is_empty() {
+        println!("(none)\n");
+    } else {
+        let rows: Vec<Vec<String>> = misfires
+            .iter()
+            .map(|(c, n)| vec![c.clone(), n.to_string()])
+            .collect();
+        println!("{}", render_table(&["cause".into(), "count".into()], &rows));
+    }
+
+    println!("-- per-disk energy shares --");
+    let total: f64 = energy.values().sum();
+    if total <= 0.0 {
+        println!("(no disk_energy events)");
+    } else {
+        let rows: Vec<Vec<String>> = energy
+            .iter()
+            .map(|(d, j)| {
+                vec![
+                    format!("disk{d}"),
+                    format!("{j:.1}"),
+                    format!("{:.1}%", j / total * 100.0),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["disk".into(), "J".into(), "share".into()], &rows)
+        );
+        println!("total: {total:.1} J");
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn probe_events_cmd(_: &[String]) {
+    eprintln!(
+        "probe needs the `obs` feature (on by default; rebuild without --no-default-features)"
+    );
+    std::process::exit(2);
+}
+
 /// The paper's Fig. 2 worked example, end to end: the code fragment, the
 /// disk layouts, the derived DAPs, and the compiler-modified code with
 /// the inserted spin_down/spin_up calls.
 fn fig2_cmd() {
     use sdpm_core::{build_dap, insert_directives, CmMode, DapState, NoiseModel};
+    use sdpm_ir::Program;
     use sdpm_ir::{
         disk_activity, render_program, AffineExpr, ArrayRef, LoopDim, LoopNest, Statement,
     };
-    use sdpm_ir::Program;
     use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
     use sdpm_trace::{generate, AppEvent, TraceGenConfig};
 
@@ -194,7 +463,10 @@ fn fig2_cmd() {
         match e {
             AppEvent::Power { disk, action } => println!("  {action:?}({disk})"),
             AppEvent::Io(r) if shown_io < 3 => {
-                println!("  io({}, block {}, {} B) ...", r.disk, r.start_block, r.size_bytes);
+                println!(
+                    "  io({}, block {}, {} B) ...",
+                    r.disk, r.start_block, r.size_bytes
+                );
                 shown_io += 1;
             }
             _ => {}
@@ -251,13 +523,7 @@ fn section2_cmd() {
         println!("-- {model} --");
         let table: Vec<Vec<String>> = rows
             .iter()
-            .map(|r| {
-                vec![
-                    r.scheme.clone(),
-                    norm(r.norm_energy),
-                    norm(r.norm_time),
-                ]
-            })
+            .map(|r| vec![r.scheme.clone(), norm(r.norm_energy), norm(r.norm_time)])
             .collect();
         println!(
             "{}",
@@ -315,7 +581,11 @@ fn timeline_cmd() {
     let cfg = config_for(&bench);
     for scheme in [Scheme::Base, Scheme::CmDrpm] {
         let r = run_scheme(&bench.program, scheme, &cfg);
-        println!("== {} disk-state timeline ({}) ==", bench.name, scheme.label());
+        println!(
+            "== {} disk-state timeline ({}) ==",
+            bench.name,
+            scheme.label()
+        );
         println!("{}", disk_timeline(&r, 96));
     }
 }
@@ -334,7 +604,12 @@ fn ablate_cmd() {
     println!(
         "{}",
         render_table(
-            &["step".into(), "DRPM".into(), "IDRPM".into(), "CMDRPM".into()],
+            &[
+                "step".into(),
+                "DRPM".into(),
+                "IDRPM".into(),
+                "CMDRPM".into()
+            ],
             &rows
         )
     );
@@ -424,7 +699,10 @@ fn table1_cmd() {
     let rows = vec![
         vec!["Disk Model".to_string(), p.model.clone()],
         vec!["RPM".into(), p.rpm_max.to_string()],
-        vec!["Average seek time".into(), format!("{} msec", p.avg_seek_secs * 1e3)],
+        vec![
+            "Average seek time".into(),
+            format!("{} msec", p.avg_seek_secs * 1e3),
+        ],
         vec![
             "Average rotation time".into(),
             format!("{} msec", p.avg_rotation_secs * 1e3),
@@ -450,12 +728,12 @@ fn table1_cmd() {
         ],
         vec![
             "RPM step transition".into(),
-            format!("{} ms (model decision, see DESIGN.md)", p.rpm_transition_secs_per_step * 1e3),
+            format!(
+                "{} ms (model decision, see DESIGN.md)",
+                p.rpm_transition_secs_per_step * 1e3
+            ),
         ],
-        vec![
-            "DRPM window size".into(),
-            p.drpm_window.to_string(),
-        ],
+        vec!["DRPM window size".into(), p.drpm_window.to_string()],
         vec![
             "TPM break-even (derived)".into(),
             format!("{:.2} sec", tpm_break_even_secs(&p)),
@@ -481,7 +759,10 @@ fn table2_cmd() {
                 c.name.to_string(),
                 format!("{:.1}/{:.1}", c.measured.data_mb, c.paper.data_mb),
                 format!("{}/{}", c.measured.requests, c.paper.requests),
-                format!("{:.0}/{:.0}", c.measured.base_energy_j, c.paper.base_energy_j),
+                format!(
+                    "{:.0}/{:.0}",
+                    c.measured.base_energy_j, c.paper.base_energy_j
+                ),
                 format!("{:.0}/{:.0}", c.measured.exec_ms, c.paper.exec_ms),
                 format!("{:.2}%", c.worst_rel_err() * 100.0),
             ]
@@ -577,9 +858,11 @@ fn sweep_table(points: &[SweepPoint], xlabel: &str, energy: bool) -> String {
         .iter()
         .map(|p| {
             std::iter::once(p.x.to_string())
-                .chain(p.rows.iter().map(|r| {
-                    norm(if energy { r.norm_energy } else { r.norm_time })
-                }))
+                .chain(
+                    p.rows
+                        .iter()
+                        .map(|r| norm(if energy { r.norm_energy } else { r.norm_time })),
+                )
                 .collect()
         })
         .collect();
@@ -587,10 +870,7 @@ fn sweep_table(points: &[SweepPoint], xlabel: &str, energy: bool) -> String {
 }
 
 fn fig56_cmd() {
-    let sizes: Vec<u64> = [16, 32, 64, 128, 256]
-        .iter()
-        .map(|k| k * 1024u64)
-        .collect();
+    let sizes: Vec<u64> = [16, 32, 64, 128, 256].iter().map(|k| k * 1024u64).collect();
     let points = fig5_fig6_stripe_size(&sizes);
     println!("== Figure 5: swim normalized energy vs stripe size (bytes) ==");
     println!("{}", sweep_table(&points, "stripe", true));
@@ -621,7 +901,11 @@ fn fig13_cmd() {
     ];
     let mut rows = Vec::new();
     for b in &results {
-        let cmtpm: Vec<String> = b.versions.iter().map(|v| norm(v.cmtpm_norm_energy)).collect();
+        let cmtpm: Vec<String> = b
+            .versions
+            .iter()
+            .map(|v| norm(v.cmtpm_norm_energy))
+            .collect();
         let cmdrpm: Vec<String> = b
             .versions
             .iter()

@@ -3,10 +3,9 @@
 //! Every driver is deterministic (fixed seeds flow from the workload
 //! definitions) and returns structured results; the `repro` binary and
 //! the Criterion benches are thin shells around these functions.
-//! Independent benchmark runs execute in parallel via crossbeam scoped
+//! Independent benchmark runs execute in parallel via std scoped
 //! threads.
 
-use parking_lot::Mutex;
 use sdpm_core::{run_scheme, NoiseModel, PipelineConfig, Scheme};
 use sdpm_disk::{ultrastar36z15, RpmLadder};
 use sdpm_ir::Program;
@@ -294,19 +293,19 @@ pub fn fig13(benches: &[Benchmark]) -> Vec<Fig13Row> {
 
 /// Maps `f` over `items` on scoped threads, preserving order.
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let out: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    crossbeam::scope(|scope| {
+    let out: std::sync::Mutex<Vec<(usize, R)>> =
+        std::sync::Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
         for (i, item) in items.iter().enumerate() {
             let out = &out;
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let r = f(item);
-                out.lock().push((i, r));
+                out.lock().expect("experiment worker panicked").push((i, r));
             });
         }
-    })
-    .expect("experiment worker panicked");
-    let mut v = out.into_inner();
+    });
+    let mut v = out.into_inner().expect("experiment worker panicked");
     v.sort_by_key(|(i, _)| *i);
     v.into_iter().map(|(_, r)| r).collect()
 }
@@ -370,11 +369,7 @@ pub fn section2_laptop_vs_server() -> Vec<(String, Vec<SchemeRow>)> {
                 params,
                 ..PipelineConfig::default()
             };
-            let rows = scheme_rows(
-                &program,
-                &cfg,
-                &[Scheme::Tpm, Scheme::ITpm, Scheme::CmTpm],
-            );
+            let rows = scheme_rows(&program, &cfg, &[Scheme::Tpm, Scheme::ITpm, Scheme::CmTpm]);
             (label, rows)
         })
         .collect()

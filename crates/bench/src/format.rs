@@ -122,15 +122,30 @@ mod tests {
                 spin_ups: 0,
                 rpm_shifts: 2,
                 gaps: vec![
-                    GapRecord { start: 0.0, end: 4.0, level: RpmLevel(0), standby: false },
-                    GapRecord { start: 5.0, end: 8.0, level: RpmLevel(10), standby: false },
-                    GapRecord { start: 8.0, end: 10.0, level: RpmLevel(3), standby: true },
+                    GapRecord {
+                        start: 0.0,
+                        end: 4.0,
+                        level: RpmLevel(0),
+                        standby: false,
+                    },
+                    GapRecord {
+                        start: 5.0,
+                        end: 8.0,
+                        level: RpmLevel(10),
+                        standby: false,
+                    },
+                    GapRecord {
+                        start: 8.0,
+                        end: 10.0,
+                        level: RpmLevel(3),
+                        standby: true,
+                    },
                 ],
             }],
             requests: 1,
             stall_secs: 0.0,
             mean_slowdown: 1.0,
-            directive_misfires: 0,
+            misfire_causes: sdpm_sim::MisfireCauses::default(),
         };
         let t = disk_timeline(&r, 10);
         let row = t.lines().next().unwrap();

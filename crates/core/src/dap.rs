@@ -204,9 +204,7 @@ pub fn disk_gaps(activity: &ActivityMap, offsets: &NestOffsets) -> Vec<Vec<Globa
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sdpm_ir::{
-        disk_activity, AffineExpr, ArrayRef, LoopDim, LoopNest, Statement,
-    };
+    use sdpm_ir::{disk_activity, AffineExpr, ArrayRef, LoopDim, LoopNest, Statement};
     use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
 
     /// Two nests over a 2-disk pool: nest 0 scans A (disks 0,1), nest 1

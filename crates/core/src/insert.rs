@@ -93,6 +93,58 @@ pub fn insert_directives(
     mode: CmMode,
     overhead_secs: f64,
 ) -> InsertOutcome {
+    let plan = plan_directives(trace, params, noise, mode, overhead_secs);
+    apply_plan(trace, plan)
+}
+
+/// Like [`insert_directives`], but wraps the two compiler stages in
+/// observability phase spans: `break-even-thresholding` (timeline
+/// estimation plus per-gap decisions) and `directive-insertion` (weaving
+/// the pinned calls into the event stream).
+#[cfg(feature = "obs")]
+#[must_use]
+pub fn insert_directives_with_recorder(
+    trace: &Trace,
+    params: &DiskParams,
+    noise: &NoiseModel,
+    mode: CmMode,
+    overhead_secs: f64,
+    rec: &dyn sdpm_obs::Recorder,
+) -> InsertOutcome {
+    use sdpm_obs::Event;
+    rec.record(&Event::PhaseStart {
+        phase: "break-even-thresholding",
+    });
+    let plan = plan_directives(trace, params, noise, mode, overhead_secs);
+    rec.record(&Event::PhaseEnd {
+        phase: "break-even-thresholding",
+    });
+    rec.record(&Event::PhaseStart {
+        phase: "directive-insertion",
+    });
+    let out = apply_plan(trace, plan);
+    rec.record(&Event::PhaseEnd {
+        phase: "directive-insertion",
+    });
+    out
+}
+
+/// Output of the decision stage, before weaving.
+struct Plan {
+    pinned: Vec<Pinned>,
+    decisions: Vec<Decision>,
+    max: RpmLevel,
+}
+
+/// Break-even thresholding: builds the estimated timeline, walks every
+/// disk's gaps, and decides which power calls to pin where.
+fn plan_directives(
+    trace: &Trace,
+    params: &DiskParams,
+    noise: &NoiseModel,
+    mode: CmMode,
+    overhead_secs: f64,
+) -> Plan {
     let ladder = RpmLadder::new(params);
     let max = ladder.max_level();
 
@@ -267,6 +319,21 @@ pub fn insert_directives(
         }
     }
 
+    Plan {
+        pinned,
+        decisions,
+        max,
+    }
+}
+
+/// Directive insertion: orders the pinned calls and weaves them into the
+/// event stream.
+fn apply_plan(trace: &Trace, plan: Plan) -> InsertOutcome {
+    let Plan {
+        mut pinned,
+        decisions,
+        max,
+    } = plan;
     // Deterministic weave order: by event position, "before event" pins
     // first, then intra-compute splits by iteration; pre-activations
     // ahead of slow-downs at the same point; then by disk.
@@ -278,11 +345,7 @@ pub fn insert_directives(
     pinned.sort_by(|a, b| {
         a.event_idx
             .cmp(&b.event_idx)
-            .then_with(|| {
-                a.split_iter
-                    .unwrap_or(0)
-                    .cmp(&b.split_iter.unwrap_or(0))
-            })
+            .then_with(|| a.split_iter.unwrap_or(0).cmp(&b.split_iter.unwrap_or(0)))
             .then_with(|| rank(&a.action).cmp(&rank(&b.action)))
             .then_with(|| a.disk.cmp(&b.disk))
     });
@@ -512,9 +575,9 @@ mod tests {
         let down = powers
             .iter()
             .position(|(d, a)| *d == DiskId(0) && matches!(a, PowerAction::SetRpm(l) if *l < max));
-        let up = powers
-            .iter()
-            .rposition(|(d, a)| *d == DiskId(0) && matches!(a, PowerAction::SetRpm(l) if *l == max));
+        let up = powers.iter().rposition(|(d, a)| {
+            *d == DiskId(0) && matches!(a, PowerAction::SetRpm(l) if *l == max)
+        });
         assert!(down.is_some() && up.is_some() && down < up);
     }
 
@@ -571,10 +634,9 @@ mod tests {
         let mut lead: Option<f64> = None;
         for e in &out.trace.events {
             match e {
-                AppEvent::Compute { secs, .. }
-                    if lead.is_some() => {
-                        acc += secs;
-                    }
+                AppEvent::Compute { secs, .. } if lead.is_some() => {
+                    acc += secs;
+                }
                 AppEvent::Power {
                     disk: DiskId(0),
                     action: PowerAction::SetRpm(l),
@@ -667,7 +729,9 @@ mod tests {
             .trace
             .events
             .iter()
-            .filter(|e| matches!(e, AppEvent::Power { action: PowerAction::SetRpm(l), .. } if *l < max))
+            .filter(
+                |e| matches!(e, AppEvent::Power { action: PowerAction::SetRpm(l), .. } if *l < max),
+            )
             .count();
         assert!(downs >= 1);
     }

@@ -47,5 +47,9 @@ pub mod pipeline;
 
 pub use dap::{build_dap, disk_gaps, Dap, DapEntry, DapState, GlobalGap, NestOffsets};
 pub use estimate::{CycleEstimator, NoiseModel};
+#[cfg(feature = "obs")]
+pub use insert::insert_directives_with_recorder;
 pub use insert::{insert_directives, CmMode, Decision, InsertOutcome};
+#[cfg(feature = "obs")]
+pub use pipeline::run_scheme_with_recorder;
 pub use pipeline::{run_all_schemes, run_scheme, PipelineConfig, Scheme};

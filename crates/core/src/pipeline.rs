@@ -97,33 +97,122 @@ impl Default for PipelineConfig {
 /// carries the scheme label.
 #[must_use]
 pub fn run_scheme(program: &Program, scheme: Scheme, cfg: &PipelineConfig) -> SimReport {
+    run_scheme_obs(program, scheme, cfg, None)
+}
+
+/// Like [`run_scheme`], but streams pipeline phase spans and the
+/// simulator's event sequence into `rec`.
+///
+/// Phases emitted: `dap-construction` (trace generation), for CM schemes
+/// `break-even-thresholding` and `directive-insertion` (see
+/// [`crate::insert::insert_directives_with_recorder`]), and `simulation`.
+#[cfg(feature = "obs")]
+#[must_use]
+pub fn run_scheme_with_recorder(
+    program: &Program,
+    scheme: Scheme,
+    cfg: &PipelineConfig,
+    rec: &dyn sdpm_obs::Recorder,
+) -> SimReport {
+    run_scheme_obs(program, scheme, cfg, Some(rec))
+}
+
+#[cfg(feature = "obs")]
+type Obs<'a> = Option<&'a dyn sdpm_obs::Recorder>;
+#[cfg(not(feature = "obs"))]
+type Obs<'a> = Option<&'a std::convert::Infallible>;
+
+/// Runs `f` inside a `PhaseStart`/`PhaseEnd` pair when recording.
+#[cfg(feature = "obs")]
+fn phase<T>(rec: Obs<'_>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let Some(r) = rec else { return f() };
+    r.record(&sdpm_obs::Event::PhaseStart { phase: name });
+    let out = f();
+    r.record(&sdpm_obs::Event::PhaseEnd { phase: name });
+    out
+}
+
+#[cfg(not(feature = "obs"))]
+fn phase<T>(_rec: Obs<'_>, _name: &'static str, f: impl FnOnce() -> T) -> T {
+    f()
+}
+
+/// `simulate` under a `simulation` phase span, streaming into the
+/// recorder when one is present.
+fn sim(
+    trace: &sdpm_trace::Trace,
+    cfg: &PipelineConfig,
+    pool: DiskPool,
+    policy: &Policy,
+    rec: Obs<'_>,
+) -> SimReport {
+    #[cfg(feature = "obs")]
+    if let Some(r) = rec {
+        return phase(rec, "simulation", || {
+            sdpm_sim::simulate_with_recorder(trace, &cfg.params, pool, policy, r)
+        });
+    }
+    let _ = rec;
+    simulate(trace, &cfg.params, pool, policy)
+}
+
+fn run_scheme_obs(
+    program: &Program,
+    scheme: Scheme,
+    cfg: &PipelineConfig,
+    rec: Obs<'_>,
+) -> SimReport {
     let pool = DiskPool::new(cfg.disks);
-    let trace = generate(program, pool, cfg.gen);
+    let trace = phase(rec, "dap-construction", || generate(program, pool, cfg.gen));
     let mut report = match scheme {
-        Scheme::Base => simulate(&trace, &cfg.params, pool, &Policy::Base),
-        Scheme::Tpm => simulate(&trace, &cfg.params, pool, &Policy::Tpm(cfg.tpm)),
-        Scheme::ITpm => simulate(&trace, &cfg.params, pool, &Policy::IdealTpm),
-        Scheme::Drpm => simulate(&trace, &cfg.params, pool, &Policy::Drpm(cfg.drpm)),
-        Scheme::IDrpm => simulate(&trace, &cfg.params, pool, &Policy::IdealDrpm),
+        Scheme::Base => sim(&trace, cfg, pool, &Policy::Base, rec),
+        Scheme::Tpm => sim(&trace, cfg, pool, &Policy::Tpm(cfg.tpm), rec),
+        Scheme::ITpm => sim(&trace, cfg, pool, &Policy::IdealTpm, rec),
+        Scheme::Drpm => sim(&trace, cfg, pool, &Policy::Drpm(cfg.drpm), rec),
+        Scheme::IDrpm => sim(&trace, cfg, pool, &Policy::IdealDrpm, rec),
         Scheme::CmTpm | Scheme::CmDrpm => {
             let mode = if scheme == Scheme::CmTpm {
                 CmMode::Tpm
             } else {
                 CmMode::Drpm
             };
-            let out = insert_directives(&trace, &cfg.params, &cfg.noise, mode, cfg.overhead_secs);
-            simulate(
+            let out = instrument(&trace, cfg, mode, rec);
+            sim(
                 &out.trace,
-                &cfg.params,
+                cfg,
                 pool,
                 &Policy::Directive(DirectiveConfig {
                     overhead_secs: cfg.overhead_secs,
                 }),
+                rec,
             )
         }
     };
     report.policy = scheme.label().to_string();
     report
+}
+
+/// `insert_directives`, routed through the recording variant when a
+/// recorder is present (it emits the two compiler phase spans itself).
+fn instrument(
+    trace: &sdpm_trace::Trace,
+    cfg: &PipelineConfig,
+    mode: CmMode,
+    rec: Obs<'_>,
+) -> crate::insert::InsertOutcome {
+    #[cfg(feature = "obs")]
+    if let Some(r) = rec {
+        return crate::insert::insert_directives_with_recorder(
+            trace,
+            &cfg.params,
+            &cfg.noise,
+            mode,
+            cfg.overhead_secs,
+            r,
+        );
+    }
+    let _ = rec;
+    insert_directives(trace, &cfg.params, &cfg.noise, mode, cfg.overhead_secs)
 }
 
 /// Runs all seven schemes, in order.
@@ -263,6 +352,9 @@ mod tests {
         let loud = run_scheme(&p, Scheme::CmDrpm, &loud_cfg);
         let fq = quiet.mispredicted_speed_fraction(&ladder);
         let fl = loud.mispredicted_speed_fraction(&ladder);
-        assert!(fq <= fl + 1e-9, "noise must not reduce mispredictions: {fq} vs {fl}");
+        assert!(
+            fq <= fl + 1e-9,
+            "noise must not reduce mispredictions: {fq} vs {fl}"
+        );
     }
 }

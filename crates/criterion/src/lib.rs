@@ -1,0 +1,183 @@
+//! In-tree stand-in for the `criterion` API subset this workspace uses.
+//!
+//! The build container is fully offline, so the real `criterion` cannot
+//! be fetched. This harness keeps the `benches/` sources compiling and
+//! producing useful wall-clock numbers: each benchmark is warmed up, then
+//! timed over `sample_size` samples, and the per-iteration median is
+//! printed together with derived throughput when one was declared.
+//!
+//! It intentionally skips criterion's statistics, plotting, and baseline
+//! comparison; the printed median is what the repo's performance notes
+//! reference.
+
+use std::time::Instant;
+
+/// Declared throughput of one benchmark, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing callback target. Mirrors `criterion::Bencher`.
+pub struct Bencher {
+    /// Median seconds per iteration, filled by [`Bencher::iter`].
+    median_secs: f64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration time across samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and iteration-count calibration: target ~40 ms per
+        // sample, at least one iteration.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let one = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.04 / one) as u64).clamp(1, 1_000_000);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.median_secs = samples[samples.len() / 2];
+    }
+}
+
+fn human_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn report(name: &str, median_secs: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.2} Melem/s)", n as f64 / median_secs / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.2} MiB/s)",
+                n as f64 / median_secs / (1024.0 * 1024.0)
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench: {name:<44} {:>12}/iter{rate}",
+        human_secs(median_secs)
+    );
+}
+
+/// Top-level harness handle. Mirrors `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            median_secs: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, b.median_secs, None);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sample size and throughput.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            median_secs: 0.0,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{name}", self.name),
+            b.median_secs,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (printing happens per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Mirrors `criterion_group!` (the `name/config/targets` form and the
+/// positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

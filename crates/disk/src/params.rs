@@ -121,7 +121,10 @@ impl DiskParams {
             ("spin_up_secs", self.spin_up_secs),
             ("spin_down_energy_j", self.spin_down_energy_j),
             ("spin_up_energy_j", self.spin_up_energy_j),
-            ("rpm_transition_secs_per_step", self.rpm_transition_secs_per_step),
+            (
+                "rpm_transition_secs_per_step",
+                self.rpm_transition_secs_per_step,
+            ),
         ] {
             if v.partial_cmp(&0.0).is_none() || v < 0.0 || !v.is_finite() {
                 return Err(format!("{name} must be finite and non-negative, got {v}"));
@@ -219,10 +222,7 @@ mod tests {
         assert_eq!(p.validate(), Ok(()));
         assert_eq!(p.rpm_level_count(), 1, "single-speed spindle");
         let be = crate::breakeven::tpm_break_even_secs(&p);
-        assert!(
-            be < 5.0,
-            "laptop break-even must be second-scale, got {be}"
-        );
+        assert!(be < 5.0, "laptop break-even must be second-scale, got {be}");
     }
 
     #[test]

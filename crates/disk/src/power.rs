@@ -76,7 +76,10 @@ pub enum PowerEvent {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PowerError {
     /// The requested event is not legal in the current state.
-    IllegalTransition { state: &'static str, event: &'static str },
+    IllegalTransition {
+        state: &'static str,
+        event: &'static str,
+    },
     /// `set_rpm` named a level that is off the disk's ladder.
     BadLevel,
     /// An event was applied at a time earlier than the machine's clock.
@@ -508,7 +511,8 @@ mod tests {
         m.advance(40.0).unwrap();
         let b = m.energy().breakdown();
         let total = b.total_j();
-        let sum = b.active_j + b.idle_j + b.standby_j + b.spin_up_j + b.spin_down_j + b.transition_j;
+        let sum =
+            b.active_j + b.idle_j + b.standby_j + b.spin_up_j + b.spin_down_j + b.transition_j;
         assert!((total - sum).abs() < 1e-9);
         assert!(b.transition_j > 0.0);
     }

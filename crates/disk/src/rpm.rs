@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Using an index rather than a raw RPM value makes off-ladder speeds
 /// unrepresentable in policy code.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RpmLevel(pub u8);
 
 impl RpmLevel {
@@ -212,7 +210,10 @@ mod tests {
         let l = ladder();
         let per_step = ultrastar36z15().rpm_transition_secs_per_step;
         let full = l.transition_secs(RpmLevel::MIN, l.max_level());
-        assert!((full - 10.0 * per_step).abs() < 1e-9, "10 steps of {per_step} s");
+        assert!(
+            (full - 10.0 * per_step).abs() < 1e-9,
+            "10 steps of {per_step} s"
+        );
         assert_eq!(l.transition_secs(RpmLevel(3), RpmLevel(3)), 0.0);
         assert!(
             (l.transition_secs(RpmLevel(2), RpmLevel(5))

@@ -104,8 +104,9 @@ mod tests {
         let t_full = service_time_secs(&p, &l, l.max_level(), req);
         let t_slow = service_time_secs(&p, &l, half_ish, req);
         let ratio = 15_000.0 / 7_800.0;
-        let expected =
-            p.avg_seek_secs + p.avg_rotation_secs * ratio + (t_full - p.avg_seek_secs - p.avg_rotation_secs) * ratio;
+        let expected = p.avg_seek_secs
+            + p.avg_rotation_secs * ratio
+            + (t_full - p.avg_seek_secs - p.avg_rotation_secs) * ratio;
         assert!((t_slow - expected).abs() < 1e-9);
     }
 

@@ -129,12 +129,18 @@ mod tests {
 
     #[test]
     fn storage_strides_row_major() {
-        assert_eq!(storage_strides(&[3, 4, 5], StorageOrder::RowMajor), vec![20, 5, 1]);
+        assert_eq!(
+            storage_strides(&[3, 4, 5], StorageOrder::RowMajor),
+            vec![20, 5, 1]
+        );
     }
 
     #[test]
     fn storage_strides_col_major() {
-        assert_eq!(storage_strides(&[3, 4, 5], StorageOrder::ColMajor), vec![1, 3, 12]);
+        assert_eq!(
+            storage_strides(&[3, 4, 5], StorageOrder::ColMajor),
+            vec![1, 3, 12]
+        );
     }
 
     #[test]

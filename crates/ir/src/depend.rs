@@ -38,8 +38,8 @@ fn conflicting_pairs<'a>(
 ) -> impl Iterator<Item = (&'a crate::nest::ArrayRef, &'a crate::nest::ArrayRef)> {
     a.refs.iter().flat_map(move |ra| {
         b.refs.iter().filter_map(move |rb| {
-            let conflict = ra.array == rb.array
-                && (ra.kind == RefKind::Write || rb.kind == RefKind::Write);
+            let conflict =
+                ra.array == rb.array && (ra.kind == RefKind::Write || rb.kind == RefKind::Write);
             conflict.then_some((ra, rb))
         })
     })
@@ -303,10 +303,7 @@ mod tests {
     fn chain_of_dependences_orders_groups() {
         // S1 -> S2 -> S3 via loop-independent deps; 3 groups in order.
         let n = nest_of(vec![
-            stmt(
-                "S1",
-                vec![ArrayRef::write(0, vec![i()])],
-            ),
+            stmt("S1", vec![ArrayRef::write(0, vec![i()])]),
             stmt(
                 "S2",
                 vec![ArrayRef::read(0, vec![i()]), ArrayRef::write(1, vec![i()])],

@@ -111,7 +111,11 @@ impl AffineExpr {
     /// disagree on the new depth.
     #[must_use]
     pub fn substituted(&self, subst: &[AffineExpr]) -> Self {
-        assert_eq!(subst.len(), self.coeffs.len(), "one substitution per old var");
+        assert_eq!(
+            subst.len(),
+            self.coeffs.len(),
+            "one substitution per old var"
+        );
         let new_depth = subst.first().map_or(0, AffineExpr::depth);
         let mut coeffs = vec![0i64; new_depth];
         let mut constant = self.constant;

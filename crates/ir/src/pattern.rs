@@ -222,11 +222,8 @@ mod tests {
         let am = disk_activity(&p, pool);
         let n = &am.nests[0];
         let epi = 128u64; // elements per stripe
-        // Disk 0: active first stripe of U1 only.
-        assert_eq!(
-            n.per_disk[0],
-            vec![IterInterval { start: 0, end: epi }]
-        );
+                          // Disk 0: active first stripe of U1 only.
+        assert_eq!(n.per_disk[0], vec![IterInterval { start: 0, end: epi }]);
         // Disk 1: active during U1's second stripe.
         assert_eq!(
             n.per_disk[1],

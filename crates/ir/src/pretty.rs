@@ -166,10 +166,7 @@ mod tests {
                 stmts: vec![Statement {
                     label: "S1".into(),
                     refs: vec![
-                        ArrayRef::write(
-                            0,
-                            vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1)],
-                        ),
+                        ArrayRef::write(0, vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1)]),
                         ArrayRef::read(
                             0,
                             vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1).shifted(1)],

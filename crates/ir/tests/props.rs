@@ -8,16 +8,19 @@ use sdpm_ir::{
 use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
 
 fn small_nest() -> impl Strategy<Value = LoopNest> {
-    proptest::collection::vec((0i64..5, 1u64..8, prop_oneof![Just(1i64), Just(2), Just(-1)]), 1..4)
-        .prop_map(|loops| LoopNest {
-            label: "n".into(),
-            loops: loops
-                .into_iter()
-                .map(|(lower, count, step)| LoopDim { lower, count, step })
-                .collect(),
-            stmts: vec![],
-            cycles_per_iter: 1.0,
-        })
+    proptest::collection::vec(
+        (0i64..5, 1u64..8, prop_oneof![Just(1i64), Just(2), Just(-1)]),
+        1..4,
+    )
+    .prop_map(|loops| LoopNest {
+        label: "n".into(),
+        loops: loops
+            .into_iter()
+            .map(|(lower, count, step)| LoopDim { lower, count, step })
+            .collect(),
+        stmts: vec![],
+        cycles_per_iter: 1.0,
+    })
 }
 
 proptest! {

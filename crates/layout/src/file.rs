@@ -81,7 +81,8 @@ impl ArrayFile {
     /// Disk holding the element with subscripts `idx`.
     #[must_use]
     pub fn disk_of(&self, pool: DiskPool, idx: &[u64]) -> DiskId {
-        self.striping.disk_for_offset(pool, self.byte_offset_of(idx))
+        self.striping
+            .disk_for_offset(pool, self.byte_offset_of(idx))
     }
 
     /// The set of disks this file can ever touch.

@@ -46,13 +46,19 @@ pub fn linearize(dims: &[u64], idx: &[u64], order: StorageOrder) -> u64 {
     match order {
         StorageOrder::RowMajor => {
             for (d, (&extent, &i)) in dims.iter().zip(idx).enumerate() {
-                assert!(i < extent, "subscript {i} out of range in dim {d} ({extent})");
+                assert!(
+                    i < extent,
+                    "subscript {i} out of range in dim {d} ({extent})"
+                );
                 lin = lin * extent + i;
             }
         }
         StorageOrder::ColMajor => {
             for (d, (&extent, &i)) in dims.iter().zip(idx).enumerate().rev() {
-                assert!(i < extent, "subscript {i} out of range in dim {d} ({extent})");
+                assert!(
+                    i < extent,
+                    "subscript {i} out of range in dim {d} ({extent})"
+                );
                 lin = lin * extent + i;
             }
         }

@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of one disk (one I/O node) in the storage subsystem.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DiskId(pub u32);
 
 impl fmt::Display for DiskId {
@@ -81,7 +79,10 @@ impl DiskSet {
     /// The set of all disks in `pool`.
     #[must_use]
     pub fn full(pool: DiskPool) -> Self {
-        assert!(pool.count() <= Self::MAX_DISKS, "pool too large for DiskSet");
+        assert!(
+            pool.count() <= Self::MAX_DISKS,
+            "pool too large for DiskSet"
+        );
         if pool.count() == Self::MAX_DISKS {
             DiskSet { bits: u64::MAX }
         } else {

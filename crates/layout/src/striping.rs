@@ -76,7 +76,10 @@ impl Striping {
     /// Disk holding stripe number `stripe` (0-based within the file).
     #[must_use]
     pub fn disk_for_stripe(&self, pool: DiskPool, stripe: u64) -> DiskId {
-        pool.wrap(self.start_disk, (stripe % u64::from(self.stripe_factor)) as u32)
+        pool.wrap(
+            self.start_disk,
+            (stripe % u64::from(self.stripe_factor)) as u32,
+        )
     }
 
     /// Disk holding the byte at `offset` within the file.
@@ -198,7 +201,14 @@ mod tests {
         let seq: Vec<_> = (0..6).map(|k| s.disk_for_stripe(p, k)).collect();
         assert_eq!(
             seq,
-            vec![DiskId(6), DiskId(7), DiskId(0), DiskId(1), DiskId(6), DiskId(7)]
+            vec![
+                DiskId(6),
+                DiskId(7),
+                DiskId(0),
+                DiskId(1),
+                DiskId(6),
+                DiskId(7)
+            ]
         );
     }
 

@@ -1,0 +1,376 @@
+//! Chrome `trace_event` export.
+//!
+//! Collects the event stream and writes the JSON object format consumed
+//! by Perfetto (<https://ui.perfetto.dev>) and `chrome://tracing`: a
+//! `traceEvents` array of complete (`"X"`), instant (`"i"`), and
+//! metadata (`"M"`) events.
+//!
+//! Layout: process 1 holds one thread (track) per disk carrying service
+//! spans, power transitions, and directive instants, plus a parallel
+//! `disk N idle` track per disk for the gap spans (gaps overlap the
+//! transitions that happen inside them, so they get their own track).
+//! Process 2 holds the pipeline phases, timed with host wall-clock
+//! (phases run before/around the simulation, not on its clock).
+//!
+//! Engine timestamps are simulated seconds scaled to microseconds, the
+//! unit `trace_event` expects.
+
+use crate::json::{push_escaped, push_f64};
+use crate::{Event, Recorder};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::time::Instant;
+
+const SIM_PID: u32 = 1;
+const PIPELINE_PID: u32 = 2;
+/// Gap tracks sit after the per-disk tracks; no pool exceeds this.
+const GAP_TID_BASE: u32 = 1_000_000;
+
+#[derive(Default)]
+struct State {
+    /// Pre-rendered `traceEvents` entries (JSON objects).
+    out: Vec<String>,
+    /// Service-span start per disk (closed-loop: at most one in flight).
+    service_start: Vec<Option<(f64, u8)>>,
+    /// Open pipeline phases: `(name, wall start)`.
+    phases: Vec<(&'static str, f64)>,
+    /// Highest disk index seen, for metadata emission.
+    disks: u32,
+}
+
+/// Records a run and writes it as Chrome `trace_event` JSON.
+pub struct ChromeTraceRecorder {
+    epoch: Instant,
+    state: RefCell<State>,
+}
+
+impl Default for ChromeTraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceRecorder {
+    #[must_use]
+    pub fn new() -> Self {
+        ChromeTraceRecorder {
+            epoch: Instant::now(),
+            state: RefCell::new(State::default()),
+        }
+    }
+
+    fn wall_us(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64() * 1e6
+    }
+
+    /// Writes the complete trace JSON to `w`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut dyn Write) -> io::Result<()> {
+        let st = self.state.borrow();
+        w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut first = true;
+        let mut emit = |w: &mut dyn Write, item: &str| -> io::Result<()> {
+            if !first {
+                w.write_all(b",")?;
+            }
+            first = false;
+            w.write_all(b"\n")?;
+            w.write_all(item.as_bytes())
+        };
+        // Metadata: name the processes and tracks.
+        emit(
+            w,
+            &meta_name("process_name", SIM_PID, None, "simulated disks"),
+        )?;
+        emit(
+            w,
+            &meta_name("process_name", PIPELINE_PID, None, "compiler pipeline"),
+        )?;
+        for d in 0..st.disks {
+            emit(
+                w,
+                &meta_name("thread_name", SIM_PID, Some(d + 1), &format!("disk {d}")),
+            )?;
+            emit(
+                w,
+                &meta_name(
+                    "thread_name",
+                    SIM_PID,
+                    Some(GAP_TID_BASE + d),
+                    &format!("disk {d} idle"),
+                ),
+            )?;
+        }
+        for item in &st.out {
+            emit(w, item)?;
+        }
+        w.write_all(b"\n]}\n")
+    }
+}
+
+fn meta_name(kind: &str, pid: u32, tid: Option<u32>, name: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\"ph\":\"M\",\"name\":");
+    push_escaped(&mut s, kind);
+    let _ = write!(s, ",\"pid\":{pid}");
+    if let Some(t) = tid {
+        let _ = write!(s, ",\"tid\":{t}");
+    }
+    s.push_str(",\"args\":{\"name\":");
+    push_escaped(&mut s, name);
+    s.push_str("}}");
+    s
+}
+
+/// One complete ("X") span on a simulated-disk track.
+fn span(name: &str, cat: &str, tid: u32, start_s: f64, end_s: f64, args: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\"ph\":\"X\",\"name\":");
+    push_escaped(&mut s, name);
+    s.push_str(",\"cat\":");
+    push_escaped(&mut s, cat);
+    let _ = write!(s, ",\"pid\":{SIM_PID},\"tid\":{tid},\"ts\":");
+    push_f64(&mut s, start_s * 1e6);
+    s.push_str(",\"dur\":");
+    push_f64(&mut s, ((end_s - start_s) * 1e6).max(0.0));
+    if !args.is_empty() {
+        let _ = write!(s, ",\"args\":{{{args}}}");
+    }
+    s.push('}');
+    s
+}
+
+/// One instant ("i") marker on a simulated-disk track.
+fn instant(name: &str, cat: &str, tid: u32, t_s: f64, args: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\"ph\":\"i\",\"s\":\"t\",\"name\":");
+    push_escaped(&mut s, name);
+    s.push_str(",\"cat\":");
+    push_escaped(&mut s, cat);
+    let _ = write!(s, ",\"pid\":{SIM_PID},\"tid\":{tid},\"ts\":");
+    push_f64(&mut s, t_s * 1e6);
+    if !args.is_empty() {
+        let _ = write!(s, ",\"args\":{{{args}}}");
+    }
+    s.push('}');
+    s
+}
+
+impl Recorder for ChromeTraceRecorder {
+    #[allow(clippy::too_many_lines)]
+    fn record(&self, ev: &Event) {
+        let mut st = self.state.borrow_mut();
+        if let Some(d) = ev.disk() {
+            st.disks = st.disks.max(d.0 + 1);
+        }
+        let tid = |d: sdpm_layout::DiskId| d.0 + 1;
+        match *ev {
+            Event::RequestArrived { t, disk, bytes, .. } => {
+                st.out.push(instant(
+                    "request",
+                    "io",
+                    tid(disk),
+                    t,
+                    &format!("\"bytes\":{bytes}"),
+                ));
+            }
+            Event::ServiceStart { t, disk, level } => {
+                let i = disk.0 as usize;
+                if st.service_start.len() <= i {
+                    st.service_start.resize(i + 1, None);
+                }
+                st.service_start[i] = Some((t, level.0));
+            }
+            Event::ServiceEnd { t, disk } => {
+                let i = disk.0 as usize;
+                if let Some(Some((start, level))) = st.service_start.get(i).copied() {
+                    st.service_start[i] = None;
+                    st.out.push(span(
+                        "service",
+                        "io",
+                        tid(disk),
+                        start,
+                        t,
+                        &format!("\"level\":{level}"),
+                    ));
+                }
+            }
+            Event::GapOpen { .. } => {}
+            Event::GapClose {
+                t,
+                disk,
+                opened,
+                level,
+                standby,
+            } => {
+                st.out.push(span(
+                    "idle gap",
+                    "gap",
+                    GAP_TID_BASE + disk.0,
+                    opened,
+                    t,
+                    &format!("\"dwell_level\":{},\"standby\":{standby}", level.0),
+                ));
+            }
+            Event::SpinDownStart { .. } | Event::SpinUpStart { .. } => {}
+            Event::SpinDownComplete { t, disk, started } => {
+                st.out
+                    .push(span("spin_down", "power", tid(disk), started, t, ""));
+            }
+            Event::SpinUpComplete { t, disk, started } => {
+                st.out
+                    .push(span("spin_up", "power", tid(disk), started, t, ""));
+            }
+            Event::RpmShiftStart { .. } => {}
+            Event::RpmShiftComplete {
+                t,
+                disk,
+                started,
+                level,
+            } => {
+                st.out.push(span(
+                    "rpm_shift",
+                    "power",
+                    tid(disk),
+                    started,
+                    t,
+                    &format!("\"to_level\":{}", level.0),
+                ));
+            }
+            Event::DirectiveIssued {
+                t,
+                disk,
+                action,
+                level,
+            } => {
+                let args = match level {
+                    Some(l) => format!("\"action\":\"{action}\",\"level\":{}", l.0),
+                    None => format!("\"action\":\"{action}\""),
+                };
+                st.out
+                    .push(instant("directive", "directive", tid(disk), t, &args));
+            }
+            Event::DirectiveMisfire { t, disk, cause } => {
+                st.out.push(instant(
+                    "misfire",
+                    "directive",
+                    tid(disk),
+                    t,
+                    &format!("\"cause\":\"{cause}\""),
+                ));
+            }
+            Event::StallAccrued { t, disk, secs, .. } => {
+                if secs > 0.0 {
+                    let mut args = String::from("\"secs\":");
+                    push_f64(&mut args, secs);
+                    st.out.push(instant("stall", "stall", tid(disk), t, &args));
+                }
+            }
+            Event::DiskEnergy { t, disk, joules } => {
+                let mut args = String::from("\"joules\":");
+                push_f64(&mut args, joules);
+                st.out
+                    .push(instant("energy", "summary", tid(disk), t, &args));
+            }
+            Event::RunEnd { .. } => {}
+            Event::PhaseStart { phase } => {
+                let now = self.wall_us();
+                st.phases.push((phase, now));
+            }
+            Event::PhaseEnd { phase } => {
+                let now = self.wall_us();
+                if let Some(pos) = st.phases.iter().rposition(|(p, _)| *p == phase) {
+                    let (_, start) = st.phases.remove(pos);
+                    let mut s = String::new();
+                    s.push_str("{\"ph\":\"X\",\"name\":");
+                    push_escaped(&mut s, phase);
+                    let _ = write!(
+                        s,
+                        ",\"cat\":\"phase\",\"pid\":{PIPELINE_PID},\"tid\":1,\"ts\":"
+                    );
+                    push_f64(&mut s, start);
+                    s.push_str(",\"dur\":");
+                    push_f64(&mut s, (now - start).max(0.0));
+                    s.push('}');
+                    st.out.push(s);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use sdpm_disk::RpmLevel;
+    use sdpm_layout::DiskId;
+
+    #[test]
+    fn produces_loadable_trace_json() {
+        let rec = ChromeTraceRecorder::new();
+        let d = DiskId(0);
+        rec.record(&Event::PhaseStart {
+            phase: "simulation",
+        });
+        rec.record(&Event::GapOpen { t: 0.0, disk: d });
+        rec.record(&Event::RequestArrived {
+            t: 1.0,
+            disk: d,
+            bytes: 4096,
+            write: false,
+        });
+        rec.record(&Event::GapClose {
+            t: 1.0,
+            disk: d,
+            opened: 0.0,
+            level: RpmLevel(11),
+            standby: false,
+        });
+        rec.record(&Event::ServiceStart {
+            t: 1.0,
+            disk: d,
+            level: RpmLevel(11),
+        });
+        rec.record(&Event::ServiceEnd { t: 1.1, disk: d });
+        rec.record(&Event::SpinDownStart { t: 2.0, disk: d });
+        rec.record(&Event::SpinDownComplete {
+            t: 3.5,
+            disk: d,
+            started: 2.0,
+        });
+        rec.record(&Event::RunEnd { t: 4.0 });
+        rec.record(&Event::PhaseEnd {
+            phase: "simulation",
+        });
+
+        let mut buf = Vec::new();
+        rec.write_to(&mut buf).unwrap();
+        let v = Value::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let evs = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(evs.len() >= 6);
+        for e in evs {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(matches!(ph, "X" | "i" | "M"), "unexpected ph {ph}");
+            assert!(e.get("name").is_some());
+            if ph == "X" {
+                assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+            }
+        }
+        // The service span is 0.1 s = 1e5 us.
+        let svc = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("service"))
+            .expect("service span");
+        assert!((svc.get("dur").unwrap().as_f64().unwrap() - 1e5).abs() < 1e-6);
+        // The phase span landed in the pipeline process.
+        let phase = evs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("simulation"))
+            .expect("phase span");
+        assert_eq!(phase.get("pid").unwrap().as_u64(), Some(2));
+    }
+}

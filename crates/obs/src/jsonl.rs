@@ -1,0 +1,236 @@
+//! Event streaming as JSON Lines.
+//!
+//! One event per line, `{"ev": "<kind>", ...}`. All values come from the
+//! deterministic simulation clock, and numbers are printed in Rust's
+//! shortest round-trip form, so two runs with the same seed and policy
+//! produce **byte-identical** streams — the property the determinism
+//! test pins down.
+
+use crate::json::{push_escaped, push_f64};
+use crate::{Event, Recorder};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::io::Write;
+
+/// Streams every event to `w` as one JSON line.
+pub struct JsonlRecorder<W: Write> {
+    w: RefCell<W>,
+}
+
+impl<W: Write> JsonlRecorder<W> {
+    #[must_use]
+    pub fn new(w: W) -> Self {
+        JsonlRecorder { w: RefCell::new(w) }
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Panics
+    /// If the final flush fails.
+    pub fn into_inner(self) -> W {
+        let mut w = self.w.into_inner();
+        w.flush().expect("jsonl flush");
+        w
+    }
+}
+
+impl<W: Write> Recorder for JsonlRecorder<W> {
+    fn record(&self, ev: &Event) {
+        let mut line = event_to_json(ev);
+        line.push('\n');
+        self.w
+            .borrow_mut()
+            .write_all(line.as_bytes())
+            .expect("jsonl write");
+    }
+}
+
+/// Renders one event as its JSONL object (no trailing newline).
+#[must_use]
+pub fn event_to_json(ev: &Event) -> String {
+    let mut s = String::with_capacity(96);
+    s.push_str("{\"ev\":");
+    push_escaped(&mut s, ev.kind());
+    if let Some(t) = ev.time() {
+        s.push_str(",\"t\":");
+        push_f64(&mut s, t);
+    }
+    if let Some(d) = ev.disk() {
+        let _ = write!(s, ",\"disk\":{}", d.0);
+    }
+    match ev {
+        Event::RequestArrived { bytes, write, .. } => {
+            let _ = write!(s, ",\"bytes\":{bytes},\"write\":{write}");
+        }
+        Event::ServiceStart { level, .. } => {
+            let _ = write!(s, ",\"level\":{}", level.0);
+        }
+        Event::GapClose {
+            opened,
+            level,
+            standby,
+            ..
+        } => {
+            s.push_str(",\"opened\":");
+            push_f64(&mut s, *opened);
+            let _ = write!(s, ",\"level\":{},\"standby\":{standby}", level.0);
+        }
+        Event::SpinDownComplete { started, .. } | Event::SpinUpComplete { started, .. } => {
+            s.push_str(",\"started\":");
+            push_f64(&mut s, *started);
+        }
+        Event::RpmShiftStart { from, to, .. } => {
+            let _ = write!(s, ",\"from\":{},\"to\":{}", from.0, to.0);
+        }
+        Event::RpmShiftComplete { started, level, .. } => {
+            s.push_str(",\"started\":");
+            push_f64(&mut s, *started);
+            let _ = write!(s, ",\"level\":{}", level.0);
+        }
+        Event::DirectiveIssued { action, level, .. } => {
+            s.push_str(",\"action\":");
+            push_escaped(&mut s, action);
+            if let Some(l) = level {
+                let _ = write!(s, ",\"level\":{}", l.0);
+            }
+        }
+        Event::DirectiveMisfire { cause, .. } => {
+            s.push_str(",\"cause\":");
+            push_escaped(&mut s, cause);
+        }
+        Event::StallAccrued { secs, slowdown, .. } => {
+            s.push_str(",\"secs\":");
+            push_f64(&mut s, *secs);
+            s.push_str(",\"slowdown\":");
+            push_f64(&mut s, *slowdown);
+        }
+        Event::DiskEnergy { joules, .. } => {
+            s.push_str(",\"joules\":");
+            push_f64(&mut s, *joules);
+        }
+        Event::PhaseStart { phase } | Event::PhaseEnd { phase } => {
+            s.push_str(",\"phase\":");
+            push_escaped(&mut s, phase);
+        }
+        Event::ServiceEnd { .. }
+        | Event::GapOpen { .. }
+        | Event::SpinDownStart { .. }
+        | Event::SpinUpStart { .. }
+        | Event::RunEnd { .. } => {}
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+    use sdpm_disk::RpmLevel;
+    use sdpm_layout::DiskId;
+
+    #[test]
+    fn every_variant_renders_parseable_json() {
+        let d = DiskId(1);
+        let evs = [
+            Event::RequestArrived {
+                t: 0.5,
+                disk: d,
+                bytes: 4096,
+                write: true,
+            },
+            Event::ServiceStart {
+                t: 0.5,
+                disk: d,
+                level: RpmLevel(11),
+            },
+            Event::ServiceEnd { t: 0.6, disk: d },
+            Event::GapOpen { t: 0.6, disk: d },
+            Event::GapClose {
+                t: 9.0,
+                disk: d,
+                opened: 0.6,
+                level: RpmLevel(0),
+                standby: false,
+            },
+            Event::SpinDownStart { t: 1.0, disk: d },
+            Event::SpinDownComplete {
+                t: 2.5,
+                disk: d,
+                started: 1.0,
+            },
+            Event::SpinUpStart { t: 3.0, disk: d },
+            Event::SpinUpComplete {
+                t: 13.9,
+                disk: d,
+                started: 3.0,
+            },
+            Event::RpmShiftStart {
+                t: 1.0,
+                disk: d,
+                from: RpmLevel(11),
+                to: RpmLevel(3),
+            },
+            Event::RpmShiftComplete {
+                t: 2.0,
+                disk: d,
+                started: 1.0,
+                level: RpmLevel(3),
+            },
+            Event::DirectiveIssued {
+                t: 1.0,
+                disk: d,
+                action: "set_rpm",
+                level: Some(RpmLevel(3)),
+            },
+            Event::DirectiveMisfire {
+                t: 1.0,
+                disk: d,
+                cause: "spin_up_rejected",
+            },
+            Event::StallAccrued {
+                t: 0.6,
+                disk: d,
+                secs: 0.01,
+                slowdown: 1.5,
+            },
+            Event::DiskEnergy {
+                t: 9.0,
+                disk: d,
+                joules: 42.0,
+            },
+            Event::RunEnd { t: 9.0 },
+            Event::PhaseStart {
+                phase: "dap-construction",
+            },
+            Event::PhaseEnd {
+                phase: "dap-construction",
+            },
+        ];
+        for ev in &evs {
+            let line = event_to_json(ev);
+            let v = Value::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(v.get("ev").unwrap().as_str(), Some(ev.kind()));
+            if let Some(t) = ev.time() {
+                assert_eq!(v.get("t").unwrap().as_f64(), Some(t));
+            }
+            if let Some(d) = ev.disk() {
+                assert_eq!(v.get("disk").unwrap().as_u64(), Some(u64::from(d.0)));
+            }
+        }
+    }
+
+    #[test]
+    fn recorder_writes_one_line_per_event() {
+        let rec = JsonlRecorder::new(Vec::new());
+        rec.record(&Event::RunEnd { t: 1.0 });
+        rec.record(&Event::GapOpen {
+            t: 0.0,
+            disk: DiskId(0),
+        });
+        let out = String::from_utf8(rec.into_inner()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| Value::parse(l).is_ok()));
+    }
+}

@@ -1,0 +1,295 @@
+//! Structured event tracing and metrics for the disk-power simulator.
+//!
+//! The simulation engine and the compiler pipeline emit a stream of
+//! [`Event`]s — request arrivals, service spans, idle gaps, power-state
+//! transitions, directive issues and misfires, pipeline phases — into a
+//! [`Recorder`]. Recorders are composable sinks:
+//!
+//! * [`MetricsRecorder`] — counters plus fixed log-spaced histograms
+//!   (gap length, request slowdown) and a dwell-level distribution;
+//! * [`JsonlRecorder`] — streams every event as one JSON line, in a
+//!   byte-deterministic form (same seed and policy ⇒ identical bytes);
+//! * [`ChromeTraceRecorder`] — renders the run as a Chrome
+//!   `trace_event` JSON file with one timeline track per disk, loadable
+//!   in Perfetto or `chrome://tracing`;
+//! * [`NoopRecorder`] / [`FanoutRecorder`] — the zero-cost default and
+//!   a tee to several sinks.
+//!
+//! The hooks in `sdpm-sim` and `sdpm-core` live behind their `obs`
+//! cargo feature; with the feature off the emission sites compile away
+//! entirely, so benchmark hot paths are unchanged.
+//!
+//! Timestamps are **simulated seconds** for engine events. Pipeline
+//! phase events carry no timestamp (phases run on the host, not on the
+//! simulated clock); recorders that need wall durations measure them at
+//! record time.
+
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+pub mod metrics;
+
+pub use chrome::ChromeTraceRecorder;
+pub use jsonl::JsonlRecorder;
+pub use metrics::{LogHistogram, Metrics, MetricsRecorder, PerDiskMetrics};
+
+use sdpm_disk::RpmLevel;
+use sdpm_layout::DiskId;
+
+/// One observable occurrence in a simulation run or pipeline execution.
+///
+/// Engine timestamps (`t`) are simulated seconds from run start.
+/// Transition `*Complete` events are emitted at issue time with the
+/// transition's scheduled end as their timestamp; a completion whose
+/// time exceeds its disk's final horizon (the [`Event::DiskEnergy`]
+/// timestamp) never actually happened (the run ended mid-transition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// An I/O request reached the disk (closing any idle gap).
+    RequestArrived {
+        t: f64,
+        disk: DiskId,
+        bytes: u64,
+        write: bool,
+    },
+    /// Service began (after any wake-up/transition wait).
+    ServiceStart {
+        t: f64,
+        disk: DiskId,
+        level: RpmLevel,
+    },
+    /// Service completed.
+    ServiceEnd { t: f64, disk: DiskId },
+    /// An idle gap opened (service completion or run start).
+    GapOpen { t: f64, disk: DiskId },
+    /// The gap that opened at `opened` closed at `t`; `level` is the
+    /// deepest RPM level dwelt at, `standby` whether the disk spun down.
+    GapClose {
+        t: f64,
+        disk: DiskId,
+        opened: f64,
+        level: RpmLevel,
+        standby: bool,
+    },
+    /// A spin-down transition began.
+    SpinDownStart { t: f64, disk: DiskId },
+    /// The spin-down that began at `started` reaches standby at `t`.
+    SpinDownComplete { t: f64, disk: DiskId, started: f64 },
+    /// A spin-up transition began.
+    SpinUpStart { t: f64, disk: DiskId },
+    /// The spin-up that began at `started` reaches full speed at `t`.
+    SpinUpComplete { t: f64, disk: DiskId, started: f64 },
+    /// An RPM shift from `from` toward `to` began.
+    RpmShiftStart {
+        t: f64,
+        disk: DiskId,
+        from: RpmLevel,
+        to: RpmLevel,
+    },
+    /// The shift that began at `started` settles at `level` at `t`.
+    RpmShiftComplete {
+        t: f64,
+        disk: DiskId,
+        started: f64,
+        level: RpmLevel,
+    },
+    /// A power-management call was issued to the disk (a compiler
+    /// directive or an oracle-scheduled action). `action` is one of
+    /// `"spin_down"`, `"spin_up"`, `"set_rpm"`; `level` accompanies
+    /// `set_rpm`.
+    DirectiveIssued {
+        t: f64,
+        disk: DiskId,
+        action: &'static str,
+        level: Option<RpmLevel>,
+    },
+    /// A power-management action could not be applied as issued; `cause`
+    /// matches `sdpm_sim::report::MisfireCause::label()`.
+    DirectiveMisfire {
+        t: f64,
+        disk: DiskId,
+        cause: &'static str,
+    },
+    /// A request cost `secs` beyond its full-speed service time
+    /// (`slowdown` = observed response / full-speed service). Emitted
+    /// once per request, at its completion time.
+    StallAccrued {
+        t: f64,
+        disk: DiskId,
+        secs: f64,
+        slowdown: f64,
+    },
+    /// Finalization: the disk's total energy over the run. `t` is the
+    /// disk's final horizon — normally the end of execution, later if
+    /// the disk's last applied action landed past it. A transition
+    /// `*Complete` for this disk whose time exceeds `t` never actually
+    /// happened (the run ended mid-transition).
+    DiskEnergy { t: f64, disk: DiskId, joules: f64 },
+    /// Finalization: end of simulated execution.
+    RunEnd { t: f64 },
+    /// A pipeline phase (host-side work: DAP construction, break-even
+    /// thresholding, directive insertion, simulation) started.
+    PhaseStart { phase: &'static str },
+    /// The innermost open phase with this name ended.
+    PhaseEnd { phase: &'static str },
+}
+
+impl Event {
+    /// Stable snake_case tag naming the variant (the JSONL `"ev"` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RequestArrived { .. } => "request_arrived",
+            Event::ServiceStart { .. } => "service_start",
+            Event::ServiceEnd { .. } => "service_end",
+            Event::GapOpen { .. } => "gap_open",
+            Event::GapClose { .. } => "gap_close",
+            Event::SpinDownStart { .. } => "spin_down_start",
+            Event::SpinDownComplete { .. } => "spin_down_complete",
+            Event::SpinUpStart { .. } => "spin_up_start",
+            Event::SpinUpComplete { .. } => "spin_up_complete",
+            Event::RpmShiftStart { .. } => "rpm_shift_start",
+            Event::RpmShiftComplete { .. } => "rpm_shift_complete",
+            Event::DirectiveIssued { .. } => "directive_issued",
+            Event::DirectiveMisfire { .. } => "directive_misfire",
+            Event::StallAccrued { .. } => "stall_accrued",
+            Event::DiskEnergy { .. } => "disk_energy",
+            Event::RunEnd { .. } => "run_end",
+            Event::PhaseStart { .. } => "phase_start",
+            Event::PhaseEnd { .. } => "phase_end",
+        }
+    }
+
+    /// The event's simulated timestamp, if it carries one.
+    #[must_use]
+    pub fn time(&self) -> Option<f64> {
+        match self {
+            Event::RequestArrived { t, .. }
+            | Event::ServiceStart { t, .. }
+            | Event::ServiceEnd { t, .. }
+            | Event::GapOpen { t, .. }
+            | Event::GapClose { t, .. }
+            | Event::SpinDownStart { t, .. }
+            | Event::SpinDownComplete { t, .. }
+            | Event::SpinUpStart { t, .. }
+            | Event::SpinUpComplete { t, .. }
+            | Event::RpmShiftStart { t, .. }
+            | Event::RpmShiftComplete { t, .. }
+            | Event::DirectiveIssued { t, .. }
+            | Event::DirectiveMisfire { t, .. }
+            | Event::StallAccrued { t, .. }
+            | Event::DiskEnergy { t, .. }
+            | Event::RunEnd { t } => Some(*t),
+            Event::PhaseStart { .. } | Event::PhaseEnd { .. } => None,
+        }
+    }
+
+    /// The disk the event concerns, if any.
+    #[must_use]
+    pub fn disk(&self) -> Option<DiskId> {
+        match self {
+            Event::RequestArrived { disk, .. }
+            | Event::ServiceStart { disk, .. }
+            | Event::ServiceEnd { disk, .. }
+            | Event::GapOpen { disk, .. }
+            | Event::GapClose { disk, .. }
+            | Event::SpinDownStart { disk, .. }
+            | Event::SpinDownComplete { disk, .. }
+            | Event::SpinUpStart { disk, .. }
+            | Event::SpinUpComplete { disk, .. }
+            | Event::RpmShiftStart { disk, .. }
+            | Event::RpmShiftComplete { disk, .. }
+            | Event::DirectiveIssued { disk, .. }
+            | Event::DirectiveMisfire { disk, .. }
+            | Event::StallAccrued { disk, .. }
+            | Event::DiskEnergy { disk, .. } => Some(*disk),
+            Event::RunEnd { .. } | Event::PhaseStart { .. } | Event::PhaseEnd { .. } => None,
+        }
+    }
+}
+
+/// An event sink. Methods take `&self` so one recorder can be shared by
+/// reference through the engine; implementations use interior mutability.
+pub trait Recorder {
+    /// Consumes one event.
+    fn record(&self, ev: &Event);
+}
+
+/// Discards everything. The engine's default when no recorder is given.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn record(&self, _ev: &Event) {}
+}
+
+/// Tees every event to each of several recorders, in order.
+#[derive(Default)]
+pub struct FanoutRecorder<'a> {
+    sinks: Vec<&'a dyn Recorder>,
+}
+
+impl<'a> FanoutRecorder<'a> {
+    #[must_use]
+    pub fn new(sinks: Vec<&'a dyn Recorder>) -> Self {
+        FanoutRecorder { sinks }
+    }
+
+    /// Adds one more sink.
+    pub fn push(&mut self, sink: &'a dyn Recorder) {
+        self.sinks.push(sink);
+    }
+}
+
+impl Recorder for FanoutRecorder<'_> {
+    fn record(&self, ev: &Event) {
+        for s in &self.sinks {
+            s.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct Counting(Cell<u64>);
+    impl Recorder for Counting {
+        fn record(&self, _ev: &Event) {
+            self.0.set(self.0.get() + 1);
+        }
+    }
+
+    #[test]
+    fn fanout_reaches_every_sink() {
+        let a = Counting(Cell::new(0));
+        let b = Counting(Cell::new(0));
+        let mut tee = FanoutRecorder::new(vec![&a]);
+        tee.push(&b);
+        tee.record(&Event::RunEnd { t: 1.0 });
+        tee.record(&Event::GapOpen {
+            t: 0.0,
+            disk: DiskId(3),
+        });
+        assert_eq!(a.0.get(), 2);
+        assert_eq!(b.0.get(), 2);
+    }
+
+    #[test]
+    fn kind_time_disk_accessors() {
+        let ev = Event::GapClose {
+            t: 5.0,
+            disk: DiskId(2),
+            opened: 1.0,
+            level: RpmLevel(4),
+            standby: false,
+        };
+        assert_eq!(ev.kind(), "gap_close");
+        assert_eq!(ev.time(), Some(5.0));
+        assert_eq!(ev.disk(), Some(DiskId(2)));
+        assert_eq!(Event::PhaseStart { phase: "x" }.time(), None);
+        assert_eq!(Event::RunEnd { t: 0.0 }.disk(), None);
+    }
+}

@@ -1,0 +1,430 @@
+//! Counters and fixed log-spaced histograms over the event stream.
+//!
+//! [`MetricsRecorder`] folds events into a [`Metrics`] value as they
+//! arrive; nothing is buffered except transition completions, which are
+//! only counted once the run's end reveals the disk's horizon — the
+//! [`crate::Event::DiskEnergy`] timestamp, or [`crate::Event::RunEnd`]
+//! for disks without one. A transition whose scheduled end falls past
+//! the horizon never completed, mirroring the engine's power-state
+//! machine counters exactly.
+
+use crate::{Event, Recorder};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// A histogram with logarithmically spaced bucket boundaries, plus
+/// underflow/overflow buckets. Bucket `i` covers
+/// `[lo * ratio^i, lo * ratio^(i+1))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    lo: f64,
+    ratio: f64,
+    /// `buckets + 2` counts: `[underflow, b0..b(n-1), overflow]`.
+    counts: Vec<u64>,
+}
+
+impl LogHistogram {
+    /// `buckets` log-spaced buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// If the span is empty or not positive.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && buckets > 0, "bad histogram span");
+        LogHistogram {
+            lo,
+            ratio: (hi / lo).powf(1.0 / buckets as f64),
+            counts: vec![0; buckets + 2],
+        }
+    }
+
+    /// Records one sample. Non-finite samples count as overflow.
+    pub fn record(&mut self, v: f64) {
+        let n = self.counts.len() - 2;
+        let i = if !(v.is_finite()) || v >= self.lo * self.ratio.powi(n as i32) {
+            n + 1
+        } else if v < self.lo {
+            0
+        } else {
+            // +1 for the underflow slot; clamp against boundary rounding.
+            ((v / self.lo).ln() / self.ratio.ln()) as usize + 1
+        };
+        let i = i.min(self.counts.len() - 1);
+        self.counts[i] += 1;
+    }
+
+    /// All counts: `[underflow, buckets.., overflow]`.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `[lower, upper)` bounds of bucket `i` of `counts()` (underflow and
+    /// overflow are half-open at zero/infinity).
+    #[must_use]
+    pub fn bucket_bounds(&self, i: usize) -> (f64, f64) {
+        let n = self.counts.len() - 2;
+        if i == 0 {
+            (0.0, self.lo)
+        } else if i > n {
+            (self.lo * self.ratio.powi(n as i32), f64::INFINITY)
+        } else {
+            (
+                self.lo * self.ratio.powi(i as i32 - 1),
+                self.lo * self.ratio.powi(i as i32),
+            )
+        }
+    }
+
+    /// Compact one-line rendering of the non-empty buckets.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let (a, b) = self.bucket_bounds(i);
+            parts.push(format!("[{a:.3e},{b:.3e}):{c}"));
+        }
+        if parts.is_empty() {
+            "(empty)".to_string()
+        } else {
+            parts.join(" ")
+        }
+    }
+}
+
+/// Per-disk totals, indexed by `DiskId.0`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerDiskMetrics {
+    pub requests: u64,
+    pub spin_downs: u64,
+    pub spin_ups: u64,
+    pub rpm_shifts: u64,
+    /// Summed idle-gap seconds (each gap added as `close - open`, in gap
+    /// order, matching the report's per-disk summation).
+    pub gap_secs: f64,
+    pub stall_secs: f64,
+    /// Total joules, from the finalization [`Event::DiskEnergy`].
+    pub energy_j: f64,
+}
+
+/// The folded state of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    pub requests: u64,
+    pub bytes: u64,
+    pub writes: u64,
+    /// Completed transitions (scheduled end within the run horizon).
+    pub spin_downs: u64,
+    pub spin_ups: u64,
+    pub rpm_shifts: u64,
+    pub directives_issued: u64,
+    /// Misfire counts keyed by cause label.
+    pub misfires: BTreeMap<&'static str, u64>,
+    /// Total stall seconds, accumulated in event order (bit-identical to
+    /// the engine's own accumulation).
+    pub stall_secs: f64,
+    pub gap_count: u64,
+    /// Gaps that reached standby.
+    pub standby_gaps: u64,
+    pub energy_j: f64,
+    /// Simulated end of execution; 0 until [`Event::RunEnd`].
+    pub exec_secs: f64,
+    pub per_disk: Vec<PerDiskMetrics>,
+    /// Idle-gap lengths, seconds.
+    pub gap_hist: LogHistogram,
+    /// Per-request slowdown (response / full-speed service), so the
+    /// interesting mass sits just above 1.0.
+    pub slowdown_hist: LogHistogram,
+    /// Gap count by deepest dwelt RPM level (index = `RpmLevel.0`).
+    pub dwell_levels: Vec<u64>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            requests: 0,
+            bytes: 0,
+            writes: 0,
+            spin_downs: 0,
+            spin_ups: 0,
+            rpm_shifts: 0,
+            directives_issued: 0,
+            misfires: BTreeMap::new(),
+            stall_secs: 0.0,
+            gap_count: 0,
+            standby_gaps: 0,
+            energy_j: 0.0,
+            exec_secs: 0.0,
+            per_disk: Vec::new(),
+            // 1 ms .. 10^4 s, 4 buckets per decade.
+            gap_hist: LogHistogram::new(1e-3, 1e4, 28),
+            // 1x .. 100x, 8 buckets per decade.
+            slowdown_hist: LogHistogram::new(1.0, 100.0, 16),
+            dwell_levels: Vec::new(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Total misfires across causes.
+    #[must_use]
+    pub fn misfires_total(&self) -> u64 {
+        self.misfires.values().sum()
+    }
+
+    fn disk(&mut self, d: sdpm_layout::DiskId) -> &mut PerDiskMetrics {
+        let i = d.0 as usize;
+        if self.per_disk.len() <= i {
+            self.per_disk.resize(i + 1, PerDiskMetrics::default());
+        }
+        &mut self.per_disk[i]
+    }
+}
+
+/// Pending transition completions: `(disk index, scheduled end)`.
+#[derive(Debug, Default)]
+struct Pending {
+    spin_downs: Vec<(usize, f64)>,
+    spin_ups: Vec<(usize, f64)>,
+    rpm_shifts: Vec<(usize, f64)>,
+}
+
+/// Folds the event stream into [`Metrics`].
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    state: RefCell<(Metrics, Pending)>,
+}
+
+impl MetricsRecorder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The folded metrics. Accurate after [`Event::RunEnd`]; before it,
+    /// every pending transition is counted as if it will complete.
+    #[must_use]
+    pub fn snapshot(&self) -> Metrics {
+        let st = self.state.borrow();
+        let mut m = st.0.clone();
+        let pend = &st.1;
+        for &(d, _) in &pend.spin_downs {
+            m.spin_downs += 1;
+            bump(&mut m, d, |p| &mut p.spin_downs);
+        }
+        for &(d, _) in &pend.spin_ups {
+            m.spin_ups += 1;
+            bump(&mut m, d, |p| &mut p.spin_ups);
+        }
+        for &(d, _) in &pend.rpm_shifts {
+            m.rpm_shifts += 1;
+            bump(&mut m, d, |p| &mut p.rpm_shifts);
+        }
+        m
+    }
+}
+
+fn bump(m: &mut Metrics, i: usize, f: impl Fn(&mut PerDiskMetrics) -> &mut u64) {
+    if m.per_disk.len() <= i {
+        m.per_disk.resize(i + 1, PerDiskMetrics::default());
+    }
+    *f(&mut m.per_disk[i]) += 1;
+}
+
+/// Counts pending completions whose scheduled end is within horizon `t`,
+/// dropping the rest. `only` restricts resolution to one disk index.
+fn resolve(m: &mut Metrics, pend: &mut Pending, t: f64, only: Option<usize>) {
+    let mut one = |v: &mut Vec<(usize, f64)>,
+                   total: fn(&mut Metrics) -> &mut u64,
+                   per: fn(&mut PerDiskMetrics) -> &mut u64| {
+        v.retain(|&(d, at)| {
+            if only.is_some_and(|o| o != d) {
+                return true;
+            }
+            if at <= t {
+                *total(m) += 1;
+                bump(m, d, per);
+            }
+            false
+        });
+    };
+    one(
+        &mut pend.spin_downs,
+        |m| &mut m.spin_downs,
+        |p| &mut p.spin_downs,
+    );
+    one(&mut pend.spin_ups, |m| &mut m.spin_ups, |p| &mut p.spin_ups);
+    one(
+        &mut pend.rpm_shifts,
+        |m| &mut m.rpm_shifts,
+        |p| &mut p.rpm_shifts,
+    );
+}
+
+impl Recorder for MetricsRecorder {
+    fn record(&self, ev: &Event) {
+        let mut st = self.state.borrow_mut();
+        let (m, pend) = &mut *st;
+        match *ev {
+            Event::RequestArrived {
+                disk, bytes, write, ..
+            } => {
+                m.requests += 1;
+                m.bytes += bytes;
+                if write {
+                    m.writes += 1;
+                }
+                m.disk(disk).requests += 1;
+            }
+            Event::ServiceStart { .. } | Event::ServiceEnd { .. } | Event::GapOpen { .. } => {}
+            Event::GapClose {
+                t,
+                disk,
+                opened,
+                level,
+                standby,
+            } => {
+                let len = t - opened;
+                m.gap_count += 1;
+                if standby {
+                    m.standby_gaps += 1;
+                }
+                m.gap_hist.record(len);
+                let li = level.0 as usize;
+                if m.dwell_levels.len() <= li {
+                    m.dwell_levels.resize(li + 1, 0);
+                }
+                m.dwell_levels[li] += 1;
+                m.disk(disk).gap_secs += len;
+            }
+            Event::SpinDownStart { .. }
+            | Event::SpinUpStart { .. }
+            | Event::RpmShiftStart { .. } => {}
+            Event::SpinDownComplete { t, disk, .. } => {
+                pend.spin_downs.push((disk.0 as usize, t));
+            }
+            Event::SpinUpComplete { t, disk, .. } => {
+                pend.spin_ups.push((disk.0 as usize, t));
+            }
+            Event::RpmShiftComplete { t, disk, .. } => {
+                pend.rpm_shifts.push((disk.0 as usize, t));
+            }
+            Event::DirectiveIssued { .. } => m.directives_issued += 1,
+            Event::DirectiveMisfire { cause, .. } => {
+                *m.misfires.entry(cause).or_insert(0) += 1;
+            }
+            Event::StallAccrued {
+                disk,
+                secs,
+                slowdown,
+                ..
+            } => {
+                m.stall_secs += secs;
+                m.slowdown_hist.record(slowdown);
+                m.disk(disk).stall_secs += secs;
+            }
+            Event::DiskEnergy { t, disk, joules } => {
+                m.energy_j += joules;
+                m.disk(disk).energy_j = joules;
+                // The disk's final horizon is now known: resolve its
+                // pending completions against it — the same `until <= t`
+                // comparison the state machine's `advance` uses, so
+                // counts agree bit-for-bit.
+                resolve(m, pend, t, Some(disk.0 as usize));
+            }
+            Event::RunEnd { t } => {
+                m.exec_secs = t;
+                // Catch-all for disks that never saw a DiskEnergy event
+                // (synthetic streams).
+                resolve(m, pend, t, None);
+            }
+            Event::PhaseStart { .. } | Event::PhaseEnd { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_disk::RpmLevel;
+    use sdpm_layout::DiskId;
+
+    #[test]
+    fn log_histogram_buckets_and_bounds() {
+        let mut h = LogHistogram::new(1.0, 100.0, 4);
+        // Bucket boundaries: 1, ~3.16, 10, ~31.6, 100.
+        h.record(0.5); // underflow
+        h.record(1.0);
+        h.record(2.0);
+        h.record(15.0);
+        h.record(99.0);
+        h.record(100.0); // overflow
+        h.record(f64::INFINITY); // overflow
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts()[0], 1, "underflow");
+        assert_eq!(h.counts()[1], 2, "[1, 3.16)");
+        assert_eq!(h.counts()[3], 1, "[10, 31.6)");
+        assert_eq!(h.counts()[4], 1, "[31.6, 100)");
+        assert_eq!(h.counts()[5], 2, "overflow");
+        let (a, b) = h.bucket_bounds(1);
+        assert!((a - 1.0).abs() < 1e-12 && (b - 100f64.powf(0.25)).abs() < 1e-9);
+        assert!(h.render().contains(":2"));
+    }
+
+    #[test]
+    fn transitions_count_only_within_horizon() {
+        let rec = MetricsRecorder::new();
+        let d = DiskId(0);
+        rec.record(&Event::SpinDownComplete {
+            t: 5.0,
+            disk: d,
+            started: 3.5,
+        });
+        rec.record(&Event::SpinDownComplete {
+            t: 50.0,
+            disk: d,
+            started: 48.5,
+        });
+        // Before RunEnd: optimistic.
+        assert_eq!(rec.snapshot().spin_downs, 2);
+        rec.record(&Event::RunEnd { t: 10.0 });
+        let m = rec.snapshot();
+        assert_eq!(m.spin_downs, 1, "the t=50 completion never happened");
+        assert_eq!(m.per_disk[0].spin_downs, 1);
+        assert_eq!(m.exec_secs, 10.0);
+    }
+
+    #[test]
+    fn gaps_and_stalls_fold_per_disk() {
+        let rec = MetricsRecorder::new();
+        rec.record(&Event::GapClose {
+            t: 4.0,
+            disk: DiskId(1),
+            opened: 1.0,
+            level: RpmLevel(2),
+            standby: true,
+        });
+        rec.record(&Event::StallAccrued {
+            t: 4.5,
+            disk: DiskId(1),
+            secs: 0.25,
+            slowdown: 2.0,
+        });
+        let m = rec.snapshot();
+        assert_eq!(m.gap_count, 1);
+        assert_eq!(m.standby_gaps, 1);
+        assert_eq!(m.dwell_levels[2], 1);
+        assert!((m.per_disk[1].gap_secs - 3.0).abs() < 1e-12);
+        assert!((m.stall_secs - 0.25).abs() < 1e-12);
+        assert_eq!(m.slowdown_hist.total(), 1);
+    }
+}

@@ -1,0 +1,153 @@
+//! In-tree stand-in for the `proptest` API subset this workspace uses.
+//!
+//! The build container is fully offline, so the real `proptest` cannot be
+//! fetched. The property tests in `crates/*/tests/props.rs` use a modest
+//! slice of the API — range/tuple/vec/`prop_oneof!` strategies, `prop_map`
+//! / `prop_flat_map`, `any::<bool>()`, a single char-class regex strategy,
+//! and the `proptest!` test macro — which this stand-in reimplements on a
+//! deterministic SplitMix64 stream.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the assertion with its
+//!   values via the panic message, but is not minimized. The
+//!   `*.proptest-regressions` files are therefore inert.
+//! * **Fixed seeding.** Each `proptest!`-generated test derives its seed
+//!   from the test's name, so runs are exactly reproducible and
+//!   byte-stable across processes (no `PROPTEST_` env handling).
+//! * **Case count** defaults to 64 (the workspace's tests run heavy
+//!   simulations per case); `ProptestConfig::with_cases` overrides it.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Mirrors `proptest::collection::vec`: a `Vec` of values from
+    /// `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Mirrors `proptest::arbitrary::Arbitrary` for the types the tests draw
+/// with `any::<T>()`.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_f64()
+    }
+}
+
+/// Strategy producing arbitrary values of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Mirrors `proptest::prelude::any`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Mirrors `proptest!`: expands each `fn name(arg in strategy, ...)` into
+/// a plain test that draws `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{($cfg) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{($crate::test_runner::Config::default()) $($rest)*}
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                // A closure so `prop_assume!` can skip the case with an
+                // early return.
+                let __case_fn = move || { $body };
+                __case_fn();
+            }
+        }
+    )*};
+}
+
+/// Mirrors `prop_assert!`: plain assertion (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Mirrors `prop_assume!`: skips the current case when the assumption
+/// fails (early-returns from the per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Mirrors `prop_oneof!`: picks one of the listed strategies uniformly
+/// per generated value. All arms must produce the same value type
+/// (`strategy::boxed_gen` is a plain generic fn so unification flows
+/// through it — integer literals in later arms adopt the first arm's
+/// type, as with the real crate).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_gen($s)),+])
+    };
+}

@@ -1,0 +1,352 @@
+//! Value-generation strategies: ranges, tuples, vectors, unions, and the
+//! `prop_map`/`prop_flat_map` combinators.
+
+use crate::test_runner::{TestRng, TestRunner};
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values. Mirrors `proptest::strategy::Strategy`
+/// without shrinking: `generate` draws one value.
+pub trait Strategy {
+    type Value;
+
+    /// Draws one value from this strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Mirrors `Strategy::prop_map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Mirrors `Strategy::prop_flat_map`.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Mirrors `Strategy::new_tree`: draws a value and wraps it in a
+    /// [`ValueTree`] (which, without shrinking, just holds it).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<JustTree<Self::Value>, String>
+    where
+        Self::Value: Clone,
+    {
+        Ok(JustTree(self.generate(runner.rng())))
+    }
+}
+
+/// Mirrors `proptest::strategy::ValueTree` (no simplify/complicate).
+pub trait ValueTree {
+    type Value;
+    /// The current (only) value of this tree.
+    fn current(&self) -> Self::Value;
+}
+
+/// The trivial value tree: holds exactly one value.
+#[derive(Debug, Clone)]
+pub struct JustTree<T: Clone>(pub T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Mirrors `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Boxed generator function, the element of a [`Union`].
+pub type BoxedGen<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// One-of-N choice over boxed generators; built by `prop_oneof!`.
+pub struct Union<T> {
+    variants: Vec<BoxedGen<T>>,
+}
+
+impl<T> Union<T> {
+    #[must_use]
+    pub fn new(variants: Vec<BoxedGen<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_below(self.variants.len() as u64) as usize;
+        (self.variants[i])(rng)
+    }
+}
+
+/// Boxes a strategy's generator for [`Union`]. A plain generic fn so type
+/// inference unifies every `prop_oneof!` arm's value type (integer
+/// literals in later arms adopt the first arm's type).
+pub fn boxed_gen<S: Strategy + 'static>(s: S) -> BoxedGen<S::Value> {
+    Box::new(move |rng| s.generate(rng))
+}
+
+// ------------------------------------------------------------- ranges
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u64;
+                (*self.start() as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+// ------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ------------------------------------------------------------- vectors
+
+/// Length specification for [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive.
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let n = self.size.min + rng.next_below(span.max(1)) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+// ------------------------------------------------------------- strings
+
+/// `&str` as a strategy: a minimal char-class regex generator supporting
+/// the `[set]{min,max}` shape the workspace's tests use (set items are
+/// literal chars and `a-z` ranges).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (chars, min, max) = parse_charclass_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (stand-in supports only `[set]{{m,n}}`)")
+        });
+        let n = min + rng.next_below((max - min + 1) as u64) as usize;
+        (0..n)
+            .map(|_| chars[rng.next_below(chars.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parses `[a-z0-9.]{0,20}` into (alphabet, min, max).
+fn parse_charclass_repeat(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (set, rest) = rest.split_once(']')?;
+    let rest = rest.strip_prefix('{')?;
+    let counts = rest.strip_suffix('}')?;
+    let (lo, hi) = counts.split_once(',')?;
+    let min: usize = lo.trim().parse().ok()?;
+    let max: usize = hi.trim().parse().ok()?;
+    if max < min {
+        return None;
+    }
+    let mut chars = Vec::new();
+    let cs: Vec<char> = set.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i], cs[i + 2]);
+            if a > b {
+                return None;
+            }
+            chars.extend((a..=b).filter(char::is_ascii));
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (-4i64..5).generate(&mut r);
+            assert!((-4..5).contains(&x));
+            let y = (0.5f64..2.0).generate(&mut r);
+            assert!((0.5..2.0).contains(&y));
+            let z = (3usize..=3).generate(&mut r);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range() {
+        let mut r = rng();
+        let s = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(0u32..10, 3);
+        assert_eq!(exact.generate(&mut r).len(), 3);
+    }
+
+    #[test]
+    fn charclass_regex_parses_and_generates() {
+        let mut r = rng();
+        let s = "[a-z0-9.]{0,20}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!(v.len() <= 20);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.'));
+        }
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = rng();
+        let u = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[u.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut r = rng();
+        let s = (1u64..4).prop_flat_map(|n| {
+            crate::collection::vec(0u64..10, n as usize..=n as usize)
+                .prop_map(move |v| (n, v.len() as u64))
+        });
+        for _ in 0..100 {
+            let (n, len) = s.generate(&mut r);
+            assert_eq!(n, len);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Test-runner plumbing: deterministic RNG, config, and the
+//! `TestRunner` handle used by `Strategy::new_tree`.
+
+/// Per-test configuration. Mirrors `proptest::test_runner::Config` for
+/// the field the workspace sets.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Mirrors `ProptestConfig::with_cases`.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real default is 256; the workspace's properties each run a
+        // full trace simulation, so a leaner default keeps `cargo test`
+        // fast while still exercising varied inputs.
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name, so each generated test owns a distinct but
+    /// fully reproducible stream.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform u64 in `[0, n)`, n > 0.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Mirrors `proptest::test_runner::TestRunner` far enough for
+/// `Strategy::new_tree(&mut runner)` call sites.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Mirrors `TestRunner::deterministic()`: a fixed-seed runner.
+    #[must_use]
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: TestRng::from_name("proptest::deterministic"),
+        }
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,133 @@
+//! In-tree stand-in for the `rand` 0.9 API subset this workspace uses.
+//!
+//! The build container is fully offline, so the real `rand` cannot be
+//! fetched. The workspace only needs a seedable, deterministic generator
+//! with `random_range` over numeric ranges (noise models in `sdpm-core`),
+//! which this stand-in provides on top of SplitMix64 — a small, well-known
+//! mixer with excellent equidistribution for non-cryptographic use.
+//!
+//! Determinism note: sequences differ from the real `StdRng` (ChaCha12),
+//! so seeded noise draws are *internally* reproducible but not
+//! bit-compatible with runs made against crates.io `rand`.
+
+use std::ops::Range;
+
+/// Mirrors `rand::SeedableRng`, seeding only via `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::random_range`].
+pub trait SampleUniform: Copy {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty random_range");
+        range.start + (range.end - range.start) * rng.next_f64()
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty random_range");
+        range.start + rng.next_below(range.end - range.start)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty random_range");
+        range.start + rng.next_below((range.end - range.start) as u64) as usize
+    }
+}
+
+/// Mirrors the `rand::Rng` extension trait for the methods the workspace
+/// calls.
+pub trait Rng {
+    /// Uniform draw from `range`.
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T;
+}
+
+pub mod rngs {
+    use super::{Rng, SampleUniform, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)` from the top 53 bits.
+        pub(crate) fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform u64 in `[0, n)` (n > 0) by widening multiply.
+        pub(crate) fn next_below(&mut self, n: u64) -> u64 {
+            ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+            T::sample_range(self, range)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.random_range(0.0f64..1.0).to_bits(),
+                b.random_range(0.0f64..1.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.random_range(-0.3f64..0.3);
+            assert!((-0.3..0.3).contains(&x));
+            let n = r.random_range(5u64..17);
+            assert!((5..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..8).map(|_| a.random_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.random_range(0.0..1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+}

@@ -1,0 +1,21 @@
+//! In-tree stand-in for `serde`.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real `serde` cannot be fetched. The repo only ever *derives*
+//! `Serialize`/`Deserialize` (no serializer is ever invoked — structured
+//! output goes through `sdpm-obs`'s hand-rolled JSON emitters), so this
+//! stand-in provides the two marker traits and no-op derive macros that
+//! keep every `#[derive(Serialize, Deserialize)]` compiling unchanged.
+//!
+//! If the workspace ever gains registry access, deleting `crates/serde`
+//! and `crates/serde_derive` and restoring the versioned dependency in the
+//! workspace manifest restores the real crate with no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. Never implemented by the
+/// no-op derive; present so trait-bound references keep compiling.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

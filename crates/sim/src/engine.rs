@@ -8,16 +8,114 @@
 //! so the energy integral is exact without a global event queue.
 
 use crate::policy::{DrpmConfig, Policy, ScheduledAction};
-use crate::report::{GapRecord, PerDiskReport, SimReport};
+use crate::report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimReport};
 use sdpm_disk::{
     service_time_secs, tpm_break_even_secs, DiskParams, DiskPowerState, EnergyBreakdown,
     PowerStateMachine, RpmLadder, RpmLevel, ServiceRequest,
 };
-use sdpm_layout::DiskPool;
+use sdpm_layout::{DiskId, DiskPool};
 use sdpm_trace::{AppEvent, IoRequest, PowerAction, Trace};
+
+#[cfg(feature = "obs")]
+use sdpm_obs::{Event as ObsEvent, Recorder};
+
+/// Recorder handle threaded through the run. With the `obs` feature off
+/// this aliases to an uninhabited option, so every emission site — and
+/// the event construction inside it — compiles away entirely.
+#[cfg(feature = "obs")]
+type Obs<'a> = Option<&'a dyn Recorder>;
+#[cfg(not(feature = "obs"))]
+type Obs<'a> = Option<&'a std::convert::Infallible>;
+
+/// Emits one observability event, or nothing when the feature is off.
+macro_rules! obs_emit {
+    ($rec:expr, $ev:expr) => {{
+        #[cfg(feature = "obs")]
+        if let Some(r) = $rec {
+            Recorder::record(r, &$ev);
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = &$rec;
+        }
+    }};
+}
+
+/// Emits the start/scheduled-completion pair for the transition the disk
+/// just entered (reads the machine state, so a same-level `set_rpm`
+/// no-op correctly emits nothing).
+macro_rules! obs_transition {
+    ($rec:expr, $rt:expr, $at:expr) => {{
+        #[cfg(feature = "obs")]
+        emit_transition($rec, $rt, $at);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (&$rec, $at);
+        }
+    }};
+}
+
+#[cfg(feature = "obs")]
+fn emit_transition(rec: Obs<'_>, rt: &DiskRt, at: f64) {
+    let Some(r) = rec else { return };
+    match rt.machine.state() {
+        DiskPowerState::SpinningDown { until } => {
+            r.record(&ObsEvent::SpinDownStart { t: at, disk: rt.id });
+            r.record(&ObsEvent::SpinDownComplete {
+                t: until,
+                disk: rt.id,
+                started: at,
+            });
+        }
+        DiskPowerState::SpinningUp { until } => {
+            r.record(&ObsEvent::SpinUpStart { t: at, disk: rt.id });
+            r.record(&ObsEvent::SpinUpComplete {
+                t: until,
+                disk: rt.id,
+                started: at,
+            });
+        }
+        DiskPowerState::Shifting { from, to, until } => {
+            r.record(&ObsEvent::RpmShiftStart {
+                t: at,
+                disk: rt.id,
+                from,
+                to,
+            });
+            r.record(&ObsEvent::RpmShiftComplete {
+                t: until,
+                disk: rt.id,
+                started: at,
+                level: to,
+            });
+        }
+        _ => {}
+    }
+}
+
+/// Tag for a [`PowerAction`] in `directive_issued` events.
+#[cfg(feature = "obs")]
+fn action_label(a: PowerAction) -> &'static str {
+    match a {
+        PowerAction::SpinDown => "spin_down",
+        PowerAction::SpinUp => "spin_up",
+        PowerAction::SetRpm(_) => "set_rpm",
+    }
+}
+
+#[cfg(feature = "obs")]
+fn action_level(a: PowerAction) -> Option<RpmLevel> {
+    match a {
+        PowerAction::SetRpm(l) => Some(l),
+        _ => None,
+    }
+}
 
 /// Per-disk runtime state beyond the power-state machine.
 struct DiskRt {
+    /// Only read by emission sites, which vanish without the feature.
+    #[cfg_attr(not(feature = "obs"), allow(dead_code))]
+    id: DiskId,
     machine: PowerStateMachine,
     /// When the current idle gap opened (last service completion, or 0).
     idle_since: f64,
@@ -82,9 +180,22 @@ impl Engine {
     /// Plays `trace` to completion and reports.
     #[must_use]
     pub fn run(&self, trace: &Trace) -> SimReport {
+        self.run_obs(trace, None)
+    }
+
+    /// Like [`Engine::run`], but streams the run's event sequence into
+    /// `rec` as it unfolds.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn run_with_recorder(&self, trace: &Trace, rec: &dyn Recorder) -> SimReport {
+        self.run_obs(trace, Some(rec))
+    }
+
+    fn run_obs(&self, trace: &Trace, rec: Obs<'_>) -> SimReport {
         let max = self.ladder.max_level();
         let mut disks: Vec<DiskRt> = (0..self.pool.count())
             .map(|d| DiskRt {
+                id: DiskId(d),
                 machine: PowerStateMachine::new(self.params.clone()),
                 idle_since: 0.0,
                 min_level: max,
@@ -106,11 +217,23 @@ impl Engine {
             })
             .collect();
 
+        // Every disk's first gap opens at run start.
+        #[cfg(feature = "obs")]
+        for rt in &disks {
+            obs_emit!(
+                rec,
+                ObsEvent::GapOpen {
+                    t: 0.0,
+                    disk: rt.id
+                }
+            );
+        }
+
         let mut t = 0.0f64;
         let mut stall = 0.0f64;
         let mut slow_sum = 0.0f64;
         let mut nreq = 0u64;
-        let mut misfires = 0u64;
+        let mut misfires = MisfireCauses::default();
 
         for event in &trace.events {
             match event {
@@ -118,18 +241,54 @@ impl Engine {
                 AppEvent::Power { disk, action } => {
                     if let Policy::Directive(cfg) = &self.policy {
                         let rt = &mut disks[disk.0 as usize];
-                        self.catch_up(rt, t, &mut misfires);
-                        if !self.apply_action(rt, t, *action) {
-                            misfires += 1;
+                        self.catch_up(rt, t, &mut misfires, rec);
+                        obs_emit!(
+                            rec,
+                            ObsEvent::DirectiveIssued {
+                                t,
+                                disk: rt.id,
+                                action: action_label(*action),
+                                level: action_level(*action),
+                            }
+                        );
+                        if let Err(cause) = self.apply_action(rt, t, *action, rec) {
+                            misfires.count(cause);
+                            obs_emit!(
+                                rec,
+                                ObsEvent::DirectiveMisfire {
+                                    t,
+                                    disk: rt.id,
+                                    cause: cause.label(),
+                                }
+                            );
                         }
                         t += cfg.overhead_secs;
                     }
                 }
                 AppEvent::Io(req) => {
                     let rt = &mut disks[req.disk.0 as usize];
-                    self.catch_up(rt, t, &mut misfires);
+                    self.catch_up(rt, t, &mut misfires, rec);
+                    obs_emit!(
+                        rec,
+                        ObsEvent::RequestArrived {
+                            t,
+                            disk: rt.id,
+                            bytes: req.size_bytes,
+                            write: matches!(req.kind, sdpm_trace::ReqKind::Write),
+                        }
+                    );
                     // The request's arrival closes the disk's idle gap.
                     if t > rt.idle_since {
+                        obs_emit!(
+                            rec,
+                            ObsEvent::GapClose {
+                                t,
+                                disk: rt.id,
+                                opened: rt.idle_since,
+                                level: rt.min_level,
+                                standby: rt.hit_standby,
+                            }
+                        );
                         rt.gaps.push(GapRecord {
                             start: rt.idle_since,
                             end: t,
@@ -137,7 +296,7 @@ impl Engine {
                             standby: rt.hit_standby,
                         });
                     }
-                    let completion = self.service(rt, t, req);
+                    let completion = self.service(rt, t, req, rec);
                     rt.requests += 1;
                     let full = service_time_secs(
                         &self.params,
@@ -149,9 +308,19 @@ impl Engine {
                         },
                     );
                     let response = completion - t;
+                    let slowdown = if full > 0.0 { response / full } else { 1.0 };
                     stall += response - full;
+                    obs_emit!(
+                        rec,
+                        ObsEvent::StallAccrued {
+                            t: completion,
+                            disk: rt.id,
+                            secs: response - full,
+                            slowdown,
+                        }
+                    );
                     if full > 0.0 {
-                        slow_sum += response / full;
+                        slow_sum += slowdown;
                         nreq += 1;
                     }
                     t = completion;
@@ -160,10 +329,10 @@ impl Engine {
                     rt.min_level = rt.cur_level;
                     rt.hit_standby = false;
                     rt.drift_mark = t;
+                    obs_emit!(rec, ObsEvent::GapOpen { t, disk: rt.id });
                     // Reactive DRPM response-window controller.
                     if let Policy::Drpm(cfg) = &self.policy {
-                        let slowdown = if full > 0.0 { response / full } else { 1.0 };
-                        Self::drpm_window_update(rt, cfg, slowdown, t, max);
+                        Self::drpm_window_update(rt, cfg, slowdown, t, max, rec);
                     }
                 }
             }
@@ -173,10 +342,20 @@ impl Engine {
         // final gap.
         let exec_secs = t;
         for rt in &mut disks {
-            self.catch_up(rt, exec_secs, &mut misfires);
+            self.catch_up(rt, exec_secs, &mut misfires, rec);
             let end = exec_secs.max(rt.machine.now());
             rt.machine.advance(end).expect("finalize advance");
             if end > rt.idle_since {
+                obs_emit!(
+                    rec,
+                    ObsEvent::GapClose {
+                        t: end,
+                        disk: rt.id,
+                        opened: rt.idle_since,
+                        level: rt.min_level,
+                        standby: rt.hit_standby,
+                    }
+                );
                 rt.gaps.push(GapRecord {
                     start: rt.idle_since,
                     end,
@@ -184,7 +363,16 @@ impl Engine {
                     standby: rt.hit_standby,
                 });
             }
+            obs_emit!(
+                rec,
+                ObsEvent::DiskEnergy {
+                    t: end,
+                    disk: rt.id,
+                    joules: rt.machine.energy().breakdown().total_j(),
+                }
+            );
         }
+        obs_emit!(rec, ObsEvent::RunEnd { t: exec_secs });
 
         let requests_total = disks.iter().map(|d| d.requests).sum();
         let per_disk: Vec<PerDiskReport> = disks
@@ -208,13 +396,17 @@ impl Engine {
             per_disk,
             requests: requests_total,
             stall_secs: stall,
-            mean_slowdown: if nreq == 0 { 1.0 } else { slow_sum / nreq as f64 },
-            directive_misfires: misfires,
+            mean_slowdown: if nreq == 0 {
+                1.0
+            } else {
+                slow_sum / nreq as f64
+            },
+            misfire_causes: misfires,
         }
     }
 
     /// Applies the policy's timed actions for one disk up to time `t`.
-    fn catch_up(&self, rt: &mut DiskRt, t: f64, misfires: &mut u64) {
+    fn catch_up(&self, rt: &mut DiskRt, t: f64, misfires: &mut MisfireCauses, rec: Obs<'_>) {
         match &self.policy {
             Policy::Base | Policy::Directive(_) => {}
             Policy::Tpm(_) => {
@@ -223,8 +415,17 @@ impl Engine {
                     let at = fire.max(rt.machine.now());
                     if rt.machine.spin_down(at).is_ok() {
                         rt.hit_standby = true;
+                        obs_transition!(rec, rt, at);
                     } else {
-                        *misfires += 1;
+                        misfires.count(MisfireCause::SpinDownRejected);
+                        obs_emit!(
+                            rec,
+                            ObsEvent::DirectiveMisfire {
+                                t: at,
+                                disk: rt.id,
+                                cause: MisfireCause::SpinDownRejected.label(),
+                            }
+                        );
                     }
                 }
             }
@@ -245,11 +446,20 @@ impl Engine {
                     let at = fire.max(rt.machine.now());
                     let target = self.ladder.step_down(rt.cur_level);
                     if rt.machine.set_rpm(at, target).is_ok() {
+                        obs_transition!(rec, rt, at);
                         rt.cur_level = target;
                         rt.min_level = rt.min_level.min(target);
                         rt.drift_mark = at + one_step;
                     } else {
-                        *misfires += 1;
+                        misfires.count(MisfireCause::RpmShiftRejected);
+                        obs_emit!(
+                            rec,
+                            ObsEvent::DirectiveMisfire {
+                                t: at,
+                                disk: rt.id,
+                                cause: MisfireCause::RpmShiftRejected.label(),
+                            }
+                        );
                         break;
                     }
                 }
@@ -258,8 +468,25 @@ impl Engine {
                 while rt.sched_idx < rt.sched.len() && rt.sched[rt.sched_idx].at <= t {
                     let a = rt.sched[rt.sched_idx];
                     rt.sched_idx += 1;
-                    if !self.apply_action(rt, a.at, a.action) {
-                        *misfires += 1;
+                    obs_emit!(
+                        rec,
+                        ObsEvent::DirectiveIssued {
+                            t: a.at,
+                            disk: rt.id,
+                            action: action_label(a.action),
+                            level: action_level(a.action),
+                        }
+                    );
+                    if let Err(cause) = self.apply_action(rt, a.at, a.action, rec) {
+                        misfires.count(cause);
+                        obs_emit!(
+                            rec,
+                            ObsEvent::DirectiveMisfire {
+                                t: a.at,
+                                disk: rt.id,
+                                cause: cause.label(),
+                            }
+                        );
                     }
                 }
             }
@@ -271,7 +498,7 @@ impl Engine {
 
     /// Makes the disk serviceable at or after `t`, begins and completes
     /// service, and returns the completion time.
-    fn service(&self, rt: &mut DiskRt, t: f64, req: &IoRequest) -> f64 {
+    fn service(&self, rt: &mut DiskRt, t: f64, req: &IoRequest, rec: Obs<'_>) -> f64 {
         // Bring the machine to the arrival time first, so transitions that
         // finished before `t` are seen as completed (a spin-down that ended
         // an hour ago is a standby disk, not an in-flight transition).
@@ -287,12 +514,14 @@ impl Engine {
                 // Demand wake-up: full spin-up penalty.
                 let at = t.max(rt.machine.now());
                 rt.machine.spin_up(at).expect("spin up from standby");
+                obs_transition!(rec, rt, at);
                 rt.cur_level = self.ladder.max_level();
                 at + self.params.spin_up_secs
             }
             DiskPowerState::SpinningDown { until } => {
                 rt.machine.advance(until).expect("finish spin-down");
                 rt.machine.spin_up(until).expect("spin up after spin-down");
+                obs_transition!(rec, rt, until);
                 rt.cur_level = self.ladder.max_level();
                 until + self.params.spin_up_secs
             }
@@ -306,6 +535,14 @@ impl Engine {
             .begin_service(start)
             .expect("disk must be serviceable at start");
         rt.cur_level = level;
+        obs_emit!(
+            rec,
+            ObsEvent::ServiceStart {
+                t: start,
+                disk: rt.id,
+                level,
+            }
+        );
         let st = service_time_secs(
             &self.params,
             &self.ladder,
@@ -317,11 +554,25 @@ impl Engine {
         );
         let completion = start + st;
         rt.machine.end_service(completion).expect("end service");
+        obs_emit!(
+            rec,
+            ObsEvent::ServiceEnd {
+                t: completion,
+                disk: rt.id,
+            }
+        );
         completion
     }
 
     /// Reactive DRPM window bookkeeping after a completed request.
-    fn drpm_window_update(rt: &mut DiskRt, cfg: &DrpmConfig, slowdown: f64, t: f64, max: RpmLevel) {
+    fn drpm_window_update(
+        rt: &mut DiskRt,
+        cfg: &DrpmConfig,
+        slowdown: f64,
+        t: f64,
+        max: RpmLevel,
+        rec: Obs<'_>,
+    ) {
         rt.window_sum += slowdown;
         rt.window_n += 1;
         // Immediate per-request reaction ([10]'s upper tolerance): a
@@ -332,6 +583,7 @@ impl Engine {
         if slowdown > cfg.upper_tolerance && rt.cur_level < max {
             let target = RpmLevel((rt.cur_level.0 + 1).min(max.0));
             if rt.machine.set_rpm(t, target).is_ok() {
+                obs_transition!(rec, rt, t);
                 rt.cur_level = target;
             }
         }
@@ -346,6 +598,7 @@ impl Engine {
             // response recovers (the slowdown/restore oscillation the
             // paper describes for large stripe sizes).
             if rt.machine.set_rpm(t, max).is_ok() {
+                obs_transition!(rec, rt, t);
                 rt.cur_level = max;
             }
             rt.drift_hold = true;
@@ -354,9 +607,15 @@ impl Engine {
         }
     }
 
-    /// Applies one power-management call at time `t`. Returns false if the
-    /// call could not be applied as issued (a misfire).
-    fn apply_action(&self, rt: &mut DiskRt, t: f64, action: PowerAction) -> bool {
+    /// Applies one power-management call at time `t`, reporting why it
+    /// could not be applied as issued (a misfire) on failure.
+    fn apply_action(
+        &self,
+        rt: &mut DiskRt,
+        t: f64,
+        action: PowerAction,
+        rec: Obs<'_>,
+    ) -> Result<(), MisfireCause> {
         match action {
             PowerAction::SpinDown => {
                 // Let an in-flight shift finish, then spin down.
@@ -366,9 +625,10 @@ impl Engine {
                 let at = t.max(rt.machine.now());
                 if rt.machine.spin_down(at).is_ok() {
                     rt.hit_standby = true;
-                    true
+                    obs_transition!(rec, rt, at);
+                    Ok(())
                 } else {
-                    false
+                    Err(MisfireCause::SpinDownRejected)
                 }
             }
             PowerAction::SpinUp => {
@@ -378,14 +638,15 @@ impl Engine {
                 let at = t.max(rt.machine.now());
                 if rt.machine.spin_up(at).is_ok() {
                     rt.cur_level = self.ladder.max_level();
-                    true
+                    obs_transition!(rec, rt, at);
+                    Ok(())
                 } else {
-                    false
+                    Err(MisfireCause::SpinUpRejected)
                 }
             }
             PowerAction::SetRpm(level) => {
                 if !self.ladder.contains(level) {
-                    return false;
+                    return Err(MisfireCause::OffLadderLevel);
                 }
                 match rt.machine.state() {
                     DiskPowerState::Shifting { until, .. }
@@ -396,11 +657,12 @@ impl Engine {
                 }
                 let at = t.max(rt.machine.now());
                 if rt.machine.set_rpm(at, level).is_ok() {
+                    obs_transition!(rec, rt, at);
                     rt.cur_level = level;
                     rt.min_level = rt.min_level.min(level);
-                    true
+                    Ok(())
                 } else {
-                    false
+                    Err(MisfireCause::RpmShiftRejected)
                 }
             }
         }
@@ -475,12 +737,7 @@ mod tests {
             compute(0, 100.0),
             io(0, 4096, 0, 1),
         ]);
-        let r = Engine::new(
-            ultrastar36z15(),
-            pool(),
-            Policy::Tpm(TpmConfig::default()),
-        )
-        .run(&tr);
+        let r = Engine::new(ultrastar36z15(), pool(), Policy::Tpm(TpmConfig::default())).run(&tr);
         let d0 = &r.per_disk[0];
         assert_eq!(d0.spin_downs, 1);
         assert_eq!(d0.spin_ups, 1);
@@ -493,12 +750,7 @@ mod tests {
     #[test]
     fn tpm_ignores_short_gaps() {
         let tr = trace(vec![io(0, 4096, 0, 0), compute(0, 5.0), io(0, 4096, 0, 1)]);
-        let r = Engine::new(
-            ultrastar36z15(),
-            pool(),
-            Policy::Tpm(TpmConfig::default()),
-        )
-        .run(&tr);
+        let r = Engine::new(ultrastar36z15(), pool(), Policy::Tpm(TpmConfig::default())).run(&tr);
         assert_eq!(r.per_disk[0].spin_downs, 0);
         assert!(r.stall_secs < 1e-9);
     }
@@ -527,12 +779,7 @@ mod tests {
         // The second request finds the disk slow: a real stall.
         assert!(drpm.stall_secs > 0.0);
         // Gap record captured a deep dwell level.
-        let deep = drpm.per_disk[0]
-            .gaps
-            .iter()
-            .map(|g| g.level)
-            .min()
-            .unwrap();
+        let deep = drpm.per_disk[0].gaps.iter().map(|g| g.level).min().unwrap();
         assert_eq!(deep, RpmLevel::MIN);
     }
 
@@ -576,7 +823,7 @@ mod tests {
         assert!(cm.total_energy_j() < base.total_energy_j());
         // Pre-activation hides the transition: negligible stall.
         assert!(cm.stall_secs < 1e-6, "stall {}", cm.stall_secs);
-        assert_eq!(cm.directive_misfires, 0);
+        assert_eq!(cm.misfire_causes.total(), 0);
     }
 
     /// Helper so the test reads clearly.
@@ -637,7 +884,11 @@ mod tests {
         )
         .run(&tr);
         // The app waits out the remaining ~8.9 s of spin-up.
-        assert!(cm.stall_secs > 8.0 && cm.stall_secs < 10.0, "{}", cm.stall_secs);
+        assert!(
+            cm.stall_secs > 8.0 && cm.stall_secs < 10.0,
+            "{}",
+            cm.stall_secs
+        );
     }
 
     #[test]
@@ -662,7 +913,9 @@ mod tests {
             Policy::Directive(crate::policy::DirectiveConfig::default()),
         )
         .run(&tr);
-        assert_eq!(cm.directive_misfires, 2);
+        assert_eq!(cm.misfire_causes.total(), 2);
+        assert_eq!(cm.misfire_causes.spin_up_rejected, 1);
+        assert_eq!(cm.misfire_causes.off_ladder_level, 1);
     }
 
     #[test]
@@ -686,7 +939,11 @@ mod tests {
         let tr = trace(vec![compute(0, 20.0), io(0, 4096, 0, 0)]);
         let r = Engine::new(p, pool(), Policy::schedule(sched)).run(&tr);
         assert_eq!(r.per_disk[0].rpm_shifts, 2);
-        assert!(r.stall_secs < 1e-6, "pre-activation exact: {}", r.stall_secs);
+        assert!(
+            r.stall_secs < 1e-6,
+            "pre-activation exact: {}",
+            r.stall_secs
+        );
         assert_eq!(r.per_disk[0].gaps[0].level, low);
     }
 

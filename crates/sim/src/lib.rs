@@ -60,7 +60,7 @@ pub mod report;
 pub use engine::Engine;
 pub use openloop::{replay_open_loop, OpenDiskReport, OpenLoopReport};
 pub use policy::{DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
-pub use report::{GapRecord, PerDiskReport, SimReport};
+pub use report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimReport};
 
 use sdpm_disk::DiskParams;
 use sdpm_layout::DiskPool;
@@ -74,7 +74,42 @@ use sdpm_trace::Trace;
 /// was generated for a different pool size.
 #[must_use]
 pub fn simulate(trace: &Trace, params: &DiskParams, pool: DiskPool, policy: &Policy) -> SimReport {
-    params.validate().expect("simulate requires valid DiskParams");
+    run_sim(trace, params, pool, policy, |engine| engine.run(trace))
+}
+
+/// Like [`simulate`], but streams the run's event sequence into `rec`.
+///
+/// Oracle policies (`IdealTpm`/`IdealDrpm`) run the trace twice; only the
+/// final schedule-replay pass is recorded — the internal Base pass that
+/// recovers the gap structure is an implementation detail, and recording
+/// it would interleave two runs in one stream.
+///
+/// # Panics
+/// Same conditions as [`simulate`].
+#[cfg(feature = "obs")]
+#[must_use]
+pub fn simulate_with_recorder(
+    trace: &Trace,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+    rec: &dyn sdpm_obs::Recorder,
+) -> SimReport {
+    run_sim(trace, params, pool, policy, |engine| {
+        engine.run_with_recorder(trace, rec)
+    })
+}
+
+fn run_sim(
+    trace: &Trace,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+    run: impl Fn(&Engine) -> SimReport,
+) -> SimReport {
+    params
+        .validate()
+        .expect("simulate requires valid DiskParams");
     trace.validate().expect("simulate requires a valid trace");
     assert_eq!(
         trace.pool_size,
@@ -87,13 +122,13 @@ pub fn simulate(trace: &Trace, params: &DiskParams, pool: DiskPool, policy: &Pol
         Policy::IdealTpm => {
             let base = Engine::new(params.clone(), pool, Policy::Base).run(trace);
             let sched = oracle::ideal_tpm_schedule(&base, params);
-            Engine::new(params.clone(), pool, Policy::schedule(sched)).run(trace)
+            run(&Engine::new(params.clone(), pool, Policy::schedule(sched)))
         }
         Policy::IdealDrpm => {
             let base = Engine::new(params.clone(), pool, Policy::Base).run(trace);
             let sched = oracle::ideal_drpm_schedule(&base, params);
-            Engine::new(params.clone(), pool, Policy::schedule(sched)).run(trace)
+            run(&Engine::new(params.clone(), pool, Policy::schedule(sched)))
         }
-        p => Engine::new(params.clone(), pool, p.clone()).run(trace),
+        p => run(&Engine::new(params.clone(), pool, p.clone())),
     }
 }

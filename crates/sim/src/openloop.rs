@@ -252,10 +252,7 @@ mod tests {
         );
         assert!((r.mean_response_secs - st).abs() < 1e-9);
         assert!((r.max_response_secs - st).abs() < 1e-9);
-        assert_eq!(
-            r.per_disk.iter().map(|d| d.max_queue_depth).max(),
-            Some(1)
-        );
+        assert_eq!(r.per_disk.iter().map(|d| d.max_queue_depth).max(), Some(1));
     }
 
     #[test]
@@ -291,11 +288,7 @@ mod tests {
         let open = replay_open_loop(&t, &p, DiskPool::new(2), l.max_level());
         let closed = crate::simulate(&t, &p, DiskPool::new(2), &crate::Policy::Base);
         let open_busy: f64 = open.per_disk.iter().map(|d| d.busy_secs).sum();
-        let closed_busy: f64 = closed
-            .per_disk
-            .iter()
-            .map(|d| d.energy.active_secs)
-            .sum();
+        let closed_busy: f64 = closed.per_disk.iter().map(|d| d.energy.active_secs).sum();
         assert!((open_busy - closed_busy).abs() < 1e-9);
     }
 

@@ -86,10 +86,7 @@ pub fn ideal_drpm_schedule(base: &SimReport, params: &DiskParams) -> Vec<Vec<Sch
 #[must_use]
 pub fn schedule_is_well_formed(sched: &[Vec<ScheduledAction>]) -> bool {
     sched.iter().all(|actions| {
-        actions
-            .windows(2)
-            .all(|w| w[0].at <= w[1].at)
-            && actions.iter().all(|a| a.at >= 0.0)
+        actions.windows(2).all(|w| w[0].at <= w[1].at) && actions.iter().all(|a| a.at >= 0.0)
     })
 }
 
@@ -204,7 +201,12 @@ mod tests {
         let tr = gap_trace(60.0);
         let idrpm = simulate(&tr, &p, DiskPool::new(2), &Policy::IdealDrpm);
         // The 60 s gap should dwell at the ladder bottom.
-        let deep = idrpm.per_disk[0].gaps.iter().map(|g| g.level).min().unwrap();
+        let deep = idrpm.per_disk[0]
+            .gaps
+            .iter()
+            .map(|g| g.level)
+            .min()
+            .unwrap();
         assert_eq!(deep, sdpm_disk::RpmLevel::MIN);
         // And Table 3 machinery sees zero mispredictions for the oracle.
         let ladder = RpmLadder::new(&p);

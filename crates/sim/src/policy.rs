@@ -4,15 +4,13 @@ use sdpm_trace::PowerAction;
 use serde::{Deserialize, Serialize};
 
 /// Reactive TPM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct TpmConfig {
     /// Idleness threshold in seconds after which the disk spins down.
     /// `None` selects the break-even time (the classic "2-competitive"
     /// fixed threshold).
     pub threshold_secs: Option<f64>,
 }
-
 
 /// Reactive DRPM configuration (the window heuristic of Gurumurthi et al.
 /// [10], as the paper parameterizes it).

@@ -30,6 +30,82 @@ impl GapRecord {
     }
 }
 
+/// Why a power-management call could not be applied as issued.
+///
+/// The engine resolves misfires gracefully (the disk keeps its current
+/// trajectory), but they indicate the directive inserter's timeline
+/// estimate diverged from what the disk was actually doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisfireCause {
+    /// `spin_down` on a disk not idle (already in standby, or the call
+    /// raced a transition that left it unspinnable).
+    SpinDownRejected,
+    /// `spin_up` on a disk that was not in standby.
+    SpinUpRejected,
+    /// `set_rpm` refused by the state machine (disk busy or mid-wake).
+    RpmShiftRejected,
+    /// `set_rpm` to a level that is not on the disk's RPM ladder.
+    OffLadderLevel,
+}
+
+impl MisfireCause {
+    /// Stable snake_case label (used as the observability event tag).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MisfireCause::SpinDownRejected => "spin_down_rejected",
+            MisfireCause::SpinUpRejected => "spin_up_rejected",
+            MisfireCause::RpmShiftRejected => "rpm_shift_rejected",
+            MisfireCause::OffLadderLevel => "off_ladder_level",
+        }
+    }
+}
+
+/// Misfire counts broken down by [`MisfireCause`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MisfireCauses {
+    pub spin_down_rejected: u64,
+    pub spin_up_rejected: u64,
+    pub rpm_shift_rejected: u64,
+    pub off_ladder_level: u64,
+}
+
+impl MisfireCauses {
+    /// Records one misfire.
+    pub fn count(&mut self, cause: MisfireCause) {
+        match cause {
+            MisfireCause::SpinDownRejected => self.spin_down_rejected += 1,
+            MisfireCause::SpinUpRejected => self.spin_up_rejected += 1,
+            MisfireCause::RpmShiftRejected => self.rpm_shift_rejected += 1,
+            MisfireCause::OffLadderLevel => self.off_ladder_level += 1,
+        }
+    }
+
+    /// Total misfires across causes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.spin_down_rejected
+            + self.spin_up_rejected
+            + self.rpm_shift_rejected
+            + self.off_ladder_level
+    }
+
+    /// `(label, count)` pairs for the non-zero causes.
+    #[must_use]
+    pub fn breakdown(&self) -> Vec<(&'static str, u64)> {
+        [
+            (MisfireCause::SpinDownRejected, self.spin_down_rejected),
+            (MisfireCause::SpinUpRejected, self.spin_up_rejected),
+            (MisfireCause::RpmShiftRejected, self.rpm_shift_rejected),
+            (MisfireCause::OffLadderLevel, self.off_ladder_level),
+        ]
+        .into_iter()
+        .filter(|&(_, n)| n > 0)
+        .map(|(c, n)| (c.label(), n))
+        .collect()
+    }
+}
+
 /// Per-disk outcome of a run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerDiskReport {
@@ -66,9 +142,10 @@ pub struct SimReport {
     /// Mean request slowdown (observed response / full-speed service).
     pub mean_slowdown: f64,
     /// Power-management calls that could not be applied as issued
-    /// (e.g. `set_RPM` on a disk already shifting); the engine resolves
-    /// them gracefully but they indicate estimation error.
-    pub directive_misfires: u64,
+    /// (e.g. `set_RPM` on a disk already shifting), broken down by
+    /// cause; the engine resolves them gracefully but they indicate
+    /// estimation error.
+    pub misfire_causes: MisfireCauses,
 }
 
 impl SimReport {
@@ -150,7 +227,7 @@ mod tests {
             requests: 0,
             stall_secs: 0.0,
             mean_slowdown: 1.0,
-            directive_misfires: 0,
+            misfire_causes: MisfireCauses::default(),
         }
     }
 

@@ -125,7 +125,8 @@ fn directive_spin_down_then_set_rpm_is_a_misfire_not_a_crash() {
         io(0, 4096, 2),
     ]);
     let r = run(&t, &Policy::Directive(DirectiveConfig::default()));
-    assert_eq!(r.directive_misfires, 1, "set_RPM on a stopped spindle");
+    assert_eq!(r.misfire_causes.total(), 1, "set_RPM on a stopped spindle");
+    assert_eq!(r.misfire_causes.rpm_shift_rejected, 1);
     assert!(r.stall_secs < 1e-6, "the spin-up still pre-activates");
 }
 
@@ -203,7 +204,7 @@ fn ideal_policies_handle_traces_ending_mid_gap() {
         let r = run(&t, &policy);
         assert!(r.total_energy_j() < base.total_energy_j());
         assert!((r.exec_secs - base.exec_secs).abs() < 1e-9);
-        assert_eq!(r.directive_misfires, 0);
+        assert_eq!(r.misfire_causes.total(), 0);
     }
 }
 

@@ -18,7 +18,6 @@
 
 use crate::event::{AppEvent, IoRequest, PowerAction, ReqKind};
 use crate::trace::Trace;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sdpm_disk::RpmLevel;
 use sdpm_layout::DiskId;
 
@@ -53,15 +52,15 @@ impl std::error::Error for CodecError {}
 
 /// Serializes `trace` into the binary format.
 #[must_use]
-pub fn encode(trace: &Trace) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32 + trace.events.len() * 34);
-    buf.put_slice(MAGIC);
-    buf.put_u16_le(VERSION);
-    buf.put_u32_le(trace.pool_size);
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + trace.events.len() * 34);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&trace.pool_size.to_le_bytes());
     let name = trace.name.as_bytes();
-    buf.put_u16_le(name.len() as u16);
-    buf.put_slice(name);
-    buf.put_u64_le(trace.events.len() as u64);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name);
+    buf.extend_from_slice(&(trace.events.len() as u64).to_le_bytes());
     for e in &trace.events {
         match e {
             AppEvent::Compute {
@@ -70,17 +69,17 @@ pub fn encode(trace: &Trace) -> Bytes {
                 iters,
                 secs,
             } => {
-                buf.put_u8(0);
-                buf.put_u32_le(*nest as u32);
-                buf.put_u64_le(*first_iter);
-                buf.put_u64_le(*iters);
-                buf.put_f64_le(*secs);
+                buf.push(0);
+                buf.extend_from_slice(&(*nest as u32).to_le_bytes());
+                buf.extend_from_slice(&first_iter.to_le_bytes());
+                buf.extend_from_slice(&iters.to_le_bytes());
+                buf.extend_from_slice(&secs.to_le_bytes());
             }
             AppEvent::Io(r) => {
-                buf.put_u8(1);
-                buf.put_u32_le(r.disk.0);
-                buf.put_u64_le(r.start_block);
-                buf.put_u64_le(r.size_bytes);
+                buf.push(1);
+                buf.extend_from_slice(&r.disk.0.to_le_bytes());
+                buf.extend_from_slice(&r.start_block.to_le_bytes());
+                buf.extend_from_slice(&r.size_bytes.to_le_bytes());
                 let mut flags = 0u8;
                 if r.kind == ReqKind::Write {
                     flags |= 1;
@@ -88,83 +87,99 @@ pub fn encode(trace: &Trace) -> Bytes {
                 if r.sequential {
                     flags |= 2;
                 }
-                buf.put_u8(flags);
-                buf.put_u32_le(r.nest as u32);
-                buf.put_u64_le(r.iter);
+                buf.push(flags);
+                buf.extend_from_slice(&(r.nest as u32).to_le_bytes());
+                buf.extend_from_slice(&r.iter.to_le_bytes());
             }
             AppEvent::Power { disk, action } => {
-                buf.put_u8(2);
-                buf.put_u32_le(disk.0);
+                buf.push(2);
+                buf.extend_from_slice(&disk.0.to_le_bytes());
                 match action {
-                    PowerAction::SpinDown => {
-                        buf.put_u8(0);
-                        buf.put_u8(0);
-                    }
-                    PowerAction::SpinUp => {
-                        buf.put_u8(1);
-                        buf.put_u8(0);
-                    }
-                    PowerAction::SetRpm(l) => {
-                        buf.put_u8(2);
-                        buf.put_u8(l.0);
-                    }
+                    PowerAction::SpinDown => buf.extend_from_slice(&[0, 0]),
+                    PowerAction::SpinUp => buf.extend_from_slice(&[1, 0]),
+                    PowerAction::SetRpm(l) => buf.extend_from_slice(&[2, l.0]),
                 }
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
-    if buf.remaining() < n {
-        Err(CodecError::Truncated)
-    } else {
-        Ok(())
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn get_u16_le(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn get_u32_le(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn get_u64_le(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn get_f64_le(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 }
 
 /// Deserializes a trace previously produced by [`encode`].
-pub fn decode(mut buf: &[u8]) -> Result<Trace, CodecError> {
-    need(&buf, 4 + 2 + 4 + 2)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+pub fn decode(buf: &[u8]) -> Result<Trace, CodecError> {
+    let mut r = Reader { buf };
+    if r.take(4)? != MAGIC {
         return Err(CodecError::BadHeader);
     }
-    if buf.get_u16_le() != VERSION {
+    if r.get_u16_le()? != VERSION {
         return Err(CodecError::BadHeader);
     }
-    let pool_size = buf.get_u32_le();
-    let name_len = buf.get_u16_le() as usize;
-    need(&buf, name_len + 8)?;
-    let name = String::from_utf8(buf.copy_to_bytes(name_len).to_vec())
-        .map_err(|_| CodecError::BadName)?;
-    let count = buf.get_u64_le() as usize;
+    let pool_size = r.get_u32_le()?;
+    let name_len = r.get_u16_le()? as usize;
+    let name = String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| CodecError::BadName)?;
+    let count = r.get_u64_le()? as usize;
     // The smallest event record is 7 bytes (a Power event), so a count
     // exceeding remaining/7 cannot be satisfied — cap the reservation so
     // a corrupted count cannot trigger an allocation failure before the
     // Truncated error surfaces.
-    let mut events = Vec::with_capacity(count.min(buf.remaining() / 7 + 1));
+    let mut events = Vec::with_capacity(count.min(r.remaining() / 7 + 1));
     for _ in 0..count {
-        need(&buf, 1)?;
-        match buf.get_u8() {
+        match r.get_u8()? {
             0 => {
-                need(&buf, 4 + 8 + 8 + 8)?;
                 events.push(AppEvent::Compute {
-                    nest: buf.get_u32_le() as usize,
-                    first_iter: buf.get_u64_le(),
-                    iters: buf.get_u64_le(),
-                    secs: buf.get_f64_le(),
+                    nest: r.get_u32_le()? as usize,
+                    first_iter: r.get_u64_le()?,
+                    iters: r.get_u64_le()?,
+                    secs: r.get_f64_le()?,
                 });
             }
             1 => {
-                need(&buf, 4 + 8 + 8 + 1 + 4 + 8)?;
-                let disk = DiskId(buf.get_u32_le());
-                let start_block = buf.get_u64_le();
-                let size_bytes = buf.get_u64_le();
-                let flags = buf.get_u8();
-                let nest = buf.get_u32_le() as usize;
-                let iter = buf.get_u64_le();
+                let disk = DiskId(r.get_u32_le()?);
+                let start_block = r.get_u64_le()?;
+                let size_bytes = r.get_u64_le()?;
+                let flags = r.get_u8()?;
+                let nest = r.get_u32_le()? as usize;
+                let iter = r.get_u64_le()?;
                 events.push(AppEvent::Io(IoRequest {
                     disk,
                     start_block,
@@ -180,10 +195,9 @@ pub fn decode(mut buf: &[u8]) -> Result<Trace, CodecError> {
                 }));
             }
             2 => {
-                need(&buf, 4 + 1 + 1)?;
-                let disk = DiskId(buf.get_u32_le());
-                let action = buf.get_u8();
-                let level = buf.get_u8();
+                let disk = DiskId(r.get_u32_le()?);
+                let action = r.get_u8()?;
+                let level = r.get_u8()?;
                 let action = match action {
                     0 => PowerAction::SpinDown,
                     1 => PowerAction::SpinUp,

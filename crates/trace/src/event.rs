@@ -1,8 +1,8 @@
 //! The application event stream.
 
 use sdpm_disk::RpmLevel;
-use sdpm_layout::DiskId;
 use sdpm_ir::NestId;
+use sdpm_layout::DiskId;
 use serde::{Deserialize, Serialize};
 
 /// Read or write request.

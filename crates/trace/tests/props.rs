@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;
 use sdpm_disk::RpmLevel;
-use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
 use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
 use sdpm_trace::codec::{decode, encode};
 use sdpm_trace::{generate, AppEvent, IoRequest, PowerAction, ReqKind, Trace, TraceGenConfig};
 

@@ -228,7 +228,7 @@ pub fn swim() -> Benchmark {
         table2: t2,
         gen: gen_config(),
         noise_spread: 0.05,
-        noise_jitter: 0.20,
+        noise_jitter: 0.12,
         noise_seed: 0x51_13,
     }
 }
@@ -327,7 +327,7 @@ pub fn mgrid() -> Benchmark {
         table2: t2,
         gen: gen_config(),
         noise_spread: 0.06,
-        noise_jitter: 0.08,
+        noise_jitter: 0.07,
         noise_seed: 0x3_6121d,
     }
 }
@@ -429,7 +429,7 @@ pub fn applu() -> Benchmark {
         table2: t2,
         gen: gen_config(),
         noise_spread: 0.02,
-        noise_jitter: 0.02,
+        noise_jitter: 0.033,
         noise_seed: 0xA110,
     }
 }
@@ -525,7 +525,7 @@ pub fn mesa() -> Benchmark {
         table2: t2,
         gen: gen_config(),
         noise_spread: 0.08,
-        noise_jitter: 0.14,
+        noise_jitter: 0.06,
         noise_seed: 0x3E5A,
     }
 }
@@ -611,7 +611,7 @@ pub fn wupwise() -> Benchmark {
         table2: t2,
         gen: gen_config(),
         noise_spread: 0.07,
-        noise_jitter: 0.055,
+        noise_jitter: 0.07,
         noise_seed: 0x8_0815,
     }
 }
@@ -663,7 +663,7 @@ pub fn galgel() -> Benchmark {
         table2: t2,
         gen: gen_config(),
         noise_spread: 0.18,
-        noise_jitter: 0.18,
+        noise_jitter: 0.04,
         noise_seed: 0x6A_16E1,
     }
 }
@@ -710,7 +710,9 @@ mod tests {
             .program
             .nests
             .iter()
-            .max_by_key(|n| n.iter_count() * n.stmts.iter().map(|s| s.refs.len() as u64).sum::<u64>())
+            .max_by_key(|n| {
+                n.iter_count() * n.stmts.iter().map(|s| s.refs.len() as u64).sum::<u64>()
+            })
             .unwrap();
         let trips = costliest.loops[0].count;
         assert_eq!(trips, 1_048_573);

@@ -283,8 +283,7 @@ impl ProgramBuilder {
                     fraction,
                     cycles_per_elem,
                 } => {
-                    let all: Vec<usize> =
-                        group_a.iter().chain(group_b.iter()).copied().collect();
+                    let all: Vec<usize> = group_a.iter().chain(group_b.iter()).copied().collect();
                     let n = self.scan_len(&all, *fraction);
                     let i = AffineExpr::var(1, 0);
                     let refs_of = |ids: &[usize]| {
@@ -305,8 +304,7 @@ impl ProgramBuilder {
                                 refs: refs_of(group_b),
                             },
                         ],
-                        cycles_per_iter: *cycles_per_elem
-                            * (group_a.len() + group_b.len()) as f64,
+                        cycles_per_iter: *cycles_per_elem * (group_a.len() + group_b.len()) as f64,
                     }
                 }
             };

@@ -53,9 +53,12 @@ pub fn blocked_matmul(rows_pow2: u32, compute_secs: f64) -> Program {
     let a = b.array(ArraySpec::matrix("A", rows, 8));
     let bm = b.array(ArraySpec::vector("B", rows / 2));
     let c = b.array(ArraySpec::vector("C", rows / 2));
-    b.phase("link", PhaseSpec::Link {
-        arrays: vec![a, bm, c],
-    });
+    b.phase(
+        "link",
+        PhaseSpec::Link {
+            arrays: vec![a, bm, c],
+        },
+    );
     b.phase(
         "a-col",
         PhaseSpec::ColScan {

@@ -265,7 +265,10 @@ mod tests {
     fn figure9_program(elems: u64) -> Program {
         let stmt = |w: usize, r: usize| Statement {
             label: format!("U{}=U{}", w + 1, r + 1),
-            refs: vec![ArrayRef::write(w, vec![i1()]), ArrayRef::read(r, vec![i1()])],
+            refs: vec![
+                ArrayRef::write(w, vec![i1()]),
+                ArrayRef::read(r, vec![i1()]),
+            ],
         };
         let nest = |label: &str, stmts: Vec<Statement>| LoopNest {
             label: label.into(),
@@ -275,7 +278,9 @@ mod tests {
         };
         Program {
             name: "fig9".into(),
-            arrays: (0..10).map(|k| file(&format!("U{}", k + 1), elems)).collect(),
+            arrays: (0..10)
+                .map(|k| file(&format!("U{}", k + 1), elems))
+                .collect(),
             nests: vec![
                 nest("n1", vec![stmt(0, 1), stmt(4, 0)]),
                 nest("n2", vec![stmt(2, 3), stmt(7, 2)]),

@@ -83,18 +83,19 @@ impl Transform {
         match self {
             Transform::Lf => loop_fission(program, pool, false).program,
             Transform::LfDl => loop_fission(program, pool, true).program,
-            Transform::Tl => {
-                loop_tiling(program, pool, false, &TilingConfig::default()).program
-            }
-            Transform::TlDl => {
-                loop_tiling(program, pool, true, &TilingConfig::default()).program
-            }
+            Transform::Tl => loop_tiling(program, pool, false, &TilingConfig::default()).program,
+            Transform::TlDl => loop_tiling(program, pool, true, &TilingConfig::default()).program,
         }
     }
 
     /// All four versions, in the paper's presentation order.
     #[must_use]
     pub fn all() -> [Transform; 4] {
-        [Transform::Lf, Transform::Tl, Transform::LfDl, Transform::TlDl]
+        [
+            Transform::Lf,
+            Transform::Tl,
+            Transform::LfDl,
+            Transform::TlDl,
+        ]
     }
 }

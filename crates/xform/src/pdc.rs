@@ -196,11 +196,7 @@ mod tests {
         let p = program();
         // Pool of 3: each disk's budget ~= one array.
         let out = pdc_layout(&p, DiskPool::new(3));
-        let disks: Vec<u32> = out
-            .placement
-            .iter()
-            .map(|pl| pl.disk.0)
-            .collect();
+        let disks: Vec<u32> = out.placement.iter().map(|pl| pl.disk.0).collect();
         assert_eq!(disks, vec![0, 1, 2], "one array per disk at this budget");
     }
 

@@ -116,9 +116,9 @@ fn strip_mine(nest: &LoopNest, tiles: u64) -> Option<LoopNest> {
     let mut loops = Vec::with_capacity(new_depth);
     loops.push(LoopDim::simple(tiles)); // ii: tile iterator
     loops.push(LoopDim::simple(tile_trips)); // i': element iterator
-    // Inner loops keep their own lower/step; the substitution maps their
-    // variable straight through, so express them as raw trips with the
-    // original lower/step preserved in the loop descriptor.
+                                             // Inner loops keep their own lower/step; the substitution maps their
+                                             // variable straight through, so express them as raw trips with the
+                                             // original lower/step preserved in the loop descriptor.
     loops.extend(nest.loops.iter().skip(1).copied());
     let stmts = nest
         .stmts
@@ -186,8 +186,7 @@ pub fn loop_tiling(
                 for r in &stmt.refs {
                     let file = &out.arrays[r.array];
                     let cur = innermost_stride_under(nest, r, file, file.order).abs();
-                    let flip =
-                        innermost_stride_under(nest, r, file, file.order.transposed()).abs();
+                    let flip = innermost_stride_under(nest, r, file, file.order.transposed()).abs();
                     if cur != 1 && flip == 1 && !transposed.contains(&r.array) {
                         out.arrays[r.array].order = file.order.transposed();
                         transposed.push(r.array);

@@ -22,7 +22,11 @@ fn main() {
         let base = run_scheme(&program, Scheme::Base, &cfg);
         let cmtpm = run_scheme(&program, Scheme::CmTpm, &cfg);
         let cmdrpm = run_scheme(&program, Scheme::CmDrpm, &cfg);
-        let marker = if interval > be { "  <- past break-even" } else { "" };
+        let marker = if interval > be {
+            "  <- past break-even"
+        } else {
+            ""
+        };
         println!(
             "{:8.0}    {:11.3}   {:12.3}   {:12.3}{}",
             interval,

@@ -20,7 +20,10 @@ fn main() {
     let program = &bench.program;
 
     // --- The analyzed source, as the compiler sees it --------------------
-    println!("== first two nests of {} (IR rendered as pseudo-C) ==", bench.name);
+    println!(
+        "== first two nests of {} (IR rendered as pseudo-C) ==",
+        bench.name
+    );
     for nest in program.nests.iter().take(2) {
         print!("{}", render_nest(nest, program));
     }
@@ -46,7 +49,10 @@ fn main() {
     let offsets = NestOffsets::of(program);
     let gaps = disk_gaps(&activity, &offsets);
     let disk0 = &gaps[0];
-    println!("\ndisk 0 has {} idle gaps; the 3 longest (iterations):", disk0.len());
+    println!(
+        "\ndisk 0 has {} idle gaps; the 3 longest (iterations):",
+        disk0.len()
+    );
     let mut sorted = disk0.clone();
     sorted.sort_by_key(|g| std::cmp::Reverse(g.len()));
     for g in sorted.iter().take(3) {

@@ -1,7 +1,7 @@
 //! Table 2 / Table 3 calibration: every benchmark model must reproduce
 //! its paper row within tolerance.
 
-use sdpm_bench::{paper_table3, table2, table3, suite};
+use sdpm_bench::{paper_table3, suite, table2, table3};
 
 #[test]
 fn table2_within_one_percent() {

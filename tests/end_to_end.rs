@@ -12,12 +12,7 @@ fn swim_reproduces_the_paper_scheme_ordering() {
     let bench = swim();
     let cfg = config_for(&bench);
     let all = run_all_schemes(&bench.program, &cfg);
-    let get = |s: Scheme| {
-        all.iter()
-            .find(|(k, _)| *k == s)
-            .map(|(_, r)| r)
-            .unwrap()
-    };
+    let get = |s: Scheme| all.iter().find(|(k, _)| *k == s).map(|(_, r)| r).unwrap();
     let base = get(Scheme::Base);
     // TPM family does nothing on the untransformed code.
     assert!((get(Scheme::Tpm).normalized_energy(base) - 1.0).abs() < 1e-6);
@@ -27,7 +22,10 @@ fn swim_reproduces_the_paper_scheme_ordering() {
     let e_i = get(Scheme::IDrpm).normalized_energy(base);
     let e_cm = get(Scheme::CmDrpm).normalized_energy(base);
     let e_d = get(Scheme::Drpm).normalized_energy(base);
-    assert!(e_i <= e_cm + 1e-9, "IDRPM {e_i} must lower-bound CMDRPM {e_cm}");
+    assert!(
+        e_i <= e_cm + 1e-9,
+        "IDRPM {e_i} must lower-bound CMDRPM {e_cm}"
+    );
     assert!(e_cm < e_d, "CMDRPM {e_cm} must beat reactive DRPM {e_d}");
     assert!(e_d < 1.0, "reactive DRPM must save energy");
     assert!(e_i < 0.55, "swim's idle structure allows deep savings");
@@ -61,7 +59,7 @@ fn zero_noise_cm_tracks_the_oracle_closely() {
         "CM must sit within 5 points of the oracle, gap {gap}"
     );
     assert!(cm.stall_secs < 0.05 * base.exec_secs);
-    assert_eq!(cm.directive_misfires, 0);
+    assert_eq!(cm.misfire_causes.total(), 0);
 }
 
 #[test]
@@ -72,7 +70,7 @@ fn whole_pipeline_is_deterministic() {
     let b = run_one(&bench.program, Scheme::CmDrpm, &cfg);
     assert_eq!(a.total_energy_j().to_bits(), b.total_energy_j().to_bits());
     assert_eq!(a.exec_secs.to_bits(), b.exec_secs.to_bits());
-    assert_eq!(a.directive_misfires, b.directive_misfires);
+    assert_eq!(a.misfire_causes, b.misfire_causes);
 }
 
 #[test]

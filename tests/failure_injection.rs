@@ -105,7 +105,14 @@ fn hostile_directive_stream_is_absorbed_as_misfires() {
         DiskPool::new(2),
         &Policy::Directive(DirectiveConfig::default()),
     );
-    assert_eq!(r.directive_misfires, 3, "three of four calls are illegal");
+    assert_eq!(
+        r.misfire_causes.total(),
+        3,
+        "three of four calls are illegal"
+    );
+    assert_eq!(r.misfire_causes.spin_up_rejected, 1);
+    assert_eq!(r.misfire_causes.off_ladder_level, 1);
+    assert_eq!(r.misfire_causes.spin_down_rejected, 1);
     for d in &r.per_disk {
         assert!((d.energy.total_secs() - r.exec_secs).abs() < 1e-3);
     }

@@ -6,7 +6,7 @@ use sdpm_core::Scheme;
 use sdpm_layout::DiskPool;
 use sdpm_workloads::synth::out_of_core_stencil;
 use sdpm_workloads::{galgel, mesa, wupwise};
-use sdpm_xform::{loop_fission, loop_tiling, Transform, TilingConfig};
+use sdpm_xform::{loop_fission, loop_tiling, TilingConfig, Transform};
 
 #[test]
 fn transforms_preserve_program_validity_and_io_volume() {
