@@ -5,6 +5,7 @@
 //! repro [table1|table2|table3|fig3|fig4|fig5|fig6|fig7|fig8|fig13|all]
 //! repro --trace-out run.json [--metrics-out run.jsonl] [--bench swim] [--scheme CMDRPM]
 //! repro probe <events.jsonl> [top_k]
+//! repro lint [benchmark|all] [--scheme S|all] [--json]
 //! ```
 //!
 //! With no argument, runs `all`. Output pairs each measured value with
@@ -16,7 +17,10 @@
 //! a Chrome `trace_event` timeline (open in Perfetto or
 //! `chrome://tracing`) and/or the raw JSONL event stream. `probe` reads
 //! a stream back and prints the top-k longest idle gaps, the misfire
-//! cause breakdown, and per-disk energy shares.
+//! cause breakdown, and per-disk energy shares. `lint` runs the static
+//! verifier (`sdpm-verify`) over pipeline-produced runs and transform
+//! outputs, printing rustc-style diagnostics (or JSON lines with
+//! `--json`) and exiting nonzero when any error is found.
 
 use sdpm_bench::format::{norm, render_table};
 use sdpm_bench::*;
@@ -26,6 +30,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("probe") {
         probe_events_cmd(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("lint") {
+        lint_cmd(&argv[1..]);
         return;
     }
     let mut trace_out: Option<String> = None;
@@ -111,6 +119,103 @@ fn main() {
     }
     if want("fig2") {
         fig2_cmd();
+    }
+}
+
+/// Runs the static verifier over pipeline runs and transform outputs:
+/// `repro lint [benchmark|all] [--scheme S|all] [--json]`. Exits 1 when
+/// any check reports an error.
+fn lint_cmd(args: &[String]) {
+    use sdpm_bench::lint::{lint_benchmark, LintReport};
+    use sdpm_core::Scheme;
+    use sdpm_verify::{render_human_all, render_json_all};
+
+    let mut bench_arg = "all".to_string();
+    let mut scheme_arg = "all".to_string();
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--scheme" => {
+                scheme_arg = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--scheme needs a value");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => bench_arg = other.to_string(),
+        }
+    }
+
+    let all = suite();
+    let benches: Vec<_> = if bench_arg == "all" {
+        all.iter().collect()
+    } else {
+        let Some(b) = all.iter().find(|b| {
+            b.name
+                .to_ascii_lowercase()
+                .contains(&bench_arg.to_ascii_lowercase())
+        }) else {
+            let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+            eprintln!(
+                "unknown benchmark '{bench_arg}'; one of: all {}",
+                names.join(" ")
+            );
+            std::process::exit(2);
+        };
+        vec![b]
+    };
+    let schemes: Vec<Scheme> = if scheme_arg == "all" {
+        Scheme::all().to_vec()
+    } else {
+        let Some(s) = Scheme::all()
+            .into_iter()
+            .find(|s| s.label().eq_ignore_ascii_case(&scheme_arg))
+        else {
+            eprintln!(
+                "unknown scheme '{scheme_arg}'; one of: all Base TPM ITPM DRPM IDRPM CMTPM CMDRPM"
+            );
+            std::process::exit(2);
+        };
+        vec![s]
+    };
+
+    let reports: Vec<LintReport> = benches
+        .iter()
+        .flat_map(|b| lint_benchmark(b, &schemes))
+        .collect();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for r in &reports {
+        let (e, w) = r.tally();
+        errors += e;
+        warnings += w;
+        if json {
+            if !r.diags.is_empty() {
+                println!("{}", render_json_all(&r.diags));
+            }
+            continue;
+        }
+        if r.diags.is_empty() {
+            println!("lint: {} {} ... ok", r.bench, r.subject);
+        } else {
+            println!("lint: {} {}", r.bench, r.subject);
+            println!("{}", render_human_all(&r.diags));
+        }
+    }
+    if !json {
+        println!(
+            "lint: {} check(s), {} error(s), {} warning(s)",
+            reports.len(),
+            errors,
+            warnings
+        );
+    }
+    if errors > 0 {
+        std::process::exit(1);
     }
 }
 

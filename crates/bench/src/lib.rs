@@ -7,5 +7,6 @@
 pub mod ablations;
 pub mod experiments;
 pub mod format;
+pub mod lint;
 
 pub use experiments::*;

@@ -1,0 +1,116 @@
+//! `repro lint`: the static verifier (`sdpm-verify`) driven over
+//! pipeline-produced runs and transform outputs.
+//!
+//! One [`LintReport`] per checked subject — a scheme's simulated run or
+//! one transform variant's legality — so callers (the `repro` binary,
+//! the `lint` integration test, CI) can render or gate on them
+//! uniformly.
+
+use crate::config_for;
+use sdpm_core::{run_scheme_with_artifacts, Scheme};
+use sdpm_layout::DiskPool;
+use sdpm_verify::{
+    check_fission, check_tiling, has_errors, verify_run, Diagnostic, PlanRef, Severity,
+};
+use sdpm_workloads::Benchmark;
+use sdpm_xform::{loop_fission, loop_tiling, TilingConfig};
+
+/// The verifier's findings for one checked subject of one benchmark.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Benchmark name (Table 2 kernel).
+    pub bench: &'static str,
+    /// What was checked: `"CMDRPM run"`, `"LF legality"`, ...
+    pub subject: String,
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// True when any finding is an error.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        has_errors(&self.diags)
+    }
+
+    /// `(errors, warnings)` in this report.
+    #[must_use]
+    pub fn tally(&self) -> (usize, usize) {
+        let e = self
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let w = self
+            .diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        (e, w)
+    }
+}
+
+/// Schemes whose runs the replay cross-check can reproduce from the
+/// trace alone: directive-driven executions. Reactive and oracle
+/// policies act on their own clocks, so only directive safety is checked
+/// for them.
+#[must_use]
+pub fn replayable(scheme: Scheme) -> bool {
+    matches!(scheme, Scheme::Base | Scheme::CmTpm | Scheme::CmDrpm)
+}
+
+/// Lints the listed schemes' runs of one benchmark: directive safety
+/// (with the insertion plan attached for CM schemes) plus the replay
+/// cross-check for directive-driven runs.
+#[must_use]
+pub fn lint_scheme_runs(bench: &Benchmark, schemes: &[Scheme]) -> Vec<LintReport> {
+    let cfg = config_for(bench);
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let art = run_scheme_with_artifacts(&bench.program, scheme, &cfg);
+            let plan = art.insertion.as_ref().map(PlanRef::of);
+            let report = replayable(scheme).then_some(&art.report);
+            let diags = verify_run(&art.trace, &cfg.params, cfg.overhead_secs, plan, report);
+            LintReport {
+                bench: bench.name,
+                subject: format!("{} run", scheme.label()),
+                diags,
+            }
+        })
+        .collect()
+}
+
+/// Lints the Fig. 11/12 transform outputs of one benchmark: fission
+/// against a rebuilt dependence graph and tiling against the conformance
+/// analysis, in both the layout-agnostic and layout-aware variants.
+#[must_use]
+pub fn lint_transforms(bench: &Benchmark) -> Vec<LintReport> {
+    let cfg = config_for(bench);
+    let pool = DiskPool::new(cfg.disks);
+    let mut out = Vec::new();
+    for layout_aware in [false, true] {
+        let dl = if layout_aware { "+DL" } else { "" };
+        let fission = loop_fission(&bench.program, pool, layout_aware);
+        out.push(LintReport {
+            bench: bench.name,
+            subject: format!("LF{dl} legality"),
+            diags: check_fission(&bench.program, &fission),
+        });
+        let tiling = loop_tiling(&bench.program, pool, layout_aware, &TilingConfig::default());
+        out.push(LintReport {
+            bench: bench.name,
+            subject: format!("TL{dl} legality"),
+            diags: check_tiling(&bench.program, &tiling, layout_aware),
+        });
+    }
+    out
+}
+
+/// Full lint of one benchmark: every listed scheme's run plus all four
+/// transform variants.
+#[must_use]
+pub fn lint_benchmark(bench: &Benchmark, schemes: &[Scheme]) -> Vec<LintReport> {
+    let mut out = lint_scheme_runs(bench, schemes);
+    out.extend(lint_transforms(bench));
+    out
+}

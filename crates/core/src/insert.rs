@@ -66,6 +66,11 @@ pub struct InsertOutcome {
     pub inserted: usize,
     /// Per-gap decisions for gaps that were considered.
     pub decisions: Vec<Decision>,
+    /// Per-nest multiplicative noise factors (indexed by nest id) the
+    /// planner used to build its estimated timeline. Exposed so an
+    /// independent checker can re-derive the exact timeline the decisions
+    /// were made against (see `sdpm-verify`).
+    pub nest_factors: Vec<f64>,
 }
 
 /// Where a directive goes: before event `event_idx`, optionally inside
@@ -134,6 +139,31 @@ struct Plan {
     pinned: Vec<Pinned>,
     decisions: Vec<Decision>,
     max: RpmLevel,
+    nest_factors: Vec<f64>,
+}
+
+/// The per-nest multiplicative noise factors the compiler's estimated
+/// timeline applies, seeded like `CycleEstimator::with_noise`: one draw
+/// per nest from `noise.seed`, clamped below at 0.05.
+#[must_use]
+pub fn nest_noise_factors(trace: &Trace, noise: &NoiseModel) -> Vec<f64> {
+    let nest_count = trace
+        .events
+        .iter()
+        .filter_map(AppEvent::nest)
+        .max()
+        .map_or(0, |n| n + 1);
+    let mut rng = StdRng::seed_from_u64(noise.seed);
+    (0..nest_count)
+        .map(|_| {
+            let eps: f64 = if noise.spread > 0.0 {
+                rng.random_range(-noise.spread..noise.spread)
+            } else {
+                0.0
+            };
+            (1.0 + eps).max(0.05)
+        })
+        .collect()
 }
 
 /// Break-even thresholding: builds the estimated timeline, walks every
@@ -149,23 +179,7 @@ fn plan_directives(
     let max = ladder.max_level();
 
     // Per-nest noise factors, seeded like CycleEstimator::with_noise.
-    let nest_count = trace
-        .events
-        .iter()
-        .filter_map(AppEvent::nest)
-        .max()
-        .map_or(0, |n| n + 1);
-    let mut rng = StdRng::seed_from_u64(noise.seed);
-    let factors: Vec<f64> = (0..nest_count)
-        .map(|_| {
-            let eps: f64 = if noise.spread > 0.0 {
-                rng.random_range(-noise.spread..noise.spread)
-            } else {
-                0.0
-            };
-            (1.0 + eps).max(0.05)
-        })
-        .collect();
+    let factors = nest_noise_factors(trace, noise);
 
     // Estimated timeline: start/end time of every event.
     let n_events = trace.events.len();
@@ -323,6 +337,7 @@ fn plan_directives(
         pinned,
         decisions,
         max,
+        nest_factors: factors,
     }
 }
 
@@ -333,6 +348,7 @@ fn apply_plan(trace: &Trace, plan: Plan) -> InsertOutcome {
         mut pinned,
         decisions,
         max,
+        nest_factors,
     } = plan;
     // Deterministic weave order: by event position, "before event" pins
     // first, then intra-compute splits by iteration; pre-activations
@@ -362,6 +378,7 @@ fn apply_plan(trace: &Trace, plan: Plan) -> InsertOutcome {
         trace: out,
         inserted,
         decisions,
+        nest_factors,
     }
 }
 

@@ -49,7 +49,9 @@ pub use dap::{build_dap, disk_gaps, Dap, DapEntry, DapState, GlobalGap, NestOffs
 pub use estimate::{CycleEstimator, NoiseModel};
 #[cfg(feature = "obs")]
 pub use insert::insert_directives_with_recorder;
-pub use insert::{insert_directives, CmMode, Decision, InsertOutcome};
+pub use insert::{insert_directives, nest_noise_factors, CmMode, Decision, InsertOutcome};
 #[cfg(feature = "obs")]
 pub use pipeline::run_scheme_with_recorder;
-pub use pipeline::{run_all_schemes, run_scheme, PipelineConfig, Scheme};
+pub use pipeline::{
+    run_all_schemes, run_scheme, run_scheme_with_artifacts, PipelineConfig, Scheme, SchemeArtifacts,
+};

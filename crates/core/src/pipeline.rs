@@ -100,6 +100,31 @@ pub fn run_scheme(program: &Program, scheme: Scheme, cfg: &PipelineConfig) -> Si
     run_scheme_obs(program, scheme, cfg, None)
 }
 
+/// One scheme run with the intermediate artifacts the independent checker
+/// (`sdpm-verify`) needs: the exact trace the simulator consumed and, for
+/// CM schemes, the insertion outcome (decisions + timeline noise factors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeArtifacts {
+    pub scheme: Scheme,
+    /// The trace the simulator consumed (instrumented for CM schemes,
+    /// the raw generated trace otherwise).
+    pub trace: sdpm_trace::Trace,
+    /// The instrumentation outcome (`Some` for CM schemes only).
+    pub insertion: Option<crate::insert::InsertOutcome>,
+    pub report: SimReport,
+}
+
+/// Like [`run_scheme`], but keeps the pipeline's intermediate artifacts
+/// so they can be checked after the fact.
+#[must_use]
+pub fn run_scheme_with_artifacts(
+    program: &Program,
+    scheme: Scheme,
+    cfg: &PipelineConfig,
+) -> SchemeArtifacts {
+    run_scheme_full(program, scheme, cfg, None)
+}
+
 /// Like [`run_scheme`], but streams pipeline phase spans and the
 /// simulator's event sequence into `rec`.
 ///
@@ -162,14 +187,38 @@ fn run_scheme_obs(
     cfg: &PipelineConfig,
     rec: Obs<'_>,
 ) -> SimReport {
+    run_scheme_full(program, scheme, cfg, rec).report
+}
+
+fn run_scheme_full(
+    program: &Program,
+    scheme: Scheme,
+    cfg: &PipelineConfig,
+    rec: Obs<'_>,
+) -> SchemeArtifacts {
     let pool = DiskPool::new(cfg.disks);
     let trace = phase(rec, "dap-construction", || generate(program, pool, cfg.gen));
-    let mut report = match scheme {
-        Scheme::Base => sim(&trace, cfg, pool, &Policy::Base, rec),
-        Scheme::Tpm => sim(&trace, cfg, pool, &Policy::Tpm(cfg.tpm), rec),
-        Scheme::ITpm => sim(&trace, cfg, pool, &Policy::IdealTpm, rec),
-        Scheme::Drpm => sim(&trace, cfg, pool, &Policy::Drpm(cfg.drpm), rec),
-        Scheme::IDrpm => sim(&trace, cfg, pool, &Policy::IdealDrpm, rec),
+    let (trace, insertion, mut report) = match scheme {
+        Scheme::Base => {
+            let r = sim(&trace, cfg, pool, &Policy::Base, rec);
+            (trace, None, r)
+        }
+        Scheme::Tpm => {
+            let r = sim(&trace, cfg, pool, &Policy::Tpm(cfg.tpm), rec);
+            (trace, None, r)
+        }
+        Scheme::ITpm => {
+            let r = sim(&trace, cfg, pool, &Policy::IdealTpm, rec);
+            (trace, None, r)
+        }
+        Scheme::Drpm => {
+            let r = sim(&trace, cfg, pool, &Policy::Drpm(cfg.drpm), rec);
+            (trace, None, r)
+        }
+        Scheme::IDrpm => {
+            let r = sim(&trace, cfg, pool, &Policy::IdealDrpm, rec);
+            (trace, None, r)
+        }
         Scheme::CmTpm | Scheme::CmDrpm => {
             let mode = if scheme == Scheme::CmTpm {
                 CmMode::Tpm
@@ -177,7 +226,7 @@ fn run_scheme_obs(
                 CmMode::Drpm
             };
             let out = instrument(&trace, cfg, mode, rec);
-            sim(
+            let r = sim(
                 &out.trace,
                 cfg,
                 pool,
@@ -185,11 +234,17 @@ fn run_scheme_obs(
                     overhead_secs: cfg.overhead_secs,
                 }),
                 rec,
-            )
+            );
+            (out.trace.clone(), Some(out), r)
         }
     };
     report.policy = scheme.label().to_string();
-    report
+    SchemeArtifacts {
+        scheme,
+        trace,
+        insertion,
+        report,
+    }
 }
 
 /// `insert_directives`, routed through the recording variant when a

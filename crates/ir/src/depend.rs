@@ -32,16 +32,30 @@ pub struct DependenceGraph {
     pub succs: Vec<Vec<usize>>,
 }
 
+/// True when `ra` and `rb` can constitute a data dependence: they name
+/// the same array and at least one side writes it. Read/read pairs —
+/// even with identical subscripts — must never create an edge on any
+/// path: two reads cannot conflict, so they constrain nothing.
+fn is_dependence(ra: &crate::nest::ArrayRef, rb: &crate::nest::ArrayRef) -> bool {
+    if ra.array != rb.array {
+        return false;
+    }
+    // Exhaustive on purpose: a future RefKind variant must force a review
+    // of this test rather than silently inherit "conflicts".
+    match (ra.kind, rb.kind) {
+        (RefKind::Read, RefKind::Read) => false,
+        (RefKind::Write, _) | (_, RefKind::Write) => true,
+    }
+}
+
 fn conflicting_pairs<'a>(
     a: &'a Statement,
     b: &'a Statement,
 ) -> impl Iterator<Item = (&'a crate::nest::ArrayRef, &'a crate::nest::ArrayRef)> {
     a.refs.iter().flat_map(move |ra| {
-        b.refs.iter().filter_map(move |rb| {
-            let conflict =
-                ra.array == rb.array && (ra.kind == RefKind::Write || rb.kind == RefKind::Write);
-            conflict.then_some((ra, rb))
-        })
+        b.refs
+            .iter()
+            .filter_map(move |rb| is_dependence(ra, rb).then_some((ra, rb)))
     })
 }
 
@@ -378,6 +392,55 @@ mod tests {
         assert_eq!(groups.len(), 2);
         assert!(groups.contains(&vec![0, 1]));
         assert!(groups.contains(&vec![2]));
+    }
+
+    #[test]
+    fn pure_read_statements_never_couple() {
+        // Regression for the read/read audit: statements that ONLY read —
+        // same subscripts on A, differing subscripts on B (the path that
+        // would otherwise classify as "coupled") — must produce an empty
+        // graph in both directions.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![ArrayRef::read(0, vec![i()]), ArrayRef::read(1, vec![i()])],
+            ),
+            stmt(
+                "S2",
+                vec![
+                    ArrayRef::read(0, vec![i()]),
+                    ArrayRef::read(1, vec![i().shifted(3)]),
+                ],
+            ),
+        ]);
+        let g = DependenceGraph::of_nest(&n);
+        assert!(g.succs[0].is_empty() && g.succs[1].is_empty());
+        assert!(is_fissionable(&n));
+    }
+
+    #[test]
+    fn read_read_pair_adds_nothing_beside_a_real_edge() {
+        // S1 writes A and reads C[i+1]; S2 reads A and reads C[i]. The A
+        // pair is a loop-independent dependence (forward edge only); the
+        // differing-subscript C read/read pair must NOT upgrade it to a
+        // coupling.
+        let n = nest_of(vec![
+            stmt(
+                "S1",
+                vec![
+                    ArrayRef::write(0, vec![i()]),
+                    ArrayRef::read(2, vec![i().shifted(1)]),
+                ],
+            ),
+            stmt(
+                "S2",
+                vec![ArrayRef::read(0, vec![i()]), ArrayRef::read(2, vec![i()])],
+            ),
+        ]);
+        let g = DependenceGraph::of_nest(&n);
+        assert_eq!(g.succs[0], vec![1]);
+        assert!(g.succs[1].is_empty(), "read/read must not add a back edge");
+        assert!(is_fissionable(&n));
     }
 
     #[test]

@@ -284,3 +284,80 @@ fn pipeline_emits_ordered_phase_spans() {
         ]
     );
 }
+
+/// Three independent misfire counters — the simulator's report, the
+/// dynamic `MetricsRecorder` stream, and `sdpm-verify`'s static replay —
+/// must agree cause-by-cause, on a hostile stream and on a clean
+/// pipeline run alike.
+#[test]
+fn static_replay_agrees_with_dynamic_misfire_metrics() {
+    let hostile = Trace {
+        name: "hostile".into(),
+        pool_size: 2,
+        events: vec![
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SpinUp,
+            },
+            AppEvent::Power {
+                disk: DiskId(0),
+                action: PowerAction::SetRpm(RpmLevel(200)),
+            },
+            AppEvent::Power {
+                disk: DiskId(1),
+                action: PowerAction::SpinDown,
+            },
+            AppEvent::Power {
+                disk: DiskId(1),
+                action: PowerAction::SpinDown,
+            },
+            AppEvent::Io(IoRequest {
+                disk: DiskId(1),
+                start_block: 0,
+                size_bytes: 4096,
+                kind: ReqKind::Read,
+                sequential: false,
+                nest: 0,
+                iter: 0,
+            }),
+        ],
+    };
+    let params = ultrastar36z15();
+    let dcfg = DirectiveConfig::default();
+    let rec = MetricsRecorder::new();
+    let report = simulate_with_recorder(
+        &hostile,
+        &params,
+        DiskPool::new(2),
+        &Policy::Directive(dcfg),
+        &rec,
+    );
+    let m = rec.snapshot();
+    let replay = sdpm_verify::replay_directives(&hostile, &params, dcfg.overhead_secs);
+
+    assert_eq!(replay.misfires, report.misfire_causes);
+    assert!(replay.misfires.total() > 0);
+    for (label, n) in replay.misfires.breakdown() {
+        assert_eq!(
+            m.misfires.get(label).copied().unwrap_or(0),
+            n,
+            "dynamic metric for {label} disagrees with static replay"
+        );
+    }
+    assert_eq!(m.misfires_total(), replay.misfires.total());
+
+    // The replay cross-check flags the misfires as a warning, never as a
+    // report divergence: all three counters share one truth.
+    let diags = sdpm_verify::crosscheck_report(&hostile, &params, dcfg.overhead_secs, &report);
+    assert!(!sdpm_verify::has_errors(&diags));
+    assert!(diags
+        .iter()
+        .any(|d| d.code == sdpm_verify::Code::ReplayMisfires));
+
+    // Clean pipeline run: the same three-way agreement at zero.
+    let p = phased(60.0);
+    let rec = MetricsRecorder::new();
+    let report = run_scheme_with_recorder(&p, Scheme::CmTpm, &cfg(), &rec);
+    let m = rec.snapshot();
+    assert_eq!(m.misfires_total(), report.misfire_causes.total());
+}

@@ -1,0 +1,551 @@
+//! Transform-legality checking: fission outputs against an independently
+//! rebuilt dependence graph, and tiling transposes against the
+//! conformance analysis.
+//!
+//! These checks deliberately do **not** call `sdpm_xform`'s own decision
+//! procedures back — the point is a second derivation. The dependence
+//! test here is written from the DESIGN.md §4 rule (common array, at
+//! least one write; identical subscripts order, differing subscripts
+//! couple), and the transpose test replays the Fig. 12 decision directly
+//! on [`sdpm_ir::conform::innermost_stride_under`].
+
+use crate::diag::{Code, Diagnostic, Span};
+use sdpm_ir::conform::innermost_stride_under;
+use sdpm_ir::{AffineExpr, LoopNest, Program, RefKind, Statement};
+use sdpm_xform::{FissionOutcome, TilingOutcome};
+
+/// How two statements constrain each other under distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dep {
+    None,
+    /// Loop-independent: the earlier statement's loop must run first.
+    Forward,
+    /// Loop-carried or unanalyzable: must share one loop.
+    Coupled,
+}
+
+/// Re-derives the dependence between source statements `a` (earlier) and
+/// `b` (later) from first principles.
+fn dep_between(a: &Statement, b: &Statement) -> Dep {
+    let mut dep = Dep::None;
+    for ra in &a.refs {
+        for rb in &b.refs {
+            if ra.array != rb.array {
+                continue;
+            }
+            if ra.kind == RefKind::Read && rb.kind == RefKind::Read {
+                continue; // two reads never conflict
+            }
+            if ra.subscripts == rb.subscripts {
+                if dep == Dep::None {
+                    dep = Dep::Forward;
+                }
+            } else {
+                return Dep::Coupled;
+            }
+        }
+    }
+    dep
+}
+
+fn nest_span(n: &LoopNest) -> Span {
+    Span::Nest {
+        label: n.label.clone(),
+    }
+}
+
+/// Checks that `out` is a legal distribution of `original`:
+///
+/// * the provenance map and per-source-nest bodies are intact
+///   ([`Code::FissionBodyChanged`]),
+/// * no forward dependence runs backward across or within the fissioned
+///   loops ([`Code::FissionOrderViolation`]),
+/// * no dependence cycle (SCC of the rebuilt graph, couplings closed
+///   transitively) is split across loops ([`Code::FissionCouplingSplit`]).
+#[must_use]
+pub fn check_fission(original: &Program, out: &FissionOutcome) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // Provenance sanity first: everything else keys off it.
+    let origin = &out.nest_origin;
+    let ok_shape = origin.len() == out.program.nests.len()
+        && origin.windows(2).all(|w| w[0] <= w[1])
+        && origin.iter().all(|&ni| ni < original.nests.len())
+        && (0..original.nests.len()).all(|ni| origin.contains(&ni));
+    if !ok_shape {
+        diags.push(
+            Diagnostic::new(
+                Code::FissionBodyChanged,
+                format!(
+                    "nest provenance is malformed: {} output nests, origins {:?} over {} \
+                     source nests",
+                    out.program.nests.len(),
+                    origin,
+                    original.nests.len()
+                ),
+            )
+            .help("nest_origin must be a monotone onto map from output nests to source nests"),
+        );
+        return diags;
+    }
+
+    // Array table: fission may re-stripe, never reshape or transpose.
+    for (src, got) in original.arrays.iter().zip(&out.program.arrays) {
+        if src.name != got.name
+            || src.dims != got.dims
+            || src.element_bytes != got.element_bytes
+            || src.order != got.order
+        {
+            diags.push(
+                Diagnostic::new(
+                    Code::FissionBodyChanged,
+                    format!("array `{}` was reshaped or transposed by fission", src.name),
+                )
+                .label(
+                    Span::Array {
+                        name: src.name.clone(),
+                    },
+                    "array changed here",
+                )
+                .help("fission may only re-stripe arrays (the DL part), nothing else"),
+            );
+        }
+    }
+
+    for (ni, src) in original.nests.iter().enumerate() {
+        let parts: Vec<&LoopNest> = origin
+            .iter()
+            .zip(&out.program.nests)
+            .filter(|(&o, _)| o == ni)
+            .map(|(_, n)| n)
+            .collect();
+
+        // Body preservation: same loops everywhere, source statements
+        // distributed without loss, duplication, or edit; cycle budget
+        // conserved.
+        let mut body_ok = true;
+        for p in &parts {
+            if p.loops != src.loops {
+                body_ok = false;
+            }
+        }
+        let total_stmts: usize = parts.iter().map(|p| p.stmts.len()).sum();
+        // Map each output statement back to a distinct source statement
+        // (first unclaimed equal one: statements may be textually equal).
+        let mut claimed = vec![false; src.stmts.len()];
+        // part_of[si] = (part index, position in part) for each source stmt.
+        let mut part_of: Vec<Option<(usize, usize)>> = vec![None; src.stmts.len()];
+        for (pi, p) in parts.iter().enumerate() {
+            for (pos, stmt) in p.stmts.iter().enumerate() {
+                let found = src
+                    .stmts
+                    .iter()
+                    .enumerate()
+                    .find(|(si, s)| !claimed[*si] && *s == stmt)
+                    .map(|(si, _)| si);
+                match found {
+                    Some(si) => {
+                        claimed[si] = true;
+                        part_of[si] = Some((pi, pos));
+                    }
+                    None => body_ok = false,
+                }
+            }
+        }
+        if total_stmts != src.stmts.len() || !claimed.iter().all(|&c| c) {
+            body_ok = false;
+        }
+        let cycles: f64 = parts.iter().map(|p| p.cycles_per_iter).sum();
+        if (cycles - src.cycles_per_iter).abs() > 1e-9 * src.cycles_per_iter.max(1.0) {
+            body_ok = false;
+        }
+        if !body_ok {
+            diags.push(
+                Diagnostic::new(
+                    Code::FissionBodyChanged,
+                    format!(
+                        "fissioned loops of nest `{}` do not reassemble its body",
+                        src.label
+                    ),
+                )
+                .label(nest_span(src), "source nest")
+                .help(
+                    "distribution must keep every loop bound, preserve the statement \
+                     multiset, and conserve the cycle budget",
+                ),
+            );
+            continue; // dependence checks need the statement map
+        }
+
+        // Rebuild the dependence graph over the SOURCE statements. A
+        // forward dependence orders the two statements; a coupling only
+        // welds them into one strongly-connected component (both
+        // directions in the reachability seed, no ordering obligation —
+        // the E102 check below handles it).
+        let n = src.stmts.len();
+        let mut fwd = vec![vec![false; n]; n];
+        let mut edge = vec![vec![false; n]; n];
+        for p in 0..n {
+            for q in (p + 1)..n {
+                match dep_between(&src.stmts[p], &src.stmts[q]) {
+                    Dep::None => {}
+                    Dep::Forward => {
+                        fwd[p][q] = true;
+                        edge[p][q] = true;
+                    }
+                    Dep::Coupled => {
+                        edge[p][q] = true;
+                        edge[q][p] = true;
+                    }
+                }
+            }
+        }
+
+        // Direct forward edges must not run backward in the output.
+        for p in 0..n {
+            for q in 0..n {
+                if !fwd[p][q] {
+                    continue;
+                }
+                let (pp, ppos) = part_of[p].expect("mapped above");
+                let (qp, qpos) = part_of[q].expect("mapped above");
+                let ordered = pp < qp || (pp == qp && ppos < qpos);
+                if !ordered {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::FissionOrderViolation,
+                            format!(
+                                "dependence `{}` -> `{}` in nest `{}` runs backward after \
+                                 fission",
+                                src.stmts[p].label, src.stmts[q].label, src.label
+                            ),
+                        )
+                        .label(nest_span(src), "source nest")
+                        .label(
+                            nest_span(parts[qp]),
+                            format!("`{}` lands here, too early", src.stmts[q].label),
+                        )
+                        .help("fissioned loops must execute in dependence-topological order"),
+                    );
+                }
+            }
+        }
+
+        // Transitive closure: a coupling cycle can run through a third
+        // statement, so pairwise edges alone cannot certify the split.
+        let mut reach = edge.clone();
+        for k in 0..n {
+            let via = reach[k].clone();
+            for row in reach.iter_mut() {
+                if row[k] {
+                    for (cell, &through) in row.iter_mut().zip(&via) {
+                        *cell |= through;
+                    }
+                }
+            }
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if reach[p][q] && reach[q][p] {
+                    let (pp, _) = part_of[p].expect("mapped above");
+                    let (qp, _) = part_of[q].expect("mapped above");
+                    if pp != qp {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::FissionCouplingSplit,
+                                format!(
+                                    "statements `{}` and `{}` of nest `{}` form a dependence \
+                                     cycle but were fissioned apart",
+                                    src.stmts[p].label, src.stmts[q].label, src.label
+                                ),
+                            )
+                            .label(nest_span(src), "source nest")
+                            .label(
+                                nest_span(parts[pp]),
+                                format!("`{}` here", src.stmts[p].label),
+                            )
+                            .label(
+                                nest_span(parts[qp]),
+                                format!("`{}` here", src.stmts[q].label),
+                            )
+                            .help(
+                                "statements of one strongly-connected component must stay \
+                                   in one loop",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// Checks that `out` is a legal tiling of `original`:
+///
+/// * with `layout_aware` (the paper's TL+DL), every transposed array is
+///   justified by the Fig. 12 rule — its access was non-conforming and a
+///   transpose makes it conforming — replayed on the conformance analysis
+///   with the evolving layout state, and no justified transpose was
+///   skipped; without it, no array layout may change at all
+///   ([`Code::TilingUnjustifiedTranspose`]),
+/// * every tiled nest strip-mines its outermost loop without changing the
+///   iteration space, the per-iteration cycle budget, or any non-tiled
+///   nest ([`Code::TilingIterationSpaceChanged`]).
+#[must_use]
+pub fn check_tiling(
+    original: &Program,
+    out: &TilingOutcome,
+    layout_aware: bool,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    if out.program.nests.len() != original.nests.len() {
+        diags.push(
+            Diagnostic::new(
+                Code::TilingIterationSpaceChanged,
+                format!(
+                    "tiling changed the nest count: {} -> {}",
+                    original.nests.len(),
+                    out.program.nests.len()
+                ),
+            )
+            .help("tiling rewrites nests in place and never adds or removes one"),
+        );
+        return diags;
+    }
+
+    // Replay the transpose decisions in tiled-nest order over the
+    // original nests, with the array orders evolving as decisions land.
+    // A layout-agnostic run (TL without DL) makes no decisions, so its
+    // justified set is empty and every layout must pass through.
+    let mut orders: Vec<_> = original.arrays.iter().map(|a| a.order).collect();
+    let mut expected: Vec<usize> = Vec::new();
+    for &ni in &out.tiled_nests {
+        let Some(nest) = original.nests.get(ni) else {
+            diags.push(
+                Diagnostic::new(
+                    Code::TilingIterationSpaceChanged,
+                    format!("tiled nest index {ni} is out of range"),
+                )
+                .help("tiled_nests must index the program's nest list"),
+            );
+            return diags;
+        };
+        if !layout_aware {
+            continue;
+        }
+        for stmt in &nest.stmts {
+            for r in &stmt.refs {
+                let file = &original.arrays[r.array];
+                let cur = innermost_stride_under(nest, r, file, orders[r.array]).abs();
+                let flip =
+                    innermost_stride_under(nest, r, file, orders[r.array].transposed()).abs();
+                if cur != 1 && flip == 1 && !expected.contains(&r.array) {
+                    orders[r.array] = orders[r.array].transposed();
+                    expected.push(r.array);
+                }
+            }
+        }
+    }
+    if expected != out.transposed_arrays {
+        diags.push(
+            Diagnostic::new(
+                Code::TilingUnjustifiedTranspose,
+                format!(
+                    "transposed arrays {:?} do not match the conformance-justified set {:?}",
+                    out.transposed_arrays, expected
+                ),
+            )
+            .help(
+                "transpose an array exactly when its access does not conform to the \
+                 current layout but conforms to the transposed one",
+            ),
+        );
+    }
+    for (ai, (src, got)) in original.arrays.iter().zip(&out.program.arrays).enumerate() {
+        let want = if expected.contains(&ai) {
+            src.order.transposed()
+        } else {
+            src.order
+        };
+        if got.order != want {
+            diags.push(
+                Diagnostic::new(
+                    Code::TilingUnjustifiedTranspose,
+                    format!(
+                        "array `{}` ends with storage order {:?}, conformance replay \
+                         expects {:?}",
+                        src.name, got.order, want
+                    ),
+                )
+                .label(
+                    Span::Array {
+                        name: src.name.clone(),
+                    },
+                    "layout decided here",
+                )
+                .help("the output layout must reflect exactly the justified transposes"),
+            );
+        }
+        if src.name != got.name || src.dims != got.dims || src.element_bytes != got.element_bytes {
+            diags.push(
+                Diagnostic::new(
+                    Code::TilingIterationSpaceChanged,
+                    format!("array `{}` was reshaped by tiling", src.name),
+                )
+                .label(
+                    Span::Array {
+                        name: src.name.clone(),
+                    },
+                    "array changed here",
+                )
+                .help("tiling may transpose storage order and re-stripe, never reshape"),
+            );
+        }
+    }
+
+    for (ni, (src, got)) in original.nests.iter().zip(&out.program.nests).enumerate() {
+        if out.tiled_nests.contains(&ni) {
+            check_strip_mine(&mut diags, src, got);
+        } else if src != got {
+            diags.push(
+                Diagnostic::new(
+                    Code::TilingIterationSpaceChanged,
+                    format!("non-tiled nest `{}` was modified", src.label),
+                )
+                .label(nest_span(got), "modified nest")
+                .help("nests outside the tiling scope must pass through unchanged"),
+            );
+        }
+    }
+    diags
+}
+
+/// Verifies `got` is exactly the strip-mine of `src`'s outermost loop:
+/// `i = lower + step*(ii*T + i')` with every subscript rewritten by that
+/// substitution and nothing else touched.
+fn check_strip_mine(diags: &mut Vec<Diagnostic>, src: &LoopNest, got: &LoopNest) {
+    let bad = |diags: &mut Vec<Diagnostic>, msg: String| {
+        diags.push(
+            Diagnostic::new(Code::TilingIterationSpaceChanged, msg)
+                .label(nest_span(got), "tiled nest")
+                .help(
+                    "strip-mining splits the outermost loop into a tile iterator and an \
+                     element iterator; iteration count, inner loops, statement bodies, and \
+                     the cycle budget are invariant",
+                ),
+        );
+    };
+    let Some(outer) = src.loops.first() else {
+        bad(diags, format!("nest `{}` has no loop to tile", src.label));
+        return;
+    };
+    if got.depth() != src.depth() + 1 {
+        bad(
+            diags,
+            format!(
+                "tiled nest `{}` has depth {}, expected {}",
+                got.label,
+                got.depth(),
+                src.depth() + 1
+            ),
+        );
+        return;
+    }
+    let tiles = got.loops[0].count;
+    let tile_trips = got.loops[1].count;
+    if tiles < 2
+        || tile_trips < 2
+        || tiles * tile_trips != outer.count
+        || got.loops[0] != sdpm_ir::LoopDim::simple(tiles)
+        || got.loops[1] != sdpm_ir::LoopDim::simple(tile_trips)
+        || got.loops[2..] != src.loops[1..]
+    {
+        bad(
+            diags,
+            format!(
+                "tiled nest `{}` restructures the iteration space: {:?} from {:?}",
+                got.label, got.loops, src.loops
+            ),
+        );
+        return;
+    }
+    if got.iter_count() != src.iter_count() {
+        bad(
+            diags,
+            format!(
+                "tiled nest `{}` iterates {} times, source iterated {}",
+                got.label,
+                got.iter_count(),
+                src.iter_count()
+            ),
+        );
+        return;
+    }
+    if (got.cycles_per_iter - src.cycles_per_iter).abs() > 1e-9 * src.cycles_per_iter.max(1.0) {
+        bad(
+            diags,
+            format!(
+                "tiled nest `{}` changes the per-iteration cycle count",
+                got.label
+            ),
+        );
+    }
+
+    // Rebuild the substitution and push it through every source subscript.
+    let new_depth = src.depth() + 1;
+    let mut subst: Vec<AffineExpr> = Vec::with_capacity(src.depth());
+    let mut coeffs = vec![0i64; new_depth];
+    coeffs[0] = outer.step * tile_trips as i64;
+    coeffs[1] = outer.step;
+    subst.push(AffineExpr {
+        coeffs,
+        constant: outer.lower,
+    });
+    for d in 1..src.depth() {
+        subst.push(AffineExpr::var(new_depth, d + 1));
+    }
+    if src.stmts.len() != got.stmts.len() {
+        bad(
+            diags,
+            format!(
+                "tiled nest `{}` has {} statements, source had {}",
+                got.label,
+                got.stmts.len(),
+                src.stmts.len()
+            ),
+        );
+        return;
+    }
+    for (s_src, s_got) in src.stmts.iter().zip(&got.stmts) {
+        if s_src.label != s_got.label || s_src.refs.len() != s_got.refs.len() {
+            bad(
+                diags,
+                format!(
+                    "tiled nest `{}` changes the body of statement `{}`",
+                    got.label, s_src.label
+                ),
+            );
+            return;
+        }
+        for (r_src, r_got) in s_src.refs.iter().zip(&s_got.refs) {
+            let want: Vec<AffineExpr> = r_src
+                .subscripts
+                .iter()
+                .map(|e| e.substituted(&subst))
+                .collect();
+            if r_src.array != r_got.array || r_src.kind != r_got.kind || want != r_got.subscripts {
+                bad(
+                    diags,
+                    format!(
+                        "tiled nest `{}`: statement `{}` does not access the same elements \
+                         as the source",
+                        got.label, s_src.label
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}

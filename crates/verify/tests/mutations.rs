@@ -1,0 +1,305 @@
+//! Mutation tests: corrupt a directive stream in each documented way and
+//! check the verifier reports exactly the advertised `SDPM-Exxx` code.
+
+use sdpm_core::{insert_directives, CmMode, NoiseModel};
+use sdpm_disk::{ultrastar36z15, RpmLadder, RpmLevel};
+use sdpm_layout::DiskId;
+use sdpm_trace::{AppEvent, IoRequest, PowerAction, ReqKind, Trace};
+use sdpm_verify::{has_errors, verify_directives, Code, PlanRef};
+
+const TM: f64 = 50e-6;
+
+fn io(disk: u32, iter: u64) -> AppEvent {
+    AppEvent::Io(IoRequest {
+        disk: DiskId(disk),
+        start_block: iter * 64,
+        size_bytes: 4096,
+        kind: ReqKind::Read,
+        sequential: false,
+        nest: 0,
+        iter,
+    })
+}
+
+fn compute(secs: f64) -> AppEvent {
+    AppEvent::Compute {
+        nest: 0,
+        first_iter: 0,
+        iters: 1,
+        secs,
+    }
+}
+
+/// A compute phase with enough iterations for the inserter to split it
+/// and pin a pre-activation mid-gap, like generated workload traces.
+fn compute_iters(secs: f64, iters: u64) -> AppEvent {
+    AppEvent::Compute {
+        nest: 0,
+        first_iter: 0,
+        iters,
+        secs,
+    }
+}
+
+fn power(disk: u32, action: PowerAction) -> AppEvent {
+    AppEvent::Power {
+        disk: DiskId(disk),
+        action,
+    }
+}
+
+fn trace(events: Vec<AppEvent>) -> Trace {
+    let t = Trace {
+        name: "mut".into(),
+        pool_size: 2,
+        events,
+    };
+    t.validate().unwrap();
+    t
+}
+
+fn codes(diags: &[sdpm_verify::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn clean_tpm_stream_verifies_empty() {
+    // Gap of 71 s >> break-even (15.2 s); pre-activation lead 11 s > the
+    // 10.9 s spin-up.
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SpinDown),
+        compute(60.0),
+        power(0, PowerAction::SpinUp),
+        compute(11.0),
+        io(0, 1),
+    ]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn clean_drpm_stream_verifies_empty() {
+    let params = ultrastar36z15();
+    let ladder = RpmLadder::new(&params);
+    let max = ladder.max_level();
+    let low = RpmLevel(0);
+    let lead = ladder.transition_secs(low, max) + TM + 0.1;
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SetRpm(low)),
+        compute(60.0),
+        power(0, PowerAction::SetRpm(max)),
+        compute(lead),
+        io(0, 1),
+    ]);
+    let diags = verify_directives(&t, &params, TM, None);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn dropped_spin_up_is_e001() {
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SpinDown),
+        compute(60.0),
+        io(0, 1),
+    ]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::IoWhileDown], "{diags:#?}");
+}
+
+#[test]
+fn missing_restore_is_e002() {
+    let params = ultrastar36z15();
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SetRpm(RpmLevel(0))),
+        compute(60.0),
+        io(0, 1),
+    ]);
+    let diags = verify_directives(&t, &params, TM, None);
+    assert_eq!(codes(&diags), vec![Code::IoWhileSlow], "{diags:#?}");
+}
+
+#[test]
+fn short_preactivation_lead_is_e003() {
+    // 2 s of compute cannot hide the 10.9 s spin-up.
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SpinDown),
+        compute(60.0),
+        power(0, PowerAction::SpinUp),
+        compute(2.0),
+        io(0, 1),
+    ]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::ShortLead], "{diags:#?}");
+}
+
+#[test]
+fn sub_threshold_spin_down_is_e004() {
+    // Trailing 5 s gap: far below the 15.2 s break-even, and no later
+    // request, so only the threshold check can fire.
+    let t = trace(vec![
+        io(0, 0),
+        compute(5.0),
+        power(0, PowerAction::SpinDown),
+    ]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::GapBelowThreshold], "{diags:#?}");
+}
+
+#[test]
+fn rpm_dwell_that_cannot_fit_is_e004() {
+    // The transition down+up needs 40 ms; the gap is 1 ms.
+    let params = ultrastar36z15();
+    let max = RpmLadder::new(&params).max_level();
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SetRpm(RpmLevel(0))),
+        compute(0.001),
+        power(0, PowerAction::SetRpm(max)),
+        io(0, 1),
+    ]);
+    let diags = verify_directives(&t, &params, TM, None);
+    assert!(
+        codes(&diags).contains(&Code::GapBelowThreshold),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn off_ladder_rpm_is_e005() {
+    let t = trace(vec![
+        io(0, 0),
+        compute(60.0),
+        power(0, PowerAction::SetRpm(RpmLevel(42))),
+    ]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::OffLadderRpm], "{diags:#?}");
+}
+
+#[test]
+fn double_spin_down_is_e006() {
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SpinDown),
+        compute(60.0),
+        power(0, PowerAction::SpinDown),
+    ]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::IllFormedPairing], "{diags:#?}");
+}
+
+#[test]
+fn spurious_spin_up_is_e006() {
+    let t = trace(vec![io(0, 0), compute(1.0), power(0, PowerAction::SpinUp)]);
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::IllFormedPairing], "{diags:#?}");
+}
+
+#[test]
+fn restore_on_full_speed_disk_is_e006() {
+    let params = ultrastar36z15();
+    let max = RpmLadder::new(&params).max_level();
+    let t = trace(vec![
+        io(0, 0),
+        compute(1.0),
+        power(0, PowerAction::SetRpm(max)),
+    ]);
+    let diags = verify_directives(&t, &params, TM, None);
+    assert_eq!(codes(&diags), vec![Code::IllFormedPairing], "{diags:#?}");
+}
+
+#[test]
+fn mode_mixing_is_e006() {
+    // spin_up answering a set_RPM slow-down.
+    let params = ultrastar36z15();
+    let t = trace(vec![
+        io(0, 0),
+        power(0, PowerAction::SetRpm(RpmLevel(0))),
+        compute(60.0),
+        power(0, PowerAction::SpinUp),
+    ]);
+    let diags = verify_directives(&t, &params, TM, None);
+    assert_eq!(codes(&diags), vec![Code::IllFormedPairing], "{diags:#?}");
+}
+
+#[test]
+fn malformed_trace_is_e008() {
+    // Disk index beyond the pool: fails Trace::validate.
+    let t = Trace {
+        name: "bad".into(),
+        pool_size: 2,
+        events: vec![io(5, 0)],
+    };
+    assert!(t.validate().is_err());
+    let diags = verify_directives(&t, &ultrastar36z15(), TM, None);
+    assert_eq!(codes(&diags), vec![Code::MalformedTrace], "{diags:#?}");
+}
+
+/// A plan-instrumented trace corrupted after the fact must be flagged as
+/// diverging from its own plan (E007), and the uncorrupted one must be
+/// clean under the same plan.
+#[test]
+fn corrupted_plan_output_is_e007() {
+    let params = ultrastar36z15();
+    let max = RpmLadder::new(&params).max_level();
+    let base = trace(vec![
+        io(0, 0),
+        compute_iters(120.0, 1200),
+        io(0, 1),
+        compute_iters(30.0, 300),
+    ]);
+    let out = insert_directives(&base, &params, &NoiseModel::exact(), CmMode::Drpm, TM);
+    assert!(out.inserted >= 2, "planner must act on the 120 s gap");
+
+    let plan = PlanRef::of(&out);
+    let clean = verify_directives(&out.trace, &params, TM, Some(plan));
+    assert!(clean.is_empty(), "{clean:#?}");
+
+    // Corrupt the first slow-down's level to a different on-ladder level.
+    let mut bad = out.trace.clone();
+    for e in &mut bad.events {
+        if let AppEvent::Power {
+            action: PowerAction::SetRpm(l),
+            ..
+        } = e
+        {
+            if *l < max {
+                *l = if l.0 + 1 < max.0 {
+                    RpmLevel(l.0 + 1)
+                } else {
+                    RpmLevel(l.0 - 1)
+                };
+                break;
+            }
+        }
+    }
+    let diags = verify_directives(&bad, &params, TM, Some(plan));
+    assert!(codes(&diags).contains(&Code::PlanDivergence), "{diags:#?}");
+}
+
+/// Dropping a planned power-down from the trace leaves an unconsumed
+/// decision in the plan: also E007.
+#[test]
+fn dropped_planned_directive_is_e007() {
+    let params = ultrastar36z15();
+    let base = trace(vec![io(0, 0), compute_iters(120.0, 1200), io(0, 1)]);
+    let out = insert_directives(&base, &params, &NoiseModel::exact(), CmMode::Tpm, TM);
+    assert!(out.inserted >= 2);
+    let mut bad = out.trace.clone();
+    bad.events.retain(|e| {
+        !matches!(
+            e,
+            AppEvent::Power {
+                action: PowerAction::SpinDown,
+                ..
+            }
+        )
+    });
+    let diags = verify_directives(&bad, &params, TM, Some(PlanRef::of(&out)));
+    assert!(codes(&diags).contains(&Code::PlanDivergence), "{diags:#?}");
+    assert!(has_errors(&diags));
+}

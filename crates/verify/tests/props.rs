@@ -1,0 +1,228 @@
+//! Property tests: the verifier must be silent on everything the
+//! pipeline itself produces (zero false positives), the replay must
+//! reproduce the simulator's totals for directive-driven runs, and the
+//! transform passes must always satisfy their own legality checkers.
+
+use proptest::prelude::*;
+use sdpm_core::{run_scheme_with_artifacts, NoiseModel, PipelineConfig, Scheme};
+use sdpm_ir::Program;
+use sdpm_layout::{DiskId, DiskPool, Striping};
+use sdpm_verify::{
+    check_fission, check_tiling, has_errors, render_human_all, replay_directives, verify_run,
+    PlanRef,
+};
+use sdpm_workloads::{ArraySpec, PhaseSpec, ProgramBuilder};
+use sdpm_xform::{loop_fission, loop_tiling, TilingConfig, TilingScope};
+
+/// One randomly chosen phase kind (expanded against the builder's
+/// arrays in `program_strategy`).
+#[derive(Debug, Clone, Copy)]
+enum Kind {
+    Scan,
+    WriteScan,
+    ColScan,
+    Compute,
+    Coupled,
+    Fissile,
+}
+
+/// Random phase-structured programs striped over `disks`: 2 vectors +
+/// 1 matrix, 1–5 phases drawn from the builder's vocabulary. Small
+/// enough that a full seven-scheme sweep stays fast, varied enough to
+/// hit every directive shape (spin-downs, RPM ladders, pre-activations,
+/// trailing gaps).
+fn program_strategy(disks: u32) -> impl Strategy<Value = Program> {
+    let kind = prop_oneof![
+        Just(Kind::Scan),
+        Just(Kind::WriteScan),
+        Just(Kind::ColScan),
+        Just(Kind::Compute),
+        Just(Kind::Coupled),
+        Just(Kind::Fissile),
+    ];
+    (
+        proptest::collection::vec((kind, 0.25f64..1.0, 2.0f64..60.0), 1..5),
+        16u64..96,
+    )
+        .prop_map(move |(phases, kelems)| {
+            let elems = kelems * 1024;
+            let mut b = ProgramBuilder::new("prop").striping(Striping {
+                start_disk: DiskId(0),
+                stripe_factor: disks,
+                stripe_bytes: 64 * 1024,
+            });
+            let u = b.array(ArraySpec::vector("u", elems));
+            let v = b.array(ArraySpec::vector("v", elems));
+            let m = b.array(ArraySpec::matrix("m", 512, elems / 64));
+            for (i, (kind, fraction, secs)) in phases.into_iter().enumerate() {
+                let label = format!("p{i}");
+                let spec = match kind {
+                    Kind::Scan => PhaseSpec::Scan {
+                        arrays: vec![u, v],
+                        fraction,
+                        write: false,
+                        cycles_per_elem: 80.0,
+                    },
+                    Kind::WriteScan => PhaseSpec::Scan {
+                        arrays: vec![u],
+                        fraction,
+                        write: true,
+                        cycles_per_elem: 60.0,
+                    },
+                    Kind::ColScan => PhaseSpec::ColScan {
+                        array: m,
+                        cycles_per_elem: 50.0,
+                    },
+                    Kind::Compute => PhaseSpec::Compute { secs, iters: 4000 },
+                    Kind::Coupled => PhaseSpec::CoupledScan {
+                        a: u,
+                        b: v,
+                        cycles_per_elem: 50.0,
+                    },
+                    Kind::Fissile => PhaseSpec::FissileScan {
+                        group_a: vec![u],
+                        group_b: vec![v],
+                        fraction,
+                        cycles_per_elem: 70.0,
+                    },
+                };
+                b.phase(&label, spec);
+            }
+            b.build()
+        })
+}
+
+/// A program together with a pipeline config whose pool can hold its
+/// striping.
+fn scenario_strategy() -> impl Strategy<Value = (Program, PipelineConfig)> {
+    (2u32..=8).prop_flat_map(|disks| {
+        (
+            program_strategy(disks),
+            0.0f64..0.2,
+            0.0f64..0.3,
+            0u64..1000,
+        )
+            .prop_map(move |(program, spread, jitter, seed)| {
+                let cfg = PipelineConfig {
+                    disks,
+                    noise: NoiseModel {
+                        spread,
+                        gap_jitter: jitter,
+                        seed,
+                    },
+                    ..PipelineConfig::default()
+                };
+                (program, cfg)
+            })
+    })
+}
+
+fn replayable(scheme: Scheme) -> bool {
+    matches!(scheme, Scheme::Base | Scheme::CmTpm | Scheme::CmDrpm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Whatever the pipeline emits, the verifier accepts: every scheme's
+    /// trace passes directive-safety (with the insertion plan attached
+    /// for CM schemes), and the replay cross-check agrees with the
+    /// simulator's report for directive-driven runs. Misfire *warnings*
+    /// are legitimate under noise; errors never are.
+    #[test]
+    fn pipeline_output_verifies_clean(scenario in scenario_strategy()) {
+        let (program, cfg) = scenario;
+        prop_assert!(program.validate(DiskPool::new(cfg.disks)).is_ok());
+        for scheme in Scheme::all() {
+            let art = run_scheme_with_artifacts(&program, scheme, &cfg);
+            let plan = art.insertion.as_ref().map(PlanRef::of);
+            let report = replayable(scheme).then_some(&art.report);
+            let diags = verify_run(&art.trace, &cfg.params, cfg.overhead_secs, plan, report);
+            prop_assert!(
+                !has_errors(&diags),
+                "false positive on {}:\n{}",
+                scheme.label(),
+                render_human_all(&diags)
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The independent replay reproduces the simulator bit-for-bit on
+    /// directive-driven runs: same operations in the same order, so the
+    /// energy integral, execution time, and misfire breakdown all match.
+    #[test]
+    fn replay_matches_simulator_totals(scenario in scenario_strategy()) {
+        let (program, cfg) = scenario;
+        for scheme in [Scheme::Base, Scheme::CmTpm, Scheme::CmDrpm] {
+            let art = run_scheme_with_artifacts(&program, scheme, &cfg);
+            let replay = replay_directives(&art.trace, &cfg.params, cfg.overhead_secs);
+            let scale = art.report.total_energy_j().abs().max(1.0);
+            prop_assert!(
+                (replay.total_energy_j() - art.report.total_energy_j()).abs() <= 1e-6 * scale,
+                "{}: replay {} J vs report {} J",
+                scheme.label(),
+                replay.total_energy_j(),
+                art.report.total_energy_j()
+            );
+            let tscale = art.report.exec_secs.abs().max(1.0);
+            prop_assert!(
+                (replay.exec_secs - art.report.exec_secs).abs() <= 1e-6 * tscale,
+                "{}: replay {} s vs report {} s",
+                scheme.label(),
+                replay.exec_secs,
+                art.report.exec_secs
+            );
+            prop_assert_eq!(replay.misfires, art.report.misfire_causes.clone());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `xform::fission` output always passes the independent legality
+    /// check against a rebuilt dependence graph.
+    #[test]
+    fn fission_output_is_always_legal(
+        program in program_strategy(8),
+        disks in 2u32..=8,
+        layout_aware in any::<bool>(),
+    ) {
+        let out = loop_fission(&program, DiskPool::new(disks), layout_aware);
+        let diags = check_fission(&program, &out);
+        prop_assert!(
+            diags.is_empty(),
+            "illegal fission:\n{}",
+            render_human_all(&diags)
+        );
+    }
+
+    /// `xform::tiling` output always passes the independent legality
+    /// check: strip-mining preserves the iteration space and every
+    /// transpose is justified by a strict conformance improvement.
+    #[test]
+    fn tiling_output_is_always_legal(
+        program in program_strategy(8),
+        disks in 2u32..=8,
+        layout_aware in any::<bool>(),
+        all_nests in any::<bool>(),
+        pin_tiles in any::<bool>(),
+        tiles in 2u32..=16,
+    ) {
+        let config = TilingConfig {
+            scope: if all_nests { TilingScope::AllNests } else { TilingScope::CostliestNest },
+            tiles: pin_tiles.then_some(tiles),
+        };
+        let out = loop_tiling(&program, DiskPool::new(disks), layout_aware, &config);
+        let diags = check_tiling(&program, &out, layout_aware);
+        prop_assert!(
+            diags.is_empty(),
+            "illegal tiling:\n{}",
+            render_human_all(&diags)
+        );
+    }
+}

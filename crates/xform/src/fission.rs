@@ -43,6 +43,10 @@ pub struct FissionOutcome {
     pub groups: Vec<ArrayGroup>,
     /// True if at least one nest was actually distributed.
     pub fissioned_any: bool,
+    /// Provenance: `nest_origin[k]` is the index of the source-program
+    /// nest that output nest `k` was carved from (monotone non-decreasing;
+    /// used by `sdpm-verify` to re-check legality per source nest).
+    pub nest_origin: Vec<usize>,
 }
 
 /// Union-find over array ids.
@@ -174,10 +178,12 @@ pub fn loop_fission(program: &Program, pool: DiskPool, layout_aware: bool) -> Fi
 
     // 2. Generate fissioned loops.
     let mut nests = Vec::new();
+    let mut nest_origin = Vec::new();
     let mut fissioned_any = false;
-    for nest in &program.nests {
+    for (ni, nest) in program.nests.iter().enumerate() {
         let parts = distribute_nest(nest, &group_of_array);
         fissioned_any |= parts.len() > 1;
+        nest_origin.extend(std::iter::repeat_n(ni, parts.len()));
         nests.extend(parts);
     }
     let sizes: Vec<u64> = raw_groups
@@ -232,6 +238,7 @@ pub fn loop_fission(program: &Program, pool: DiskPool, layout_aware: bool) -> Fi
         program,
         groups,
         fissioned_any,
+        nest_origin,
     }
 }
 

@@ -1,0 +1,53 @@
+//! Table-2 acceptance for the static verifier: every kernel × every
+//! scheme lints clean (no errors — warnings about noise-induced misfires
+//! are legitimate), and all four transform variants pass legality on
+//! every kernel.
+
+use sdpm_bench::lint::{lint_scheme_runs, lint_transforms, replayable};
+use sdpm_bench::suite;
+use sdpm_core::Scheme;
+use sdpm_verify::render_human_all;
+
+#[test]
+fn every_table2_kernel_lints_clean_under_every_scheme() {
+    for bench in suite() {
+        let reports = lint_scheme_runs(&bench, &Scheme::all());
+        assert_eq!(reports.len(), 7);
+        for r in &reports {
+            assert!(
+                !r.failed(),
+                "{} {} has lint errors:\n{}",
+                r.bench,
+                r.subject,
+                render_human_all(&r.diags)
+            );
+        }
+    }
+}
+
+#[test]
+fn every_table2_kernel_transforms_legally() {
+    for bench in suite() {
+        let reports = lint_transforms(&bench);
+        assert_eq!(reports.len(), 4, "LF, TL, LF+DL, TL+DL");
+        for r in &reports {
+            assert!(
+                r.diags.is_empty(),
+                "{} {} has findings:\n{}",
+                r.bench,
+                r.subject,
+                render_human_all(&r.diags)
+            );
+        }
+    }
+}
+
+/// The replay cross-check participates in the scheme lint exactly for
+/// directive-driven schemes.
+#[test]
+fn replayable_covers_exactly_the_directive_driven_schemes() {
+    let expected = [Scheme::Base, Scheme::CmTpm, Scheme::CmDrpm];
+    for s in Scheme::all() {
+        assert_eq!(replayable(s), expected.contains(&s), "{}", s.label());
+    }
+}
