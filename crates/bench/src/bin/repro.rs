@@ -6,6 +6,7 @@
 //! repro --trace-out run.json [--metrics-out run.jsonl] [--bench swim] [--scheme CMDRPM]
 //! repro probe <events.jsonl> [top_k]
 //! repro lint [benchmark|all] [--scheme S|all] [--json]
+//! repro bench [--bench swim] [--json] [--out BENCH_streaming.json]
 //! ```
 //!
 //! With no argument, runs `all`. Output pairs each measured value with
@@ -34,6 +35,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("lint") {
         lint_cmd(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("bench") {
+        bench_cmd(&argv[1..]);
         return;
     }
     let mut trace_out: Option<String> = None;
@@ -119,6 +124,82 @@ fn main() {
     }
     if want("fig2") {
         fig2_cmd();
+    }
+}
+
+/// `repro bench`: times the scheme suite over the streamed, sharded,
+/// and materialized trace data paths (see `sdpm_bench::streambench`).
+/// `--json` additionally writes the machine-readable record to
+/// `BENCH_streaming.json` (or `--out`'s path). Exits nonzero if the
+/// paths' reports are not bitwise identical.
+fn bench_cmd(args: &[String]) {
+    use sdpm_bench::streambench::run_stream_bench;
+
+    let mut bench_arg = "swim".to_string();
+    let mut json = false;
+    let mut out_path = "BENCH_streaming.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--bench" => bench_arg = val("--bench"),
+            "--out" => out_path = val("--out"),
+            other => bench_arg = other.to_string(),
+        }
+    }
+
+    let all = suite();
+    let Some(b) = all.iter().find(|b| {
+        b.name
+            .to_ascii_lowercase()
+            .contains(&bench_arg.to_ascii_lowercase())
+    }) else {
+        let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        eprintln!(
+            "unknown benchmark '{bench_arg}'; one of: {}",
+            names.join(" ")
+        );
+        std::process::exit(2);
+    };
+
+    let r = run_stream_bench(b);
+    println!(
+        "== Streaming bench: {} ({} suite) ==",
+        r.bench,
+        r.schemes.join("+")
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "data path".into(),
+                "wall secs".into(),
+                "peak RSS KiB".into()
+            ],
+            &r.rows()
+        )
+    );
+    println!(
+        "reports identical across paths: {}",
+        if r.reports_identical { "yes" } else { "NO" }
+    );
+    if json {
+        std::fs::write(&out_path, r.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {out_path}");
+    }
+    if !r.reports_identical {
+        std::process::exit(1);
     }
 }
 
@@ -890,6 +971,8 @@ fn table2_cmd() {
 }
 
 fn fig34_cmd(only_fig4: bool, only_fig3: bool) {
+    // A scheme absent from the rows prints as "n/a" rather than NaN.
+    let avg = |v: Option<f64>| v.map_or_else(|| "n/a".to_string(), norm);
     let results = fig3_fig4(&suite());
     let schemes = ["Base", "TPM", "ITPM", "DRPM", "IDRPM", "CMTPM", "CMDRPM"];
     let header: Vec<String> = std::iter::once("benchmark".to_string())
@@ -908,9 +991,9 @@ fn fig34_cmd(only_fig4: bool, only_fig3: bool) {
         println!("{}", render_table(&header, &rows));
         println!(
             "averages: DRPM {} (paper ~0.74)  IDRPM {} (paper ~0.49)  CMDRPM {} (paper ~0.54)\n",
-            norm(average_norm_energy(&results, "DRPM")),
-            norm(average_norm_energy(&results, "IDRPM")),
-            norm(average_norm_energy(&results, "CMDRPM")),
+            avg(average_norm_energy(&results, "DRPM")),
+            avg(average_norm_energy(&results, "IDRPM")),
+            avg(average_norm_energy(&results, "CMDRPM")),
         );
     }
     if !only_fig3 {
@@ -926,9 +1009,9 @@ fn fig34_cmd(only_fig4: bool, only_fig3: bool) {
         println!("{}", render_table(&header, &rows));
         println!(
             "averages: DRPM {} (paper ~1.159)  IDRPM {}  CMDRPM {} (paper ~1.0)\n",
-            norm(average_norm_time(&results, "DRPM")),
-            norm(average_norm_time(&results, "IDRPM")),
-            norm(average_norm_time(&results, "CMDRPM")),
+            avg(average_norm_time(&results, "DRPM")),
+            avg(average_norm_time(&results, "IDRPM")),
+            avg(average_norm_time(&results, "CMDRPM")),
         );
     }
 }

@@ -6,7 +6,7 @@
 //! Independent benchmark runs execute in parallel via std scoped
 //! threads.
 
-use sdpm_core::{run_scheme, NoiseModel, PipelineConfig, Scheme};
+use sdpm_core::{run_scheme, NoiseModel, PipelineConfig, Scheme, Session};
 use sdpm_disk::{ultrastar36z15, RpmLadder};
 use sdpm_ir::Program;
 use sdpm_layout::Striping;
@@ -109,14 +109,15 @@ pub struct BenchmarkSchemes {
 }
 
 fn scheme_rows(program: &Program, cfg: &PipelineConfig, schemes: &[Scheme]) -> Vec<SchemeRow> {
-    let base = run_scheme(program, Scheme::Base, cfg);
+    let mut session = Session::new(program, cfg);
+    let base = session.run(Scheme::Base);
     schemes
         .iter()
         .map(|&s| {
             let r = if s == Scheme::Base {
                 base.clone()
             } else {
-                run_scheme(program, s, cfg)
+                session.run(s)
             };
             SchemeRow {
                 scheme: s.label().to_string(),
@@ -269,8 +270,9 @@ pub fn fig13(benches: &[Benchmark]) -> Vec<Fig13Row> {
         let base = run_scheme(&bench.program, Scheme::Base, &cfg);
         let mut versions = Vec::new();
         let mut eval = |label: &str, program: &Program| {
-            let cmtpm = run_scheme(program, Scheme::CmTpm, &cfg);
-            let cmdrpm = run_scheme(program, Scheme::CmDrpm, &cfg);
+            let mut session = Session::new(program, &cfg);
+            let cmtpm = session.run(Scheme::CmTpm);
+            let cmdrpm = session.run(Scheme::CmDrpm);
             versions.push(Fig13Version {
                 transform: label.to_string(),
                 cmtpm_norm_energy: cmtpm.normalized_energy(&base),
@@ -291,23 +293,50 @@ pub fn fig13(benches: &[Benchmark]) -> Vec<Fig13Row> {
 
 // ------------------------------------------------------------- plumbing
 
-/// Maps `f` over `items` on scoped threads, preserving order.
+/// Maps `f` over `items` on a scoped worker pool, preserving order.
+///
+/// Workers are capped at the machine's available parallelism and pull
+/// item indices from a shared counter, so a long list cannot fan out
+/// into one thread per item. A panic in `f` is re-raised on the calling
+/// thread with its original payload.
 pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let out: std::sync::Mutex<Vec<(usize, R)>> =
-        std::sync::Mutex::new(Vec::with_capacity(items.len()));
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len())
+        .max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (i, item) in items.iter().enumerate() {
-            let out = &out;
-            let f = &f;
-            scope.spawn(move || {
-                let r = f(item);
-                out.lock().expect("experiment worker panicked").push((i, r));
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (i, r) in local {
+                out[i] = Some(r);
+            }
         }
     });
-    let mut v = out.into_inner().expect("experiment worker panicked");
-    v.sort_by_key(|(i, _)| *i);
-    v.into_iter().map(|(_, r)| r).collect()
+    out.into_iter()
+        .map(|r| r.expect("every item mapped"))
+        .collect()
 }
 
 /// Convenience: the standard six-benchmark suite.
@@ -317,28 +346,36 @@ pub fn suite() -> Vec<Benchmark> {
 }
 
 /// Average of a scheme's normalized energy across benchmark rows — the
-/// paper's "on average" statements.
+/// paper's "on average" statements. `None` when no row matches `scheme`
+/// (a mistyped label used to surface as `NaN` here).
 #[must_use]
-pub fn average_norm_energy(results: &[BenchmarkSchemes], scheme: &str) -> f64 {
-    let vals: Vec<f64> = results
-        .iter()
-        .flat_map(|b| b.rows.iter())
-        .filter(|r| r.scheme == scheme)
-        .map(|r| r.norm_energy)
-        .collect();
-    vals.iter().sum::<f64>() / vals.len() as f64
+pub fn average_norm_energy(results: &[BenchmarkSchemes], scheme: &str) -> Option<f64> {
+    average_of(results, scheme, |r| r.norm_energy)
 }
 
-/// Average normalized execution time for a scheme.
+/// Average normalized execution time for a scheme; `None` when no row
+/// matches.
 #[must_use]
-pub fn average_norm_time(results: &[BenchmarkSchemes], scheme: &str) -> f64 {
+pub fn average_norm_time(results: &[BenchmarkSchemes], scheme: &str) -> Option<f64> {
+    average_of(results, scheme, |r| r.norm_time)
+}
+
+fn average_of(
+    results: &[BenchmarkSchemes],
+    scheme: &str,
+    field: impl Fn(&SchemeRow) -> f64,
+) -> Option<f64> {
     let vals: Vec<f64> = results
         .iter()
         .flat_map(|b| b.rows.iter())
         .filter(|r| r.scheme == scheme)
-        .map(|r| r.norm_time)
+        .map(field)
         .collect();
-    vals.iter().sum::<f64>() / vals.len() as f64
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
 }
 
 /// A `SimReport` pass-through used by the ablation benches.
@@ -390,10 +427,11 @@ pub fn pdc_study() -> Vec<(String, f64, f64, f64)> {
     [("original", &bench.program), ("PDC", &pdc.program)]
         .into_iter()
         .map(|(label, program)| {
-            let cmtpm = run_scheme(program, Scheme::CmTpm, &cfg).normalized_energy(&base);
-            let cmdrpm = run_scheme(program, Scheme::CmDrpm, &cfg).normalized_energy(&base);
-            let trace = sdpm_trace::generate(program, pool, cfg.gen);
-            let open = sdpm_sim::replay_open_loop(&trace, &cfg.params, pool, ladder_max);
+            let mut session = Session::new(program, &cfg);
+            let cmtpm = session.run(Scheme::CmTpm).normalized_energy(&base);
+            let cmdrpm = session.run(Scheme::CmDrpm).normalized_energy(&base);
+            let open =
+                sdpm_sim::replay_open_loop(session.base_trace(), &cfg.params, pool, ladder_max);
             (
                 label.to_string(),
                 cmtpm,

@@ -8,5 +8,6 @@ pub mod ablations;
 pub mod experiments;
 pub mod format;
 pub mod lint;
+pub mod streambench;
 
 pub use experiments::*;

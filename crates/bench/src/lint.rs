@@ -7,7 +7,7 @@
 //! uniformly.
 
 use crate::config_for;
-use sdpm_core::{run_scheme_with_artifacts, Scheme};
+use sdpm_core::{Scheme, Session};
 use sdpm_layout::DiskPool;
 use sdpm_verify::{
     check_fission, check_tiling, has_errors, verify_run, Diagnostic, PlanRef, Severity,
@@ -60,14 +60,16 @@ pub fn replayable(scheme: Scheme) -> bool {
 
 /// Lints the listed schemes' runs of one benchmark: directive safety
 /// (with the insertion plan attached for CM schemes) plus the replay
-/// cross-check for directive-driven runs.
+/// cross-check for directive-driven runs. All schemes share one
+/// [`Session`], so the benchmark's trace is generated once.
 #[must_use]
 pub fn lint_scheme_runs(bench: &Benchmark, schemes: &[Scheme]) -> Vec<LintReport> {
     let cfg = config_for(bench);
+    let mut session = Session::new(&bench.program, &cfg);
     schemes
         .iter()
         .map(|&scheme| {
-            let art = run_scheme_with_artifacts(&bench.program, scheme, &cfg);
+            let art = session.run_with_artifacts(scheme);
             let plan = art.insertion.as_ref().map(PlanRef::of);
             let report = replayable(scheme).then_some(&art.report);
             let diags = verify_run(&art.trace, &cfg.params, cfg.overhead_secs, plan, report);

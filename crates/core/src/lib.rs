@@ -44,6 +44,7 @@ pub mod dap;
 pub mod estimate;
 pub mod insert;
 pub mod pipeline;
+pub mod session;
 
 pub use dap::{build_dap, disk_gaps, Dap, DapEntry, DapState, GlobalGap, NestOffsets};
 pub use estimate::{CycleEstimator, NoiseModel};
@@ -55,3 +56,4 @@ pub use pipeline::run_scheme_with_recorder;
 pub use pipeline::{
     run_all_schemes, run_scheme, run_scheme_with_artifacts, PipelineConfig, Scheme, SchemeArtifacts,
 };
+pub use session::Session;

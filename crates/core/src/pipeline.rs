@@ -2,12 +2,11 @@
 //! -> simulation, for the paper's seven schemes (Section 4.2).
 
 use crate::estimate::NoiseModel;
-use crate::insert::{insert_directives, CmMode};
+use crate::session::Session;
 use sdpm_disk::DiskParams;
 use sdpm_ir::Program;
-use sdpm_layout::DiskPool;
-use sdpm_sim::{simulate, DirectiveConfig, DrpmConfig, Policy, SimReport, TpmConfig};
-use sdpm_trace::{generate, TraceGenConfig};
+use sdpm_sim::{DrpmConfig, SimReport, TpmConfig};
+use sdpm_trace::TraceGenConfig;
 use serde::{Deserialize, Serialize};
 
 /// The seven evaluated schemes.
@@ -95,9 +94,13 @@ impl Default for PipelineConfig {
 
 /// Runs one scheme on `program` and reports. The report's `policy` field
 /// carries the scheme label.
+///
+/// Each call opens a single-use [`Session`]; when running several
+/// schemes over the same `(program, cfg)` pair, share one session
+/// instead (or use [`run_all_schemes`]) so the trace is generated once.
 #[must_use]
 pub fn run_scheme(program: &Program, scheme: Scheme, cfg: &PipelineConfig) -> SimReport {
-    run_scheme_obs(program, scheme, cfg, None)
+    Session::new(program, cfg).run(scheme)
 }
 
 /// One scheme run with the intermediate artifacts the independent checker
@@ -122,7 +125,7 @@ pub fn run_scheme_with_artifacts(
     scheme: Scheme,
     cfg: &PipelineConfig,
 ) -> SchemeArtifacts {
-    run_scheme_full(program, scheme, cfg, None)
+    Session::new(program, cfg).run_with_artifacts(scheme)
 }
 
 /// Like [`run_scheme`], but streams pipeline phase spans and the
@@ -139,143 +142,17 @@ pub fn run_scheme_with_recorder(
     cfg: &PipelineConfig,
     rec: &dyn sdpm_obs::Recorder,
 ) -> SimReport {
-    run_scheme_obs(program, scheme, cfg, Some(rec))
+    Session::new(program, cfg).run_with_recorder(scheme, rec)
 }
 
-#[cfg(feature = "obs")]
-type Obs<'a> = Option<&'a dyn sdpm_obs::Recorder>;
-#[cfg(not(feature = "obs"))]
-type Obs<'a> = Option<&'a std::convert::Infallible>;
-
-/// Runs `f` inside a `PhaseStart`/`PhaseEnd` pair when recording.
-#[cfg(feature = "obs")]
-fn phase<T>(rec: Obs<'_>, name: &'static str, f: impl FnOnce() -> T) -> T {
-    let Some(r) = rec else { return f() };
-    r.record(&sdpm_obs::Event::PhaseStart { phase: name });
-    let out = f();
-    r.record(&sdpm_obs::Event::PhaseEnd { phase: name });
-    out
-}
-
-#[cfg(not(feature = "obs"))]
-fn phase<T>(_rec: Obs<'_>, _name: &'static str, f: impl FnOnce() -> T) -> T {
-    f()
-}
-
-/// `simulate` under a `simulation` phase span, streaming into the
-/// recorder when one is present.
-fn sim(
-    trace: &sdpm_trace::Trace,
-    cfg: &PipelineConfig,
-    pool: DiskPool,
-    policy: &Policy,
-    rec: Obs<'_>,
-) -> SimReport {
-    #[cfg(feature = "obs")]
-    if let Some(r) = rec {
-        return phase(rec, "simulation", || {
-            sdpm_sim::simulate_with_recorder(trace, &cfg.params, pool, policy, r)
-        });
-    }
-    let _ = rec;
-    simulate(trace, &cfg.params, pool, policy)
-}
-
-fn run_scheme_obs(
-    program: &Program,
-    scheme: Scheme,
-    cfg: &PipelineConfig,
-    rec: Obs<'_>,
-) -> SimReport {
-    run_scheme_full(program, scheme, cfg, rec).report
-}
-
-fn run_scheme_full(
-    program: &Program,
-    scheme: Scheme,
-    cfg: &PipelineConfig,
-    rec: Obs<'_>,
-) -> SchemeArtifacts {
-    let pool = DiskPool::new(cfg.disks);
-    let trace = phase(rec, "dap-construction", || generate(program, pool, cfg.gen));
-    let (trace, insertion, mut report) = match scheme {
-        Scheme::Base => {
-            let r = sim(&trace, cfg, pool, &Policy::Base, rec);
-            (trace, None, r)
-        }
-        Scheme::Tpm => {
-            let r = sim(&trace, cfg, pool, &Policy::Tpm(cfg.tpm), rec);
-            (trace, None, r)
-        }
-        Scheme::ITpm => {
-            let r = sim(&trace, cfg, pool, &Policy::IdealTpm, rec);
-            (trace, None, r)
-        }
-        Scheme::Drpm => {
-            let r = sim(&trace, cfg, pool, &Policy::Drpm(cfg.drpm), rec);
-            (trace, None, r)
-        }
-        Scheme::IDrpm => {
-            let r = sim(&trace, cfg, pool, &Policy::IdealDrpm, rec);
-            (trace, None, r)
-        }
-        Scheme::CmTpm | Scheme::CmDrpm => {
-            let mode = if scheme == Scheme::CmTpm {
-                CmMode::Tpm
-            } else {
-                CmMode::Drpm
-            };
-            let out = instrument(&trace, cfg, mode, rec);
-            let r = sim(
-                &out.trace,
-                cfg,
-                pool,
-                &Policy::Directive(DirectiveConfig {
-                    overhead_secs: cfg.overhead_secs,
-                }),
-                rec,
-            );
-            (out.trace.clone(), Some(out), r)
-        }
-    };
-    report.policy = scheme.label().to_string();
-    SchemeArtifacts {
-        scheme,
-        trace,
-        insertion,
-        report,
-    }
-}
-
-/// `insert_directives`, routed through the recording variant when a
-/// recorder is present (it emits the two compiler phase spans itself).
-fn instrument(
-    trace: &sdpm_trace::Trace,
-    cfg: &PipelineConfig,
-    mode: CmMode,
-    rec: Obs<'_>,
-) -> crate::insert::InsertOutcome {
-    #[cfg(feature = "obs")]
-    if let Some(r) = rec {
-        return crate::insert::insert_directives_with_recorder(
-            trace,
-            &cfg.params,
-            &cfg.noise,
-            mode,
-            cfg.overhead_secs,
-            r,
-        );
-    }
-    let _ = rec;
-    insert_directives(trace, &cfg.params, &cfg.noise, mode, cfg.overhead_secs)
-}
-
-/// Runs all seven schemes, in order.
+/// Runs all seven schemes, in order, sharing one [`Session`] so the
+/// trace is generated exactly once.
 #[must_use]
 pub fn run_all_schemes(program: &Program, cfg: &PipelineConfig) -> Vec<(Scheme, SimReport)> {
+    let mut session = Session::new(program, cfg);
     Scheme::all()
         .into_iter()
-        .map(|s| (s, run_scheme(program, s, cfg)))
+        .map(|s| (s, session.run(s)))
         .collect()
 }
 

@@ -31,6 +31,6 @@ pub mod service;
 pub use breakeven::{best_rpm_for_gap, tpm_break_even_secs, RpmChoice};
 pub use energy::{EnergyBreakdown, EnergyIntegrator};
 pub use params::{laptop_disk, ultrastar36z15, DiskParams};
-pub use power::{DiskPowerState, PowerEvent, PowerStateMachine};
+pub use power::{DiskPowerState, PowerError, PowerEvent, PowerStateMachine};
 pub use rpm::{RpmLadder, RpmLevel};
 pub use service::{service_time_secs, ServiceRequest};

@@ -9,12 +9,13 @@
 
 use crate::policy::{DrpmConfig, Policy, ScheduledAction};
 use crate::report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimReport};
+use crate::shard::DiskOp;
 use sdpm_disk::{
     service_time_secs, tpm_break_even_secs, DiskParams, DiskPowerState, EnergyBreakdown,
-    PowerStateMachine, RpmLadder, RpmLevel, ServiceRequest,
+    PowerError, PowerStateMachine, RpmLadder, RpmLevel, ServiceRequest,
 };
 use sdpm_layout::{DiskId, DiskPool};
-use sdpm_trace::{AppEvent, IoRequest, PowerAction, Trace};
+use sdpm_trace::{AppEvent, EventStream, IoRequest, PowerAction, Trace};
 
 #[cfg(feature = "obs")]
 use sdpm_obs::{Event as ObsEvent, Recorder};
@@ -137,6 +138,62 @@ struct DiskRt {
     sched_idx: usize,
     gaps: Vec<GapRecord>,
     requests: u64,
+    /// When set, every top-level machine call is appended to `ops` so the
+    /// sharded mode can replay this disk's exact call sequence against a
+    /// fresh full machine (see [`crate::shard`]).
+    log_ops: bool,
+    ops: Vec<DiskOp>,
+}
+
+/// Machine-call shims: every top-level mutation of the power-state
+/// machine goes through these so the resolve pass of the sharded mode can
+/// record the exact call sequence. A machine's trajectory (and therefore
+/// its energy integral) is a deterministic function of this sequence, so
+/// replaying it bit-reproduces the run — including calls that *fail*,
+/// which must be replayed too because legality checks are part of the
+/// trajectory.
+impl DiskRt {
+    fn advance(&mut self, t: f64) -> Result<(), PowerError> {
+        if self.log_ops {
+            self.ops.push(DiskOp::Advance(t));
+        }
+        self.machine.advance(t)
+    }
+
+    fn spin_down(&mut self, t: f64) -> Result<(), PowerError> {
+        if self.log_ops {
+            self.ops.push(DiskOp::SpinDown(t));
+        }
+        self.machine.spin_down(t)
+    }
+
+    fn spin_up(&mut self, t: f64) -> Result<(), PowerError> {
+        if self.log_ops {
+            self.ops.push(DiskOp::SpinUp(t));
+        }
+        self.machine.spin_up(t)
+    }
+
+    fn set_rpm(&mut self, t: f64, to: RpmLevel) -> Result<(), PowerError> {
+        if self.log_ops {
+            self.ops.push(DiskOp::SetRpm(t, to));
+        }
+        self.machine.set_rpm(t, to)
+    }
+
+    fn begin_service(&mut self, t: f64) -> Result<RpmLevel, PowerError> {
+        if self.log_ops {
+            self.ops.push(DiskOp::BeginService(t));
+        }
+        self.machine.begin_service(t)
+    }
+
+    fn end_service(&mut self, t: f64) -> Result<(), PowerError> {
+        if self.log_ops {
+            self.ops.push(DiskOp::EndService(t));
+        }
+        self.machine.end_service(t)
+    }
 }
 
 /// Closed-loop trace player. Construct with a policy, [`Engine::run`] a
@@ -177,10 +234,23 @@ impl Engine {
         }
     }
 
+    /// The disk model this engine simulates.
+    pub(crate) fn params(&self) -> &DiskParams {
+        &self.params
+    }
+
     /// Plays `trace` to completion and reports.
     #[must_use]
     pub fn run(&self, trace: &Trace) -> SimReport {
-        self.run_obs(trace, None)
+        self.run_stream(&mut trace.stream())
+    }
+
+    /// Plays an event stream to completion and reports. The report is
+    /// bit-identical to [`Engine::run`] on the materialized equivalent —
+    /// chunking does not alter the event sequence.
+    #[must_use]
+    pub fn run_stream(&self, stream: &mut dyn EventStream) -> SimReport {
+        self.run_core(stream, None, false).0
     }
 
     /// Like [`Engine::run`], but streams the run's event sequence into
@@ -188,15 +258,47 @@ impl Engine {
     #[cfg(feature = "obs")]
     #[must_use]
     pub fn run_with_recorder(&self, trace: &Trace, rec: &dyn Recorder) -> SimReport {
-        self.run_obs(trace, Some(rec))
+        self.run_core(&mut trace.stream(), Some(rec), false).0
     }
 
-    fn run_obs(&self, trace: &Trace, rec: Obs<'_>) -> SimReport {
+    /// Like [`Engine::run_stream`] with a recorder attached.
+    #[cfg(feature = "obs")]
+    #[must_use]
+    pub fn run_stream_with_recorder(
+        &self,
+        stream: &mut dyn EventStream,
+        rec: &dyn Recorder,
+    ) -> SimReport {
+        self.run_core(stream, Some(rec), false).0
+    }
+
+    /// The engine loop. With `resolve` set, per-disk machines are lean
+    /// (energy integration skipped — the trajectory is unchanged) and
+    /// every top-level machine call is logged per disk, to be replayed in
+    /// parallel by the sharded mode. The returned op logs are empty when
+    /// `resolve` is false.
+    pub(crate) fn run_core(
+        &self,
+        stream: &mut dyn EventStream,
+        rec: Obs<'_>,
+        resolve: bool,
+    ) -> (SimReport, Vec<Vec<DiskOp>>) {
+        assert_eq!(
+            stream.pool_size(),
+            self.pool.count(),
+            "stream generated for a {}-disk pool, simulating {}",
+            stream.pool_size(),
+            self.pool.count()
+        );
         let max = self.ladder.max_level();
         let mut disks: Vec<DiskRt> = (0..self.pool.count())
             .map(|d| DiskRt {
                 id: DiskId(d),
-                machine: PowerStateMachine::new(self.params.clone()),
+                machine: if resolve {
+                    PowerStateMachine::new_lean(self.params.clone())
+                } else {
+                    PowerStateMachine::new(self.params.clone())
+                },
                 idle_since: 0.0,
                 min_level: max,
                 cur_level: max,
@@ -214,6 +316,8 @@ impl Engine {
                 sched_idx: 0,
                 gaps: Vec::new(),
                 requests: 0,
+                log_ops: resolve,
+                ops: Vec::new(),
             })
             .collect();
 
@@ -235,104 +339,106 @@ impl Engine {
         let mut nreq = 0u64;
         let mut misfires = MisfireCauses::default();
 
-        for event in &trace.events {
-            match event {
-                AppEvent::Compute { secs, .. } => t += secs,
-                AppEvent::Power { disk, action } => {
-                    if let Policy::Directive(cfg) = &self.policy {
-                        let rt = &mut disks[disk.0 as usize];
+        while let Some(chunk) = stream.next_chunk() {
+            for event in chunk {
+                match event {
+                    AppEvent::Compute { secs, .. } => t += secs,
+                    AppEvent::Power { disk, action } => {
+                        if let Policy::Directive(cfg) = &self.policy {
+                            let rt = &mut disks[disk.0 as usize];
+                            self.catch_up(rt, t, &mut misfires, rec);
+                            obs_emit!(
+                                rec,
+                                ObsEvent::DirectiveIssued {
+                                    t,
+                                    disk: rt.id,
+                                    action: action_label(*action),
+                                    level: action_level(*action),
+                                }
+                            );
+                            if let Err(cause) = self.apply_action(rt, t, *action, rec) {
+                                misfires.count(cause);
+                                obs_emit!(
+                                    rec,
+                                    ObsEvent::DirectiveMisfire {
+                                        t,
+                                        disk: rt.id,
+                                        cause: cause.label(),
+                                    }
+                                );
+                            }
+                            t += cfg.overhead_secs;
+                        }
+                    }
+                    AppEvent::Io(req) => {
+                        let rt = &mut disks[req.disk.0 as usize];
                         self.catch_up(rt, t, &mut misfires, rec);
                         obs_emit!(
                             rec,
-                            ObsEvent::DirectiveIssued {
+                            ObsEvent::RequestArrived {
                                 t,
                                 disk: rt.id,
-                                action: action_label(*action),
-                                level: action_level(*action),
+                                bytes: req.size_bytes,
+                                write: matches!(req.kind, sdpm_trace::ReqKind::Write),
                             }
                         );
-                        if let Err(cause) = self.apply_action(rt, t, *action, rec) {
-                            misfires.count(cause);
+                        // The request's arrival closes the disk's idle gap.
+                        if t > rt.idle_since {
                             obs_emit!(
                                 rec,
-                                ObsEvent::DirectiveMisfire {
+                                ObsEvent::GapClose {
                                     t,
                                     disk: rt.id,
-                                    cause: cause.label(),
+                                    opened: rt.idle_since,
+                                    level: rt.min_level,
+                                    standby: rt.hit_standby,
                                 }
                             );
-                        }
-                        t += cfg.overhead_secs;
-                    }
-                }
-                AppEvent::Io(req) => {
-                    let rt = &mut disks[req.disk.0 as usize];
-                    self.catch_up(rt, t, &mut misfires, rec);
-                    obs_emit!(
-                        rec,
-                        ObsEvent::RequestArrived {
-                            t,
-                            disk: rt.id,
-                            bytes: req.size_bytes,
-                            write: matches!(req.kind, sdpm_trace::ReqKind::Write),
-                        }
-                    );
-                    // The request's arrival closes the disk's idle gap.
-                    if t > rt.idle_since {
-                        obs_emit!(
-                            rec,
-                            ObsEvent::GapClose {
-                                t,
-                                disk: rt.id,
-                                opened: rt.idle_since,
+                            rt.gaps.push(GapRecord {
+                                start: rt.idle_since,
+                                end: t,
                                 level: rt.min_level,
                                 standby: rt.hit_standby,
+                            });
+                        }
+                        let completion = self.service(rt, t, req, rec);
+                        rt.requests += 1;
+                        let full = service_time_secs(
+                            &self.params,
+                            &self.ladder,
+                            max,
+                            ServiceRequest {
+                                size_bytes: req.size_bytes,
+                                sequential: req.sequential,
+                            },
+                        );
+                        let response = completion - t;
+                        let slowdown = if full > 0.0 { response / full } else { 1.0 };
+                        stall += response - full;
+                        obs_emit!(
+                            rec,
+                            ObsEvent::StallAccrued {
+                                t: completion,
+                                disk: rt.id,
+                                secs: response - full,
+                                slowdown,
                             }
                         );
-                        rt.gaps.push(GapRecord {
-                            start: rt.idle_since,
-                            end: t,
-                            level: rt.min_level,
-                            standby: rt.hit_standby,
-                        });
-                    }
-                    let completion = self.service(rt, t, req, rec);
-                    rt.requests += 1;
-                    let full = service_time_secs(
-                        &self.params,
-                        &self.ladder,
-                        max,
-                        ServiceRequest {
-                            size_bytes: req.size_bytes,
-                            sequential: req.sequential,
-                        },
-                    );
-                    let response = completion - t;
-                    let slowdown = if full > 0.0 { response / full } else { 1.0 };
-                    stall += response - full;
-                    obs_emit!(
-                        rec,
-                        ObsEvent::StallAccrued {
-                            t: completion,
-                            disk: rt.id,
-                            secs: response - full,
-                            slowdown,
+                        if full > 0.0 {
+                            slow_sum += slowdown;
+                            nreq += 1;
                         }
-                    );
-                    if full > 0.0 {
-                        slow_sum += slowdown;
-                        nreq += 1;
-                    }
-                    t = completion;
-                    // Open the next gap.
-                    rt.idle_since = t;
-                    rt.min_level = rt.cur_level;
-                    rt.hit_standby = false;
-                    rt.drift_mark = t;
-                    obs_emit!(rec, ObsEvent::GapOpen { t, disk: rt.id });
-                    // Reactive DRPM response-window controller.
-                    if let Policy::Drpm(cfg) = &self.policy {
-                        Self::drpm_window_update(rt, cfg, slowdown, t, max, rec);
+                        t = completion;
+                        // Open the next gap.
+                        rt.idle_since = t;
+                        rt.min_level = rt.cur_level;
+                        rt.hit_standby = false;
+                        rt.drift_mark = t;
+                        obs_emit!(rec, ObsEvent::GapOpen { t, disk: rt.id });
+                        // Reactive DRPM response-window controller.
+                        if let Policy::Drpm(cfg) = &self.policy {
+                            Self::drpm_window_update(rt, cfg, slowdown, t, max, rec);
+                        }
                     }
                 }
             }
@@ -344,7 +450,7 @@ impl Engine {
         for rt in &mut disks {
             self.catch_up(rt, exec_secs, &mut misfires, rec);
             let end = exec_secs.max(rt.machine.now());
-            rt.machine.advance(end).expect("finalize advance");
+            rt.advance(end).expect("finalize advance");
             if end > rt.idle_since {
                 obs_emit!(
                     rec,
@@ -375,21 +481,27 @@ impl Engine {
         obs_emit!(rec, ObsEvent::RunEnd { t: exec_secs });
 
         let requests_total = disks.iter().map(|d| d.requests).sum();
+        let mut ops: Vec<Vec<DiskOp>> = Vec::with_capacity(if resolve { disks.len() } else { 0 });
         let per_disk: Vec<PerDiskReport> = disks
             .into_iter()
-            .map(|rt| PerDiskReport {
-                requests: rt.requests,
-                energy: rt.machine.energy().breakdown(),
-                spin_downs: rt.machine.spin_downs,
-                spin_ups: rt.machine.spin_ups,
-                rpm_shifts: rt.machine.rpm_shifts,
-                gaps: rt.gaps,
+            .map(|mut rt| {
+                if resolve {
+                    ops.push(std::mem::take(&mut rt.ops));
+                }
+                PerDiskReport {
+                    requests: rt.requests,
+                    energy: rt.machine.energy().breakdown(),
+                    spin_downs: rt.machine.spin_downs,
+                    spin_ups: rt.machine.spin_ups,
+                    rpm_shifts: rt.machine.rpm_shifts,
+                    gaps: rt.gaps,
+                }
             })
             .collect();
         let energy = per_disk
             .iter()
             .fold(EnergyBreakdown::default(), |acc, d| acc.merged(&d.energy));
-        SimReport {
+        let report = SimReport {
             policy: self.policy.label().to_string(),
             exec_secs,
             energy,
@@ -402,7 +514,8 @@ impl Engine {
                 slow_sum / nreq as f64
             },
             misfire_causes: misfires,
-        }
+        };
+        (report, ops)
     }
 
     /// Applies the policy's timed actions for one disk up to time `t`.
@@ -413,7 +526,7 @@ impl Engine {
                 let fire = rt.idle_since + self.tpm_threshold;
                 if fire <= t && matches!(rt.machine.state(), DiskPowerState::Idle { .. }) {
                     let at = fire.max(rt.machine.now());
-                    if rt.machine.spin_down(at).is_ok() {
+                    if rt.spin_down(at).is_ok() {
                         rt.hit_standby = true;
                         obs_transition!(rec, rt, at);
                     } else {
@@ -441,11 +554,11 @@ impl Engine {
                     }
                     // Complete any in-flight shift first.
                     if let DiskPowerState::Shifting { until, .. } = rt.machine.state() {
-                        rt.machine.advance(until).expect("finish shift");
+                        rt.advance(until).expect("finish shift");
                     }
                     let at = fire.max(rt.machine.now());
                     let target = self.ladder.step_down(rt.cur_level);
-                    if rt.machine.set_rpm(at, target).is_ok() {
+                    if rt.set_rpm(at, target).is_ok() {
                         obs_transition!(rec, rt, at);
                         rt.cur_level = target;
                         rt.min_level = rt.min_level.min(target);
@@ -502,8 +615,7 @@ impl Engine {
         // Bring the machine to the arrival time first, so transitions that
         // finished before `t` are seen as completed (a spin-down that ended
         // an hour ago is a standby disk, not an in-flight transition).
-        rt.machine
-            .advance(t.max(rt.machine.now()))
+        rt.advance(t.max(rt.machine.now()))
             .expect("advance to arrival");
         let start = match rt.machine.state() {
             DiskPowerState::Idle { .. } => t.max(rt.machine.now()),
@@ -513,14 +625,14 @@ impl Engine {
             DiskPowerState::Standby => {
                 // Demand wake-up: full spin-up penalty.
                 let at = t.max(rt.machine.now());
-                rt.machine.spin_up(at).expect("spin up from standby");
+                rt.spin_up(at).expect("spin up from standby");
                 obs_transition!(rec, rt, at);
                 rt.cur_level = self.ladder.max_level();
                 at + self.params.spin_up_secs
             }
             DiskPowerState::SpinningDown { until } => {
-                rt.machine.advance(until).expect("finish spin-down");
-                rt.machine.spin_up(until).expect("spin up after spin-down");
+                rt.advance(until).expect("finish spin-down");
+                rt.spin_up(until).expect("spin up after spin-down");
                 obs_transition!(rec, rt, until);
                 rt.cur_level = self.ladder.max_level();
                 until + self.params.spin_up_secs
@@ -531,7 +643,6 @@ impl Engine {
         };
         let start = start.max(rt.machine.now());
         let level = rt
-            .machine
             .begin_service(start)
             .expect("disk must be serviceable at start");
         rt.cur_level = level;
@@ -553,7 +664,7 @@ impl Engine {
             },
         );
         let completion = start + st;
-        rt.machine.end_service(completion).expect("end service");
+        rt.end_service(completion).expect("end service");
         obs_emit!(
             rec,
             ObsEvent::ServiceEnd {
@@ -582,7 +693,7 @@ impl Engine {
         // large-stripe behavior).
         if slowdown > cfg.upper_tolerance && rt.cur_level < max {
             let target = RpmLevel((rt.cur_level.0 + 1).min(max.0));
-            if rt.machine.set_rpm(t, target).is_ok() {
+            if rt.set_rpm(t, target).is_ok() {
                 obs_transition!(rec, rt, t);
                 rt.cur_level = target;
             }
@@ -597,7 +708,7 @@ impl Engine {
             // Compensate: restore full speed and hold it until the
             // response recovers (the slowdown/restore oscillation the
             // paper describes for large stripe sizes).
-            if rt.machine.set_rpm(t, max).is_ok() {
+            if rt.set_rpm(t, max).is_ok() {
                 obs_transition!(rec, rt, t);
                 rt.cur_level = max;
             }
@@ -620,10 +731,10 @@ impl Engine {
             PowerAction::SpinDown => {
                 // Let an in-flight shift finish, then spin down.
                 if let DiskPowerState::Shifting { until, .. } = rt.machine.state() {
-                    rt.machine.advance(until).expect("finish shift");
+                    rt.advance(until).expect("finish shift");
                 }
                 let at = t.max(rt.machine.now());
-                if rt.machine.spin_down(at).is_ok() {
+                if rt.spin_down(at).is_ok() {
                     rt.hit_standby = true;
                     obs_transition!(rec, rt, at);
                     Ok(())
@@ -633,10 +744,10 @@ impl Engine {
             }
             PowerAction::SpinUp => {
                 if let DiskPowerState::SpinningDown { until } = rt.machine.state() {
-                    rt.machine.advance(until).expect("finish spin-down");
+                    rt.advance(until).expect("finish spin-down");
                 }
                 let at = t.max(rt.machine.now());
-                if rt.machine.spin_up(at).is_ok() {
+                if rt.spin_up(at).is_ok() {
                     rt.cur_level = self.ladder.max_level();
                     obs_transition!(rec, rt, at);
                     Ok(())
@@ -651,12 +762,12 @@ impl Engine {
                 match rt.machine.state() {
                     DiskPowerState::Shifting { until, .. }
                     | DiskPowerState::SpinningUp { until } => {
-                        rt.machine.advance(until).expect("finish transition");
+                        rt.advance(until).expect("finish transition");
                     }
                     _ => {}
                 }
                 let at = t.max(rt.machine.now());
-                if rt.machine.set_rpm(at, level).is_ok() {
+                if rt.set_rpm(at, level).is_ok() {
                     obs_transition!(rec, rt, at);
                     rt.cur_level = level;
                     rt.min_level = rt.min_level.min(level);

@@ -56,15 +56,16 @@ pub mod openloop;
 pub mod oracle;
 pub mod policy;
 pub mod report;
+pub mod shard;
 
 pub use engine::Engine;
-pub use openloop::{replay_open_loop, OpenDiskReport, OpenLoopReport};
+pub use openloop::{replay_open_loop, replay_open_loop_demuxed, OpenDiskReport, OpenLoopReport};
 pub use policy::{DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
 pub use report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimReport};
 
 use sdpm_disk::DiskParams;
 use sdpm_layout::DiskPool;
-use sdpm_trace::Trace;
+use sdpm_trace::{EventSource, EventStream, Trace};
 
 /// Simulates `trace` on `pool.count()` disks of model `params` under
 /// `policy`.
@@ -74,7 +75,53 @@ use sdpm_trace::Trace;
 /// was generated for a different pool size.
 #[must_use]
 pub fn simulate(trace: &Trace, params: &DiskParams, pool: DiskPool, policy: &Policy) -> SimReport {
-    run_sim(trace, params, pool, policy, |engine| engine.run(trace))
+    trace.validate().expect("simulate requires a valid trace");
+    simulate_source(trace, params, pool, policy)
+}
+
+/// Simulates an event source — a materialized [`Trace`], a lazy
+/// generator ([`sdpm_trace::GenSource`]), or any other re-openable
+/// stream — under `policy`. A *source* rather than a one-shot stream is
+/// required because the oracle policies replay the workload twice (a
+/// Base pass recovers the gap structure, then the derived schedule is
+/// replayed). The report is bit-identical to [`simulate`] on the
+/// materialized equivalent.
+///
+/// Unlike [`simulate`], the events are not pre-validated — a stream can
+/// only be validated by draining it, which would defeat streaming.
+/// Structurally invalid events surface as panics from the engine.
+///
+/// # Panics
+/// If `params` fails validation or the stream's pool size does not match
+/// `pool`.
+#[must_use]
+pub fn simulate_source(
+    source: &dyn EventSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> SimReport {
+    run_sim(source, params, pool, policy, |engine, stream| {
+        engine.run_stream(stream)
+    })
+}
+
+/// Like [`simulate_source`], but with per-disk energy integration
+/// sharded across threads ([`Engine::run_sharded`]). Bit-identical to
+/// [`simulate_source`] on the same source.
+///
+/// # Panics
+/// Same conditions as [`simulate_source`].
+#[must_use]
+pub fn simulate_sharded(
+    source: &dyn EventSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> SimReport {
+    run_sim(source, params, pool, policy, |engine, stream| {
+        engine.run_sharded(stream)
+    })
 }
 
 /// Like [`simulate`], but streams the run's event sequence into `rec`.
@@ -95,40 +142,63 @@ pub fn simulate_with_recorder(
     policy: &Policy,
     rec: &dyn sdpm_obs::Recorder,
 ) -> SimReport {
-    run_sim(trace, params, pool, policy, |engine| {
-        engine.run_with_recorder(trace, rec)
+    trace.validate().expect("simulate requires a valid trace");
+    simulate_source_with_recorder(trace, params, pool, policy, rec)
+}
+
+/// Like [`simulate_source`], but streams the (final) run's event
+/// sequence into `rec`. Recorder hooks fire identically to the
+/// materialized [`simulate_with_recorder`] path — both run the same
+/// engine loop over the same event sequence.
+///
+/// # Panics
+/// Same conditions as [`simulate_source`].
+#[cfg(feature = "obs")]
+#[must_use]
+pub fn simulate_source_with_recorder(
+    source: &dyn EventSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+    rec: &dyn sdpm_obs::Recorder,
+) -> SimReport {
+    run_sim(source, params, pool, policy, |engine, stream| {
+        engine.run_stream_with_recorder(stream, rec)
     })
 }
 
 fn run_sim(
-    trace: &Trace,
+    source: &dyn EventSource,
     params: &DiskParams,
     pool: DiskPool,
     policy: &Policy,
-    run: impl Fn(&Engine) -> SimReport,
+    run: impl Fn(&Engine, &mut dyn EventStream) -> SimReport,
 ) -> SimReport {
     params
         .validate()
         .expect("simulate requires valid DiskParams");
-    trace.validate().expect("simulate requires a valid trace");
-    assert_eq!(
-        trace.pool_size,
-        pool.count(),
-        "trace generated for a {}-disk pool, simulating {}",
-        trace.pool_size,
-        pool.count()
-    );
     match policy {
         Policy::IdealTpm => {
-            let base = Engine::new(params.clone(), pool, Policy::Base).run(trace);
+            let base =
+                Engine::new(params.clone(), pool, Policy::Base).run_stream(&mut *source.open());
             let sched = oracle::ideal_tpm_schedule(&base, params);
-            run(&Engine::new(params.clone(), pool, Policy::schedule(sched)))
+            run(
+                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
+                &mut *source.open(),
+            )
         }
         Policy::IdealDrpm => {
-            let base = Engine::new(params.clone(), pool, Policy::Base).run(trace);
+            let base =
+                Engine::new(params.clone(), pool, Policy::Base).run_stream(&mut *source.open());
             let sched = oracle::ideal_drpm_schedule(&base, params);
-            run(&Engine::new(params.clone(), pool, Policy::schedule(sched)))
+            run(
+                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
+                &mut *source.open(),
+            )
         }
-        p => run(&Engine::new(params.clone(), pool, p.clone())),
+        p => run(
+            &Engine::new(params.clone(), pool, p.clone()),
+            &mut *source.open(),
+        ),
     }
 }

@@ -21,7 +21,7 @@ use sdpm_disk::{
     ServiceRequest,
 };
 use sdpm_layout::DiskPool;
-use sdpm_trace::Trace;
+use sdpm_trace::{demux, AppEvent, Demuxed, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Per-disk outcome of an open-loop replay.
@@ -77,9 +77,29 @@ pub fn replay_open_loop(
     pool: DiskPool,
     level: RpmLevel,
 ) -> OpenLoopReport {
-    params.validate().expect("replay requires valid DiskParams");
     trace.validate().expect("replay requires a valid trace");
-    assert_eq!(trace.pool_size, pool.count(), "trace/pool mismatch");
+    replay_open_loop_demuxed(&demux(&mut trace.stream()), params, pool, level)
+}
+
+/// Open-loop replay over a per-disk demultiplexed stream ([`demux`]).
+/// Because each disk's queue is independent once arrivals are fixed on
+/// the shared nominal timeline, the replay walks one substream at a time
+/// rather than interleaving the global order — the per-disk results are
+/// identical; only the accumulation order of the global response mean
+/// differs (within float round-off).
+///
+/// # Panics
+/// If the parameters are invalid, the pool does not match, or `level` is
+/// off the disk's ladder.
+#[must_use]
+pub fn replay_open_loop_demuxed(
+    demuxed: &Demuxed,
+    params: &DiskParams,
+    pool: DiskPool,
+    level: RpmLevel,
+) -> OpenLoopReport {
+    params.validate().expect("replay requires valid DiskParams");
+    assert_eq!(demuxed.pool_size, pool.count(), "stream/pool mismatch");
     let ladder = RpmLadder::new(params);
     assert!(ladder.contains(level), "RPM level off the ladder");
 
@@ -112,52 +132,56 @@ pub fn replay_open_loop(
         })
         .collect();
 
-    let arrivals = trace.nominal_arrivals();
-    let requests: Vec<_> = trace.requests().collect();
-    debug_assert_eq!(arrivals.len(), requests.len());
-
     let mut responses = 0.0f64;
     let mut max_response = 0.0f64;
     let mut makespan = 0.0f64;
+    let mut nreq = 0u64;
     let settle = ladder.transition_secs(ladder.max_level(), level);
 
-    for ((arrival_ms, _, _, _, _), req) in arrivals.iter().zip(&requests) {
-        let arrival = (arrival_ms / 1e3).max(settle);
-        let d = &mut disks[req.disk.0 as usize];
-        // Queue-depth accounting: drop completed in-flight entries.
-        d.inflight.retain(|&(_, c)| c > arrival);
-        let start = d.available_at.max(arrival);
-        if start > d.last_end {
-            d.gaps.push(GapRecord {
-                start: d.last_end,
-                end: start,
+    for (d, sub) in disks.iter_mut().zip(&demuxed.per_disk) {
+        for te in sub {
+            // Power events are inert open-loop: the spindle is parked at
+            // the study level for the whole replay.
+            let AppEvent::Io(req) = &te.event else {
+                continue;
+            };
+            let arrival = te.at_secs.max(settle);
+            // Queue-depth accounting: drop completed in-flight entries.
+            d.inflight.retain(|&(_, c)| c > arrival);
+            let start = d.available_at.max(arrival);
+            if start > d.last_end {
+                d.gaps.push(GapRecord {
+                    start: d.last_end,
+                    end: start,
+                    level,
+                    standby: false,
+                });
+            }
+            let st = service_time_secs(
+                params,
+                &ladder,
                 level,
-                standby: false,
-            });
+                ServiceRequest {
+                    size_bytes: req.size_bytes,
+                    sequential: req.sequential,
+                },
+            );
+            let completion = start + st;
+            d.machine.advance(start).expect("advance to start");
+            d.machine.begin_service(start).expect("begin");
+            d.machine.end_service(completion).expect("end");
+            d.available_at = completion;
+            d.last_end = completion;
+            d.busy_secs += st;
+            d.requests += 1;
+            d.inflight.push((arrival, completion));
+            d.max_queue_depth = d.max_queue_depth.max(d.inflight.len());
+            let response = completion - arrival;
+            responses += response;
+            max_response = max_response.max(response);
+            makespan = makespan.max(completion);
+            nreq += 1;
         }
-        let st = service_time_secs(
-            params,
-            &ladder,
-            level,
-            ServiceRequest {
-                size_bytes: req.size_bytes,
-                sequential: req.sequential,
-            },
-        );
-        let completion = start + st;
-        d.machine.advance(start).expect("advance to start");
-        d.machine.begin_service(start).expect("begin");
-        d.machine.end_service(completion).expect("end");
-        d.available_at = completion;
-        d.last_end = completion;
-        d.busy_secs += st;
-        d.requests += 1;
-        d.inflight.push((arrival, completion));
-        d.max_queue_depth = d.max_queue_depth.max(d.inflight.len());
-        let response = completion - arrival;
-        responses += response;
-        max_response = max_response.max(response);
-        makespan = makespan.max(completion);
     }
 
     // Account trailing idleness to the makespan on every disk.
@@ -187,7 +211,7 @@ pub fn replay_open_loop(
         })
         .collect();
 
-    let n = requests.len().max(1) as f64;
+    let n = nreq.max(1) as f64;
     OpenLoopReport {
         makespan_secs: makespan,
         energy,

@@ -1,0 +1,221 @@
+//! Sharded simulation: per-disk state machines advanced in parallel.
+//!
+//! Global time couples every disk in the closed-loop model — a stall on
+//! one disk delays the arrivals seen by all of them — so the *timing* of
+//! a run cannot be partitioned per disk. What can be partitioned is the
+//! expensive part that global time does not depend on: energy
+//! integration. Energy is write-only with respect to the engine's
+//! decisions (policies read state, clocks, and window statistics — never
+//! joules), so the sharded mode runs two phases:
+//!
+//! 1. **Resolve** (sequential): the ordinary engine loop on *lean*
+//!    machines ([`PowerStateMachine::new_lean`]) that skip energy
+//!    integration while following the identical state/time trajectory.
+//!    Every top-level machine call — including calls that fail, since
+//!    legality checks are part of the trajectory — is logged per disk as
+//!    a [`DiskOp`] with its resolved timestamp.
+//! 2. **Replay** (parallel): each disk's op log is replayed against a
+//!    fresh full machine on a scoped worker pool. A machine's behaviour
+//!    is a deterministic function of its own call sequence, so the
+//!    replayed energy breakdown and transition counters are bitwise
+//!    identical to what a monolithic run would have integrated inline.
+//!
+//! The resolved report's timing fields (execution time, stalls,
+//! slowdowns, gaps, misfires) come straight from phase 1; phase 2 patches
+//! in per-disk energy and the totals are re-folded in disk order, so the
+//! merged [`SimReport`] is bit-identical to [`Engine::run_stream`]'s.
+
+use crate::engine::Engine;
+use crate::report::SimReport;
+use sdpm_disk::{DiskParams, EnergyBreakdown, PowerStateMachine, RpmLevel};
+use sdpm_trace::EventStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One top-level call into a disk's power-state machine, with the
+/// timestamp the engine resolved for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum DiskOp {
+    Advance(f64),
+    SpinDown(f64),
+    SpinUp(f64),
+    SetRpm(f64, RpmLevel),
+    BeginService(f64),
+    EndService(f64),
+}
+
+/// Replays one disk's op log against a fresh full machine. Results are
+/// deliberately ignored: an op that failed during resolve fails here in
+/// exactly the same way, and the failure's (lack of) side effects is part
+/// of the reproduced trajectory.
+fn replay_ops(params: &DiskParams, ops: &[DiskOp]) -> PowerStateMachine {
+    let mut m = PowerStateMachine::new(params.clone());
+    for op in ops {
+        match *op {
+            DiskOp::Advance(t) => {
+                let _ = m.advance(t);
+            }
+            DiskOp::SpinDown(t) => {
+                let _ = m.spin_down(t);
+            }
+            DiskOp::SpinUp(t) => {
+                let _ = m.spin_up(t);
+            }
+            DiskOp::SetRpm(t, to) => {
+                let _ = m.set_rpm(t, to);
+            }
+            DiskOp::BeginService(t) => {
+                let _ = m.begin_service(t);
+            }
+            DiskOp::EndService(t) => {
+                let _ = m.end_service(t);
+            }
+        }
+    }
+    m
+}
+
+/// Replays every disk's op log on a scoped worker pool capped at the
+/// machine's available parallelism; workers pull disk indices from a
+/// shared counter. Panics in a worker propagate to the caller.
+fn replay_all(params: &DiskParams, ops: &[Vec<DiskOp>]) -> Vec<PowerStateMachine> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(ops.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<PowerStateMachine>> = ops.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= ops.len() {
+                            break;
+                        }
+                        local.push((i, replay_ops(params, &ops[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            let local = h
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (i, m) in local {
+                out[i] = Some(m);
+            }
+        }
+    });
+    out.into_iter()
+        .map(|m| m.expect("every disk replayed"))
+        .collect()
+}
+
+impl Engine {
+    /// Plays an event stream with per-disk energy integration sharded
+    /// across threads. The returned report is bit-identical to
+    /// [`Engine::run_stream`]'s on the same stream.
+    #[must_use]
+    pub fn run_sharded(&self, stream: &mut dyn EventStream) -> SimReport {
+        let (mut report, ops) = self.run_core(stream, None, true);
+        let machines = replay_all(self.params(), &ops);
+        for (d, m) in report.per_disk.iter_mut().zip(&machines) {
+            debug_assert_eq!(d.spin_downs, m.spin_downs);
+            debug_assert_eq!(d.spin_ups, m.spin_ups);
+            debug_assert_eq!(d.rpm_shifts, m.rpm_shifts);
+            d.energy = m.energy().breakdown();
+        }
+        report.energy = report
+            .per_disk
+            .iter()
+            .fold(EnergyBreakdown::default(), |acc, d| acc.merged(&d.energy));
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::policy::{DirectiveConfig, DrpmConfig, Policy, TpmConfig};
+    use crate::Engine;
+    use sdpm_disk::ultrastar36z15;
+    use sdpm_layout::{DiskId, DiskPool};
+    use sdpm_trace::{AppEvent, IoRequest, PowerAction, ReqKind, Trace};
+
+    /// A 4-disk trace that exercises spin-downs, drifts, demand wake-ups,
+    /// and directives (including ones that misfire).
+    fn busy_trace() -> Trace {
+        let io = |disk: u32, iter: u64| {
+            AppEvent::Io(IoRequest {
+                disk: DiskId(disk),
+                start_block: iter * 64,
+                size_bytes: 32 * 1024,
+                kind: ReqKind::Read,
+                sequential: false,
+                nest: 0,
+                iter,
+            })
+        };
+        let compute = |secs: f64| AppEvent::Compute {
+            nest: 0,
+            first_iter: 0,
+            iters: 1,
+            secs,
+        };
+        let power = |disk: u32, action: PowerAction| AppEvent::Power {
+            disk: DiskId(disk),
+            action,
+        };
+        let mut events = Vec::new();
+        for round in 0..6u64 {
+            for d in 0..4u32 {
+                events.push(io(d, round));
+            }
+            events.push(power(0, PowerAction::SpinDown));
+            // A spin-up on an already-spinning disk: a misfire that must
+            // replay identically.
+            events.push(power(1, PowerAction::SpinUp));
+            events.push(compute(40.0 + round as f64));
+            events.push(power(0, PowerAction::SpinUp));
+            events.push(compute(11.0));
+        }
+        Trace {
+            name: "busy".into(),
+            pool_size: 4,
+            events,
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_policies() {
+        let tr = busy_trace();
+        let pool = DiskPool::new(4);
+        let policies = [
+            Policy::Base,
+            Policy::Tpm(TpmConfig::default()),
+            Policy::Drpm(DrpmConfig::default()),
+            Policy::Directive(DirectiveConfig::default()),
+        ];
+        for policy in policies {
+            let engine = Engine::new(ultrastar36z15(), pool, policy);
+            let mono = engine.run(&tr);
+            let sharded = engine.run_sharded(&mut tr.stream());
+            assert_eq!(
+                mono.exec_secs.to_bits(),
+                sharded.exec_secs.to_bits(),
+                "{}: exec time drifted",
+                mono.policy
+            );
+            assert_eq!(
+                mono.total_energy_j().to_bits(),
+                sharded.total_energy_j().to_bits(),
+                "{}: energy drifted",
+                mono.policy
+            );
+            assert_eq!(mono, sharded, "{}: reports differ", mono.policy);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! ```
 
 use crate::event::{AppEvent, IoRequest, PowerAction, ReqKind};
+use crate::stream::{EventStream, DEFAULT_CHUNK_EVENTS};
 use crate::trace::Trace;
 use sdpm_disk::RpmLevel;
 use sdpm_layout::DiskId;
@@ -50,59 +51,128 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Serializes `trace` into the binary format.
-#[must_use]
-pub fn encode(trace: &Trace) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(32 + trace.events.len() * 34);
-    buf.extend_from_slice(MAGIC);
-    buf.extend_from_slice(&VERSION.to_le_bytes());
-    buf.extend_from_slice(&trace.pool_size.to_le_bytes());
-    let name = trace.name.as_bytes();
-    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
-    buf.extend_from_slice(name);
-    buf.extend_from_slice(&(trace.events.len() as u64).to_le_bytes());
-    for e in &trace.events {
-        match e {
-            AppEvent::Compute {
-                nest,
-                first_iter,
-                iters,
-                secs,
-            } => {
-                buf.push(0);
-                buf.extend_from_slice(&(*nest as u32).to_le_bytes());
-                buf.extend_from_slice(&first_iter.to_le_bytes());
-                buf.extend_from_slice(&iters.to_le_bytes());
-                buf.extend_from_slice(&secs.to_le_bytes());
+/// Serializes one event into `buf`.
+fn write_event(buf: &mut Vec<u8>, e: &AppEvent) {
+    match e {
+        AppEvent::Compute {
+            nest,
+            first_iter,
+            iters,
+            secs,
+        } => {
+            buf.push(0);
+            buf.extend_from_slice(&(*nest as u32).to_le_bytes());
+            buf.extend_from_slice(&first_iter.to_le_bytes());
+            buf.extend_from_slice(&iters.to_le_bytes());
+            buf.extend_from_slice(&secs.to_le_bytes());
+        }
+        AppEvent::Io(r) => {
+            buf.push(1);
+            buf.extend_from_slice(&r.disk.0.to_le_bytes());
+            buf.extend_from_slice(&r.start_block.to_le_bytes());
+            buf.extend_from_slice(&r.size_bytes.to_le_bytes());
+            let mut flags = 0u8;
+            if r.kind == ReqKind::Write {
+                flags |= 1;
             }
-            AppEvent::Io(r) => {
-                buf.push(1);
-                buf.extend_from_slice(&r.disk.0.to_le_bytes());
-                buf.extend_from_slice(&r.start_block.to_le_bytes());
-                buf.extend_from_slice(&r.size_bytes.to_le_bytes());
-                let mut flags = 0u8;
-                if r.kind == ReqKind::Write {
-                    flags |= 1;
-                }
-                if r.sequential {
-                    flags |= 2;
-                }
-                buf.push(flags);
-                buf.extend_from_slice(&(r.nest as u32).to_le_bytes());
-                buf.extend_from_slice(&r.iter.to_le_bytes());
+            if r.sequential {
+                flags |= 2;
             }
-            AppEvent::Power { disk, action } => {
-                buf.push(2);
-                buf.extend_from_slice(&disk.0.to_le_bytes());
-                match action {
-                    PowerAction::SpinDown => buf.extend_from_slice(&[0, 0]),
-                    PowerAction::SpinUp => buf.extend_from_slice(&[1, 0]),
-                    PowerAction::SetRpm(l) => buf.extend_from_slice(&[2, l.0]),
-                }
+            buf.push(flags);
+            buf.extend_from_slice(&(r.nest as u32).to_le_bytes());
+            buf.extend_from_slice(&r.iter.to_le_bytes());
+        }
+        AppEvent::Power { disk, action } => {
+            buf.push(2);
+            buf.extend_from_slice(&disk.0.to_le_bytes());
+            match action {
+                PowerAction::SpinDown => buf.extend_from_slice(&[0, 0]),
+                PowerAction::SpinUp => buf.extend_from_slice(&[1, 0]),
+                PowerAction::SetRpm(l) => buf.extend_from_slice(&[2, l.0]),
             }
         }
     }
-    buf
+}
+
+/// Incremental encoder: header up front, events appended one at a time,
+/// the count backpatched at [`StreamEncoder::finish`]. Producing the
+/// whole byte stream this way is byte-identical to [`encode`] on the
+/// materialized trace, so streamed writers and whole-trace writers can
+/// share files.
+pub struct StreamEncoder {
+    buf: Vec<u8>,
+    count_pos: usize,
+    count: u64,
+}
+
+impl StreamEncoder {
+    /// Starts an encoding for a trace named `name` over `pool_size`
+    /// disks.
+    #[must_use]
+    pub fn new(name: &str, pool_size: u32) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&pool_size.to_le_bytes());
+        let name = name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        let count_pos = buf.len();
+        buf.extend_from_slice(&0u64.to_le_bytes()); // backpatched by finish
+        StreamEncoder {
+            buf,
+            count_pos,
+            count: 0,
+        }
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, e: &AppEvent) {
+        write_event(&mut self.buf, e);
+        self.count += 1;
+    }
+
+    /// Appends a chunk of events.
+    pub fn extend(&mut self, events: &[AppEvent]) {
+        for e in events {
+            self.push(e);
+        }
+    }
+
+    /// Events encoded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finishes the encoding: backpatches the event count and returns
+    /// the complete byte stream.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[self.count_pos..self.count_pos + 8].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Serializes `trace` into the binary format.
+#[must_use]
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut enc = StreamEncoder::new(&trace.name, trace.pool_size);
+    enc.buf.reserve(trace.events.len() * 34);
+    enc.extend(&trace.events);
+    enc.finish()
+}
+
+/// Drains `stream` through a [`StreamEncoder`]; the result is
+/// byte-identical to `encode(&collect(stream))` without materializing
+/// the trace.
+#[must_use]
+pub fn encode_stream(stream: &mut dyn EventStream) -> Vec<u8> {
+    let mut enc = StreamEncoder::new(stream.name(), stream.pool_size());
+    while let Some(chunk) = stream.next_chunk() {
+        enc.extend(chunk);
+    }
+    enc.finish()
 }
 
 /// Bounds-checked little-endian reader over a byte slice.
@@ -111,10 +181,6 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
-    fn remaining(&self) -> usize {
-        self.buf.len()
-    }
-
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.buf.len() < n {
             return Err(CodecError::Truncated);
@@ -145,73 +211,160 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Deserializes one event record.
+fn read_event(r: &mut Reader<'_>) -> Result<AppEvent, CodecError> {
+    match r.get_u8()? {
+        0 => Ok(AppEvent::Compute {
+            nest: r.get_u32_le()? as usize,
+            first_iter: r.get_u64_le()?,
+            iters: r.get_u64_le()?,
+            secs: r.get_f64_le()?,
+        }),
+        1 => {
+            let disk = DiskId(r.get_u32_le()?);
+            let start_block = r.get_u64_le()?;
+            let size_bytes = r.get_u64_le()?;
+            let flags = r.get_u8()?;
+            let nest = r.get_u32_le()? as usize;
+            let iter = r.get_u64_le()?;
+            Ok(AppEvent::Io(IoRequest {
+                disk,
+                start_block,
+                size_bytes,
+                kind: if flags & 1 != 0 {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                },
+                sequential: flags & 2 != 0,
+                nest,
+                iter,
+            }))
+        }
+        2 => {
+            let disk = DiskId(r.get_u32_le()?);
+            let action = r.get_u8()?;
+            let level = r.get_u8()?;
+            let action = match action {
+                0 => PowerAction::SpinDown,
+                1 => PowerAction::SpinUp,
+                2 => PowerAction::SetRpm(RpmLevel(level)),
+                t => return Err(CodecError::BadTag(t)),
+            };
+            Ok(AppEvent::Power { disk, action })
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Incremental decoder over an encoded byte buffer: the header is parsed
+/// up front, events are decoded one chunk at a time, so only one chunk
+/// of events is resident regardless of trace length.
+///
+/// Corruption surfaces from [`DecodeStream::try_next_chunk`] as a
+/// [`CodecError`]; the infallible [`EventStream`] view panics instead,
+/// so callers that must handle corrupt inputs should drain the stream
+/// through the fallible method.
+pub struct DecodeStream<'a> {
+    r: Reader<'a>,
+    name: String,
+    pool_size: u32,
+    remaining: u64,
+    buf: Vec<AppEvent>,
+    chunk: usize,
+}
+
+impl<'a> DecodeStream<'a> {
+    /// Parses the header and positions the stream at the first event,
+    /// decoding in [`DEFAULT_CHUNK_EVENTS`]-sized chunks.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        Self::chunked(buf, DEFAULT_CHUNK_EVENTS)
+    }
+
+    /// Like [`DecodeStream::new`] with an explicit chunk size.
+    ///
+    /// # Panics
+    /// If `chunk` is zero.
+    pub fn chunked(buf: &'a [u8], chunk: usize) -> Result<Self, CodecError> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let mut r = Reader { buf };
+        if r.take(4)? != MAGIC {
+            return Err(CodecError::BadHeader);
+        }
+        if r.get_u16_le()? != VERSION {
+            return Err(CodecError::BadHeader);
+        }
+        let pool_size = r.get_u32_le()?;
+        let name_len = r.get_u16_le()? as usize;
+        let name =
+            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| CodecError::BadName)?;
+        let remaining = r.get_u64_le()?;
+        Ok(DecodeStream {
+            r,
+            name,
+            pool_size,
+            remaining,
+            buf: Vec::new(),
+            chunk,
+        })
+    }
+
+    /// Events not yet decoded (per the header's count).
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes the next chunk, or returns `Ok(None)` when the header's
+    /// event count has been fully delivered.
+    pub fn try_next_chunk(&mut self) -> Result<Option<&[AppEvent]>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let n = (self.remaining as usize).min(self.chunk);
+        self.buf.clear();
+        self.buf.reserve(n);
+        for _ in 0..n {
+            self.buf.push(read_event(&mut self.r)?);
+        }
+        self.remaining -= n as u64;
+        Ok(Some(&self.buf))
+    }
+}
+
+impl EventStream for DecodeStream<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pool_size(&self) -> u32 {
+        self.pool_size
+    }
+
+    /// # Panics
+    /// On a corrupt byte stream — use [`DecodeStream::try_next_chunk`]
+    /// when corruption must be handled rather than aborted on.
+    fn next_chunk(&mut self) -> Option<&[AppEvent]> {
+        self.try_next_chunk()
+            .unwrap_or_else(|e| panic!("corrupt trace stream: {e}"))
+    }
+}
+
 /// Deserializes a trace previously produced by [`encode`].
 pub fn decode(buf: &[u8]) -> Result<Trace, CodecError> {
-    let mut r = Reader { buf };
-    if r.take(4)? != MAGIC {
-        return Err(CodecError::BadHeader);
-    }
-    if r.get_u16_le()? != VERSION {
-        return Err(CodecError::BadHeader);
-    }
-    let pool_size = r.get_u32_le()?;
-    let name_len = r.get_u16_le()? as usize;
-    let name = String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| CodecError::BadName)?;
-    let count = r.get_u64_le()? as usize;
+    let mut s = DecodeStream::new(buf)?;
     // The smallest event record is 7 bytes (a Power event), so a count
     // exceeding remaining/7 cannot be satisfied — cap the reservation so
     // a corrupted count cannot trigger an allocation failure before the
     // Truncated error surfaces.
-    let mut events = Vec::with_capacity(count.min(r.remaining() / 7 + 1));
-    for _ in 0..count {
-        match r.get_u8()? {
-            0 => {
-                events.push(AppEvent::Compute {
-                    nest: r.get_u32_le()? as usize,
-                    first_iter: r.get_u64_le()?,
-                    iters: r.get_u64_le()?,
-                    secs: r.get_f64_le()?,
-                });
-            }
-            1 => {
-                let disk = DiskId(r.get_u32_le()?);
-                let start_block = r.get_u64_le()?;
-                let size_bytes = r.get_u64_le()?;
-                let flags = r.get_u8()?;
-                let nest = r.get_u32_le()? as usize;
-                let iter = r.get_u64_le()?;
-                events.push(AppEvent::Io(IoRequest {
-                    disk,
-                    start_block,
-                    size_bytes,
-                    kind: if flags & 1 != 0 {
-                        ReqKind::Write
-                    } else {
-                        ReqKind::Read
-                    },
-                    sequential: flags & 2 != 0,
-                    nest,
-                    iter,
-                }));
-            }
-            2 => {
-                let disk = DiskId(r.get_u32_le()?);
-                let action = r.get_u8()?;
-                let level = r.get_u8()?;
-                let action = match action {
-                    0 => PowerAction::SpinDown,
-                    1 => PowerAction::SpinUp,
-                    2 => PowerAction::SetRpm(RpmLevel(level)),
-                    t => return Err(CodecError::BadTag(t)),
-                };
-                events.push(AppEvent::Power { disk, action });
-            }
-            t => return Err(CodecError::BadTag(t)),
-        }
+    let cap = (s.remaining() as usize).min(buf.len() / 7 + 1);
+    let mut events = Vec::with_capacity(cap);
+    while let Some(chunk) = s.try_next_chunk()? {
+        events.extend_from_slice(chunk);
     }
     Ok(Trace {
-        name,
-        pool_size,
+        name: s.name,
+        pool_size: s.pool_size,
         events,
     })
 }

@@ -10,9 +10,10 @@
 //! into per-disk requests.
 
 use crate::event::{AppEvent, IoRequest, ReqKind};
+use crate::stream::{collect, EventSource, EventStream, DEFAULT_CHUNK_EVENTS};
 use crate::trace::Trace;
 use sdpm_ir::conform::linearized_ref;
-use sdpm_ir::walk::walk_nest;
+use sdpm_ir::walk::walk_nest_range;
 use sdpm_ir::{Program, RefKind};
 use sdpm_layout::{DiskPool, BLOCK_BYTES};
 use serde::{Deserialize, Serialize};
@@ -44,52 +45,119 @@ impl Default for TraceGenConfig {
     }
 }
 
-/// Generates the I/O trace of `program` against `pool`.
-///
-/// # Panics
-/// If the program fails [`Program::validate`] or the chunk size is zero.
-#[must_use]
-pub fn generate(program: &Program, pool: DiskPool, config: TraceGenConfig) -> Trace {
-    assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
-    program
-        .validate(pool)
-        .expect("trace generation requires a valid program");
+/// A reference pre-linearized against its array's storage order, so the
+/// per-iteration work is one affine evaluation.
+struct LinRef {
+    array: usize,
+    lin: sdpm_ir::AffineExpr,
+    kind: ReqKind,
+}
 
-    let mut events: Vec<AppEvent> = Vec::new();
-    // One cached chunk per array, persisting across nests (a hot array
-    // carried between nests does not refetch its resident chunk).
-    let mut cached_chunk: Vec<Option<u64>> = vec![None; program.arrays.len()];
-    // Per-disk next expected block for sequential detection.
-    let mut next_block: Vec<Option<u64>> = vec![None; pool.count() as usize];
+fn linrefs_of(program: &Program, ni: usize) -> Vec<LinRef> {
+    program.nests[ni]
+        .stmts
+        .iter()
+        .flat_map(|s| s.refs.iter())
+        .map(|r| {
+            let file = &program.arrays[r.array];
+            LinRef {
+                array: r.array,
+                lin: linearized_ref(r, file, file.order),
+                kind: match r.kind {
+                    RefKind::Read => ReqKind::Read,
+                    RefKind::Write => ReqKind::Write,
+                },
+            }
+        })
+        .collect()
+}
 
-    for (ni, nest) in program.nests.iter().enumerate() {
-        let iter_secs = program.iter_secs(ni);
-        // Pre-linearize references once per nest.
-        struct LinRef {
-            array: usize,
-            lin: sdpm_ir::AffineExpr,
-            kind: ReqKind,
+/// Iterations walked per internal step. The walk itself is O(1) per
+/// iteration; this only bounds how often the stream checks whether the
+/// chunk target has been reached.
+const ITERS_PER_STEP: u64 = 65_536;
+
+/// The generator as a lazy [`EventStream`]: events are produced by
+/// resuming the iteration-space walk chunk by chunk, so the trace is
+/// never fully resident. The event sequence is byte-identical to what
+/// [`generate`] materializes — compute runs are flushed on cache misses
+/// and nest boundaries, never on chunk boundaries, so chunking is
+/// invisible in the output.
+pub struct GenStream<'a> {
+    program: &'a Program,
+    pool: DiskPool,
+    config: TraceGenConfig,
+    /// One cached chunk per array, persisting across nests (a hot array
+    /// carried between nests does not refetch its resident chunk).
+    cached_chunk: Vec<Option<u64>>,
+    /// Per-disk next expected block for sequential detection.
+    next_block: Vec<Option<u64>>,
+    /// Current nest, next flat iteration within it, and the first
+    /// iteration of the compute run accumulating toward the next flush.
+    ni: usize,
+    pos: u64,
+    pending_start: u64,
+    linrefs: Vec<LinRef>,
+    buf: Vec<AppEvent>,
+    target: usize,
+}
+
+impl<'a> GenStream<'a> {
+    /// Opens a lazy generator stream over `program`, emitting chunks of
+    /// roughly [`DEFAULT_CHUNK_EVENTS`] events.
+    ///
+    /// # Panics
+    /// If the program fails [`Program::validate`] or the I/O chunk size
+    /// is zero.
+    #[must_use]
+    pub fn new(program: &'a Program, pool: DiskPool, config: TraceGenConfig) -> Self {
+        assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
+        program
+            .validate(pool)
+            .expect("trace generation requires a valid program");
+        let linrefs = if program.nests.is_empty() {
+            Vec::new()
+        } else {
+            linrefs_of(program, 0)
+        };
+        GenStream {
+            program,
+            pool,
+            config,
+            cached_chunk: vec![None; program.arrays.len()],
+            next_block: vec![None; pool.count() as usize],
+            ni: 0,
+            pos: 0,
+            pending_start: 0,
+            linrefs,
+            buf: Vec::new(),
+            target: DEFAULT_CHUNK_EVENTS,
         }
-        let linrefs: Vec<LinRef> = nest
-            .stmts
-            .iter()
-            .flat_map(|s| s.refs.iter())
-            .map(|r| {
-                let file = &program.arrays[r.array];
-                LinRef {
-                    array: r.array,
-                    lin: linearized_ref(r, file, file.order),
-                    kind: match r.kind {
-                        RefKind::Read => ReqKind::Read,
-                        RefKind::Write => ReqKind::Write,
-                    },
-                }
-            })
-            .collect();
+    }
 
-        let mut pending_start = 0u64;
-        walk_nest(nest, |flat, ivars| {
-            for lr in &linrefs {
+    /// Walks up to [`ITERS_PER_STEP`] iterations of the current nest,
+    /// appending whatever events they produce, and advances to the next
+    /// nest when the current one completes.
+    fn step(&mut self) {
+        let ni = self.ni;
+        let pos = self.pos;
+        let iter_secs = self.program.iter_secs(ni);
+        let GenStream {
+            program,
+            pool,
+            config,
+            cached_chunk,
+            next_block,
+            pending_start,
+            linrefs,
+            buf,
+            ..
+        } = self;
+        let nest = &program.nests[ni];
+        let total = nest.iter_count();
+        let step_to = pos.saturating_add(ITERS_PER_STEP).min(total);
+        walk_nest_range(nest, pos, step_to, |flat, ivars| {
+            for lr in linrefs.iter() {
                 let file = &program.arrays[lr.array];
                 let elem = lr.lin.eval(ivars);
                 debug_assert!(elem >= 0);
@@ -100,26 +168,26 @@ pub fn generate(program: &Program, pool: DiskPool, config: TraceGenConfig) -> Tr
                 }
                 cached_chunk[lr.array] = Some(chunk);
                 // Flush the compute accumulated before this miss.
-                if flat > pending_start {
-                    events.push(AppEvent::Compute {
+                if flat > *pending_start {
+                    buf.push(AppEvent::Compute {
                         nest: ni,
-                        first_iter: pending_start,
-                        iters: flat - pending_start,
-                        secs: (flat - pending_start) as f64 * iter_secs,
+                        first_iter: *pending_start,
+                        iters: flat - *pending_start,
+                        secs: (flat - *pending_start) as f64 * iter_secs,
                     });
-                    pending_start = flat;
+                    *pending_start = flat;
                 }
                 // Fetch the whole chunk (clipped to the file end).
                 let chunk_start = chunk * config.io_chunk_bytes;
                 let chunk_len = config.io_chunk_bytes.min(file.total_bytes() - chunk_start);
-                for ext in file.map_bytes(pool, chunk_start, chunk_len) {
+                for ext in file.map_bytes(*pool, chunk_start, chunk_len) {
                     let d = ext.disk.0 as usize;
                     let sequential =
                         config.detect_sequential && next_block[d] == Some(ext.start_block);
                     let end_block =
                         ext.start_block + (ext.block_offset + ext.len).div_ceil(BLOCK_BYTES);
                     next_block[d] = Some(end_block);
-                    events.push(AppEvent::Io(IoRequest {
+                    buf.push(AppEvent::Io(IoRequest {
                         disk: ext.disk,
                         start_block: ext.start_block,
                         size_bytes: ext.len,
@@ -131,23 +199,91 @@ pub fn generate(program: &Program, pool: DiskPool, config: TraceGenConfig) -> Tr
                 }
             }
         });
-        // Flush the tail compute of the nest.
-        let total = nest.iter_count();
-        if total > pending_start {
-            events.push(AppEvent::Compute {
-                nest: ni,
-                first_iter: pending_start,
-                iters: total - pending_start,
-                secs: (total - pending_start) as f64 * iter_secs,
-            });
+        self.pos = step_to;
+        if step_to >= total {
+            // Flush the tail compute of the nest.
+            if total > self.pending_start {
+                self.buf.push(AppEvent::Compute {
+                    nest: ni,
+                    first_iter: self.pending_start,
+                    iters: total - self.pending_start,
+                    secs: (total - self.pending_start) as f64 * iter_secs,
+                });
+            }
+            self.ni += 1;
+            self.pos = 0;
+            self.pending_start = 0;
+            if self.ni < self.program.nests.len() {
+                self.linrefs = linrefs_of(self.program, self.ni);
+            }
         }
     }
+}
 
-    let trace = Trace {
-        name: program.name.clone(),
-        pool_size: pool.count(),
-        events,
-    };
+impl EventStream for GenStream<'_> {
+    fn name(&self) -> &str {
+        &self.program.name
+    }
+
+    fn pool_size(&self) -> u32 {
+        self.pool.count()
+    }
+
+    fn next_chunk(&mut self) -> Option<&[AppEvent]> {
+        self.buf.clear();
+        while self.buf.len() < self.target && self.ni < self.program.nests.len() {
+            self.step();
+        }
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(&self.buf)
+        }
+    }
+}
+
+/// A re-openable generator source for `(program, pool, config)`: each
+/// [`EventSource::open`] resumes the walk from iteration zero, which is
+/// what lets the simulator's oracle policies run the workload twice
+/// without ever materializing it.
+pub struct GenSource<'a> {
+    program: &'a Program,
+    pool: DiskPool,
+    config: TraceGenConfig,
+}
+
+impl<'a> GenSource<'a> {
+    /// # Panics
+    /// If the program fails [`Program::validate`] or the I/O chunk size
+    /// is zero.
+    #[must_use]
+    pub fn new(program: &'a Program, pool: DiskPool, config: TraceGenConfig) -> Self {
+        assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
+        program
+            .validate(pool)
+            .expect("trace generation requires a valid program");
+        GenSource {
+            program,
+            pool,
+            config,
+        }
+    }
+}
+
+impl EventSource for GenSource<'_> {
+    fn open(&self) -> Box<dyn EventStream + '_> {
+        Box::new(GenStream::new(self.program, self.pool, self.config))
+    }
+}
+
+/// Generates the I/O trace of `program` against `pool` by draining a
+/// [`GenStream`] into a materialized [`Trace`].
+///
+/// # Panics
+/// If the program fails [`Program::validate`] or the chunk size is zero.
+#[must_use]
+pub fn generate(program: &Program, pool: DiskPool, config: TraceGenConfig) -> Trace {
+    let trace = collect(&mut GenStream::new(program, pool, config));
     debug_assert_eq!(trace.validate(), Ok(()));
     trace
 }
@@ -329,5 +465,33 @@ mod tests {
         let (p, pool) = scan_program();
         let t = generate(&p, pool, TraceGenConfig::default());
         assert_eq!(t.validate(), Ok(()));
+    }
+
+    #[test]
+    fn lazy_stream_matches_materialized_generation() {
+        let (mut p, pool) = scan_program();
+        // Two nests so the stream crosses a nest boundary mid-flight.
+        let nest2 = p.nests[0].clone();
+        p.nests.push(nest2);
+        let cfg = TraceGenConfig {
+            io_chunk_bytes: 8 * 1024,
+            detect_sequential: true,
+        };
+        let materialized = generate(&p, pool, cfg);
+        // Tiny chunk target to force many chunk boundaries.
+        let mut s = GenStream::new(&p, pool, cfg);
+        s.target = 3;
+        let streamed = collect(&mut s);
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn gen_source_reopens_identically() {
+        let (p, pool) = scan_program();
+        let src = GenSource::new(&p, pool, TraceGenConfig::default());
+        let a = collect(&mut *src.open());
+        let b = collect(&mut *src.open());
+        assert_eq!(a, b);
+        assert_eq!(a, generate(&p, pool, TraceGenConfig::default()));
     }
 }

@@ -13,7 +13,10 @@
 //! * [`gen`] — the trace generator: walks an IR program, filters element
 //!   accesses through a one-chunk-per-array buffer cache, and emits
 //!   block-level striped requests,
-//! * [`codec`] — a compact binary encoding for storing/replaying traces.
+//! * [`codec`] — a compact binary encoding for storing/replaying traces,
+//!   with incremental [`StreamEncoder`]/[`DecodeStream`] endpoints,
+//! * [`stream`] — pull-based chunked [`EventStream`]s over all of the
+//!   above, plus the per-disk demultiplexer ([`demux`]).
 //!
 //! Traces are *closed-loop*: each request carries the compute time that
 //! precedes it rather than a fixed wall-clock arrival, so the simulator
@@ -23,8 +26,14 @@
 pub mod codec;
 pub mod event;
 pub mod gen;
+pub mod stream;
 pub mod trace;
 
+pub use codec::{DecodeStream, StreamEncoder};
 pub use event::{AppEvent, IoRequest, PowerAction, ReqKind};
-pub use gen::{generate, TraceGenConfig};
+pub use gen::{generate, GenSource, GenStream, TraceGenConfig};
+pub use stream::{
+    collect, demux, Demuxed, EventSource, EventStream, TimedEvent, TraceStream,
+    DEFAULT_CHUNK_EVENTS,
+};
 pub use trace::{Trace, TraceStats};

@@ -6,8 +6,10 @@ use proptest::strategy::ValueTree;
 use sdpm_disk::RpmLevel;
 use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
 use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
-use sdpm_trace::codec::{decode, encode};
-use sdpm_trace::{generate, AppEvent, IoRequest, PowerAction, ReqKind, Trace, TraceGenConfig};
+use sdpm_trace::codec::{decode, encode, CodecError, DecodeStream, StreamEncoder};
+use sdpm_trace::{
+    collect, generate, AppEvent, IoRequest, PowerAction, ReqKind, Trace, TraceGenConfig,
+};
 
 fn event_strategy(pool: u32, nest: usize) -> impl Strategy<Value = AppEvent> {
     prop_oneof![
@@ -78,6 +80,82 @@ proptest! {
         let bytes = encode(&t);
         let back = decode(&bytes).unwrap();
         prop_assert_eq!(back, t);
+    }
+
+    /// The streaming encoder (event-at-a-time, count backpatched) and the
+    /// chunked decoder round-trip arbitrary traces exactly, at any chunk
+    /// size — including chunks far smaller than the event count, so
+    /// events cross chunk boundaries.
+    #[test]
+    fn streaming_codec_round_trips(
+        pool in 1u32..16,
+        name in "[a-z0-9.]{0,20}",
+        chunk in 1usize..9,
+        events in proptest::collection::vec((0usize..4, 0u32..1000), 0..60),
+    ) {
+        let mut evs = Vec::new();
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let mut last_nest = 0usize;
+        for (nest_inc, _) in events {
+            last_nest += nest_inc % 2;
+            let e = event_strategy(pool, last_nest)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            evs.push(e);
+        }
+        let t = Trace { name, pool_size: pool, events: evs };
+
+        let mut enc = StreamEncoder::new(&t.name, t.pool_size);
+        for e in &t.events {
+            enc.push(e);
+        }
+        let bytes = enc.finish();
+        // Byte-identical to the one-shot encoder.
+        prop_assert_eq!(&bytes, &encode(&t));
+
+        let mut dec = DecodeStream::chunked(&bytes, chunk).unwrap();
+        let back = collect(&mut dec);
+        prop_assert_eq!(back, t);
+    }
+
+    /// Cutting an encoded trace anywhere short of its full length makes
+    /// the chunked decoder report `Truncated` — never a partial success,
+    /// never a panic — even when the cut lands mid-chunk.
+    #[test]
+    fn streaming_codec_rejects_truncation_mid_chunk(
+        pool in 1u32..8,
+        chunk in 1usize..5,
+        cut_seed in 0usize..10_000,
+        events in proptest::collection::vec(0u32..1000, 1..40),
+    ) {
+        let mut evs = Vec::new();
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        for _ in events {
+            let e = event_strategy(pool, 0)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            evs.push(e);
+        }
+        let t = Trace { name: "cut".into(), pool_size: pool, events: evs };
+        let bytes = encode(&t);
+        let cut = cut_seed % (bytes.len() - 1).max(1);
+
+        match DecodeStream::chunked(&bytes[..cut], chunk) {
+            // Header itself was cut.
+            Err(e) => prop_assert_eq!(e, CodecError::Truncated),
+            Ok(mut dec) => {
+                let err = loop {
+                    match dec.try_next_chunk() {
+                        Ok(Some(_)) => {}
+                        Ok(None) => panic!("truncated stream decoded to completion"),
+                        Err(e) => break e,
+                    }
+                };
+                prop_assert_eq!(err, CodecError::Truncated);
+            }
+        }
     }
 
     /// Trace generation conserves compute time, covers each scanned byte

@@ -45,7 +45,7 @@ pub use diag::{
 };
 pub use directive::{verify_directives, PlanRef, EPS_SECS};
 pub use legality::{check_fission, check_tiling};
-pub use replay::{crosscheck_report, replay_directives, ReplayDisk, ReplayReport};
+pub use replay::{crosscheck_report, replay_directives, replay_stream, ReplayDisk, ReplayReport};
 
 use sdpm_disk::DiskParams;
 use sdpm_sim::SimReport;
