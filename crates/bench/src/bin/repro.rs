@@ -137,7 +137,8 @@ fn bench_cmd(args: &[String]) {
 
     let mut bench_arg = "swim".to_string();
     let mut json = false;
-    let mut out_path = "BENCH_streaming.json".to_string();
+    let mut runlen = false;
+    let mut out_path = String::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |flag: &str| {
@@ -150,10 +151,22 @@ fn bench_cmd(args: &[String]) {
         };
         match a.as_str() {
             "--json" => json = true,
+            "--runlen" => runlen = true,
             "--bench" => bench_arg = val("--bench"),
             "--out" => out_path = val("--out"),
             other => bench_arg = other.to_string(),
         }
+    }
+    if out_path.is_empty() {
+        out_path = if runlen {
+            "BENCH_runlen.json".to_string()
+        } else {
+            "BENCH_streaming.json".to_string()
+        };
+    }
+    if runlen {
+        runlen_bench_cmd(json, &out_path);
+        return;
     }
 
     let all = suite();
@@ -193,6 +206,50 @@ fn bench_cmd(args: &[String]) {
     );
     if json {
         std::fs::write(&out_path, r.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {out_path}");
+    }
+    if !r.reports_identical {
+        std::process::exit(1);
+    }
+}
+
+/// `repro bench --runlen [--json] [--out BENCH_runlen.json]`: the
+/// run-compression harness over all six Table 2 kernels. Exits 1 when
+/// any kernel's per-event and run-compressed reports diverge.
+fn runlen_bench_cmd(json: bool, out_path: &str) {
+    use sdpm_bench::runbench::run_runlen_bench;
+
+    let r = run_runlen_bench(&suite());
+    println!(
+        "== Run-compression bench: {} schemes x {} kernels ==",
+        r.schemes.len(),
+        r.kernels.len()
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel".into(),
+                "per-event s".into(),
+                "run-compressed s".into(),
+                "suite speedup".into(),
+                "gen speedup".into(),
+                "events".into(),
+                "records".into(),
+                "identical".into(),
+            ],
+            &r.rows()
+        )
+    );
+    println!(
+        "reports identical across paths: {}",
+        if r.reports_identical { "yes" } else { "NO" }
+    );
+    if json {
+        std::fs::write(out_path, r.to_json()).unwrap_or_else(|e| {
             eprintln!("cannot write {out_path}: {e}");
             std::process::exit(2);
         });

@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod format;
 pub mod lint;
+pub mod runbench;
 pub mod streambench;
 
 pub use experiments::*;

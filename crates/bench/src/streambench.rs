@@ -49,6 +49,11 @@ pub struct StreamBench {
     pub streamed: PathCost,
     pub sharded: PathCost,
     pub materialized: PathCost,
+    /// Engine path the "sharded" suite actually ran
+    /// ([`sdpm_sim::SimPath::label`]): `"sharded"`, or `"streamed"` when
+    /// [`simulate_sharded`] routed a small workload to the sequential
+    /// fallback.
+    pub sharded_path: &'static str,
     /// Every scheme's streamed and sharded reports matched the
     /// materialized ones bitwise.
     pub reports_identical: bool,
@@ -147,6 +152,9 @@ pub fn run_stream_bench(bench: &Benchmark) -> StreamBench {
         .zip(&sharded_reports)
         .zip(&materialized_reports)
         .all(|((s, h), m)| identical(s, m) && identical(h, m));
+    let sharded_path = sharded_reports
+        .first()
+        .map_or("sharded", |r| r.sim_path.label());
 
     StreamBench {
         bench: bench.name,
@@ -154,6 +162,7 @@ pub fn run_stream_bench(bench: &Benchmark) -> StreamBench {
         streamed,
         sharded,
         materialized,
+        sharded_path,
         reports_identical,
     }
 }
@@ -178,12 +187,13 @@ impl StreamBench {
         format!(
             "{{\n  \"bench\": \"{}\",\n  \"schemes\": [{}],\n  \
              \"streamed\": {},\n  \"sharded\": {},\n  \"materialized\": {},\n  \
-             \"reports_identical\": {}\n}}\n",
+             \"sharded_path\": \"{}\",\n  \"reports_identical\": {}\n}}\n",
             self.bench,
             schemes,
             path(&self.streamed),
             path(&self.sharded),
             path(&self.materialized),
+            self.sharded_path,
             self.reports_identical,
         )
     }
@@ -226,5 +236,11 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"bench\": \"171.swim\""));
         assert!(json.contains("\"reports_identical\": true"));
+        // swim is thousands of events on 8 disks — far below the sharded
+        // mode's amortization point, so the suite must have routed to the
+        // sequential fallback (the warm-up pass teaches GenSource its
+        // length).
+        assert_eq!(r.sharded_path, "streamed");
+        assert!(json.contains("\"sharded_path\": \"streamed\""));
     }
 }

@@ -1,0 +1,36 @@
+//! The acceptance gate for the run-compressed fast path: every Table 2
+//! kernel × every scheme must produce a bitwise-identical `SimReport`
+//! through `Session::run_compressed` and `Session::run`.
+
+use sdpm_bench::config_for;
+use sdpm_core::{Scheme, Session};
+
+#[test]
+fn run_compressed_matches_per_event_for_every_kernel_and_scheme() {
+    for bench in sdpm_workloads::all_benchmarks() {
+        let cfg = config_for(&bench);
+        let mut fast = Session::new(&bench.program, &cfg);
+        let mut slow = Session::new(&bench.program, &cfg);
+        for &scheme in &Scheme::all() {
+            let f = fast.run_compressed(scheme);
+            let s = slow.run(scheme);
+            let label = format!("{} / {}", bench.name, scheme.label());
+            assert_eq!(
+                f.sim_path,
+                sdpm_sim::SimPath::RunCompressed,
+                "{label}: fast path must actually take the run route"
+            );
+            assert_eq!(f, s, "{label}: reports must be identical");
+            assert_eq!(
+                f.exec_secs.to_bits(),
+                s.exec_secs.to_bits(),
+                "{label}: exec time must match bitwise"
+            );
+            assert_eq!(
+                f.total_energy_j().to_bits(),
+                s.total_energy_j().to_bits(),
+                "{label}: energy must match bitwise"
+            );
+        }
+    }
+}

@@ -19,7 +19,7 @@ use crate::pipeline::{PipelineConfig, Scheme, SchemeArtifacts};
 use sdpm_ir::Program;
 use sdpm_layout::DiskPool;
 use sdpm_sim::{DirectiveConfig, Policy, SimReport};
-use sdpm_trace::{generate, Trace};
+use sdpm_trace::{compress, generate, generate_runs, RunTrace, Trace};
 
 #[cfg(feature = "obs")]
 pub(crate) type Obs<'a> = Option<&'a dyn sdpm_obs::Recorder>;
@@ -51,7 +51,12 @@ pub struct Session<'a> {
     base: Option<Trace>,
     /// Cached instrumentation, indexed by [`CmMode`] (`Tpm` = 0).
     cm: [Option<InsertOutcome>; 2],
+    /// Run-compressed base trace (analytic generator).
+    base_runs: Option<RunTrace>,
+    /// Run-compressed instrumented traces, indexed like `cm`.
+    cm_runs: [Option<RunTrace>; 2],
     generations: usize,
+    run_generations: usize,
 }
 
 impl<'a> Session<'a> {
@@ -63,7 +68,10 @@ impl<'a> Session<'a> {
             pool: DiskPool::new(cfg.disks),
             base: None,
             cm: [None, None],
+            base_runs: None,
+            cm_runs: [None, None],
             generations: 0,
+            run_generations: 0,
         }
     }
 
@@ -88,14 +96,61 @@ impl<'a> Session<'a> {
 
     fn base_trace_obs(&mut self, rec: Obs<'_>) -> &Trace {
         if self.base.is_none() {
-            let trace = phase(rec, "dap-construction", || {
-                generate(self.program, self.pool, self.cfg.gen)
-            });
+            let trace = if let Some(rt) = &self.base_runs {
+                // The analytic run form is already cached; lowering it is
+                // bit-exact with the walk generator and O(#events), so a
+                // fast-path session never walks the program a second time.
+                rt.lower()
+            } else {
+                phase(rec, "dap-construction", || {
+                    generate(self.program, self.pool, self.cfg.gen)
+                })
+            };
             trace.validate().expect("generated trace must be valid");
             self.generations += 1;
             self.base = Some(trace);
         }
         self.base.as_ref().expect("just cached")
+    }
+
+    /// How many times this session has generated a *run-compressed*
+    /// trace analytically. Stays at 1 across repeated fast-path scheme
+    /// runs — the fast-path analogue of [`Session::generations`].
+    #[must_use]
+    pub fn run_generations(&self) -> usize {
+        self.run_generations
+    }
+
+    /// The run-compressed base trace, produced by the analytic generator
+    /// ([`sdpm_trace::generate_runs`]) on first use. Lowering it yields
+    /// the per-event [`Session::base_trace`] bit for bit, so it is not
+    /// re-validated here.
+    pub fn base_runs(&mut self) -> &RunTrace {
+        if self.base_runs.is_none() {
+            self.run_generations += 1;
+            self.base_runs = Some(generate_runs(self.program, self.pool, self.cfg.gen));
+        }
+        self.base_runs.as_ref().expect("just cached")
+    }
+
+    /// The run-compressed form of the instrumented trace for `mode`,
+    /// compressed from the cached per-event instrumentation outcome on
+    /// first use (directive insertion itself is a per-event pass).
+    pub fn instrumented_runs(&mut self, mode: CmMode) -> &RunTrace {
+        let idx = match mode {
+            CmMode::Tpm => 0,
+            CmMode::Drpm => 1,
+        };
+        if self.cm_runs[idx].is_none() {
+            // Ensure the analytic base form exists first: directive
+            // insertion needs the per-event base trace, and with the run
+            // form cached it is recovered by lowering instead of a second
+            // program walk.
+            let _ = self.base_runs();
+            let rt = compress(&self.instrumented(mode).trace);
+            self.cm_runs[idx] = Some(rt);
+        }
+        self.cm_runs[idx].as_ref().expect("just cached")
     }
 
     /// The instrumentation outcome for `mode`, computed (from the cached
@@ -142,6 +197,49 @@ impl<'a> Session<'a> {
     #[must_use]
     pub fn run_with_recorder(&mut self, scheme: Scheme, rec: &dyn sdpm_obs::Recorder) -> SimReport {
         self.run_full(scheme, Some(rec)).report
+    }
+
+    /// Runs one scheme through the O(#runs) fast path: the session's
+    /// cached run-compressed traces drive [`sdpm_sim::simulate_runs`].
+    /// The report is bit-identical to [`Session::run`] on the same
+    /// scheme; only [`sdpm_sim::SimReport::sim_path`] differs.
+    #[must_use]
+    pub fn run_compressed(&mut self, scheme: Scheme) -> SimReport {
+        let cfg = self.cfg;
+        let pool = self.pool;
+        let mut report = match scheme {
+            Scheme::Base => {
+                sdpm_sim::simulate_runs(self.base_runs(), &cfg.params, pool, &Policy::Base)
+            }
+            Scheme::Tpm => {
+                sdpm_sim::simulate_runs(self.base_runs(), &cfg.params, pool, &Policy::Tpm(cfg.tpm))
+            }
+            Scheme::ITpm => {
+                sdpm_sim::simulate_runs(self.base_runs(), &cfg.params, pool, &Policy::IdealTpm)
+            }
+            Scheme::Drpm => sdpm_sim::simulate_runs(
+                self.base_runs(),
+                &cfg.params,
+                pool,
+                &Policy::Drpm(cfg.drpm),
+            ),
+            Scheme::IDrpm => {
+                sdpm_sim::simulate_runs(self.base_runs(), &cfg.params, pool, &Policy::IdealDrpm)
+            }
+            Scheme::CmTpm | Scheme::CmDrpm => {
+                let mode = if scheme == Scheme::CmTpm {
+                    CmMode::Tpm
+                } else {
+                    CmMode::Drpm
+                };
+                let policy = Policy::Directive(DirectiveConfig {
+                    overhead_secs: cfg.overhead_secs,
+                });
+                sdpm_sim::simulate_runs(self.instrumented_runs(mode), &cfg.params, pool, &policy)
+            }
+        };
+        report.policy = scheme.label().to_string();
+        report
     }
 
     pub(crate) fn run_full(&mut self, scheme: Scheme, rec: Obs<'_>) -> SchemeArtifacts {
@@ -285,6 +383,41 @@ mod tests {
                 scheme.label()
             );
         }
+    }
+
+    #[test]
+    fn run_compressed_matches_per_event_bitwise_for_all_schemes() {
+        let p = checkpoint_loop(2, 2, 8.0);
+        let cfg = PipelineConfig::default();
+        let mut session = Session::new(&p, &cfg);
+        for scheme in Scheme::all() {
+            let slow = session.run(scheme);
+            let fast = session.run_compressed(scheme);
+            assert_eq!(
+                fast.sim_path,
+                sdpm_sim::SimPath::RunCompressed,
+                "{}: fast path must be tagged",
+                scheme.label()
+            );
+            assert_eq!(slow, fast, "{}: reports differ", scheme.label());
+            assert_eq!(
+                slow.total_energy_j().to_bits(),
+                fast.total_energy_j().to_bits(),
+                "{}: energy drifted",
+                scheme.label()
+            );
+        }
+        assert_eq!(session.run_generations(), 1, "one analytic generation");
+    }
+
+    #[test]
+    fn base_runs_lower_to_the_cached_base_trace() {
+        let p = checkpoint_loop(2, 2, 8.0);
+        let cfg = PipelineConfig::default();
+        let mut session = Session::new(&p, &cfg);
+        let lowered = session.base_runs().lower();
+        let base = session.base_trace();
+        assert_eq!(base.events, lowered.events);
     }
 
     #[test]

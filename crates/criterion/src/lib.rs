@@ -9,8 +9,19 @@
 //! It intentionally skips criterion's statistics, plotting, and baseline
 //! comparison; the printed median is what the repo's performance notes
 //! reference.
+//!
+//! Setting `SDPM_BENCH_SAMPLES=<n>` caps every benchmark at `n` samples
+//! of a single iteration each, overriding declared sample sizes and the
+//! per-sample calibration. CI's smoke job uses this to exercise every
+//! bench body end to end in seconds; the numbers it prints are not
+//! meaningful measurements.
 
 use std::time::Instant;
+
+/// The `SDPM_BENCH_SAMPLES` override, parsed once per call site.
+fn smoke_samples() -> Option<usize> {
+    std::env::var("SDPM_BENCH_SAMPLES").ok()?.parse().ok()
+}
 
 /// Declared throughput of one benchmark, for derived rates.
 #[derive(Debug, Clone, Copy)]
@@ -32,11 +43,16 @@ impl Bencher {
     /// Times `f`, storing the median per-iteration time across samples.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up and iteration-count calibration: target ~40 ms per
-        // sample, at least one iteration.
+        // sample, at least one iteration. Smoke mode skips calibration
+        // and runs each sample once.
         let t0 = Instant::now();
         std::hint::black_box(f());
         let one = t0.elapsed().as_secs_f64().max(1e-9);
-        let iters = ((0.04 / one) as u64).clamp(1, 1_000_000);
+        let iters = if smoke_samples().is_some() {
+            1
+        } else {
+            ((0.04 / one) as u64).clamp(1, 1_000_000)
+        };
         let mut samples = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {
             let t = Instant::now();
@@ -93,7 +109,8 @@ impl Default for Criterion {
 }
 
 impl Criterion {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. The
+    /// `SDPM_BENCH_SAMPLES` smoke override wins when set.
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n.max(1);
@@ -113,7 +130,7 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             median_secs: 0.0,
-            sample_size: self.sample_size,
+            sample_size: smoke_samples().unwrap_or(self.sample_size),
         };
         f(&mut b);
         report(name, b.median_secs, None);
@@ -142,7 +159,7 @@ impl BenchmarkGroup {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             median_secs: 0.0,
-            sample_size: self.sample_size,
+            sample_size: smoke_samples().unwrap_or(self.sample_size),
         };
         f(&mut b);
         report(

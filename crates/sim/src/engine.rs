@@ -8,14 +8,14 @@
 //! so the energy integral is exact without a global event queue.
 
 use crate::policy::{DrpmConfig, Policy, ScheduledAction};
-use crate::report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimReport};
+use crate::report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimPath, SimReport};
 use crate::shard::DiskOp;
 use sdpm_disk::{
     service_time_secs, tpm_break_even_secs, DiskParams, DiskPowerState, EnergyBreakdown,
     PowerError, PowerStateMachine, RpmLadder, RpmLevel, ServiceRequest,
 };
 use sdpm_layout::{DiskId, DiskPool};
-use sdpm_trace::{AppEvent, EventStream, IoRequest, PowerAction, Trace};
+use sdpm_trace::{AppEvent, EventStream, IoRequest, PowerAction, REvent, Run, RunStream, Trace};
 
 #[cfg(feature = "obs")]
 use sdpm_obs::{Event as ObsEvent, Recorder};
@@ -196,6 +196,24 @@ impl DiskRt {
     }
 }
 
+/// Mid-run engine state: the per-disk runtimes plus the global clock and
+/// report accumulators. One instance lives for one simulated run; the
+/// per-event and run-compressed loops mutate it through the same
+/// handlers, which is what keeps the two paths bit-identical.
+struct ExecState {
+    disks: Vec<DiskRt>,
+    /// Application clock, seconds.
+    t: f64,
+    /// Seconds stalled beyond full-speed service.
+    stall: f64,
+    /// Sum of per-request slowdowns (over requests with non-zero
+    /// full-speed service time).
+    slow_sum: f64,
+    /// Count behind `slow_sum`.
+    nreq: u64,
+    misfires: MisfireCauses,
+}
+
 /// Closed-loop trace player. Construct with a policy, [`Engine::run`] a
 /// trace.
 pub struct Engine {
@@ -290,8 +308,61 @@ impl Engine {
             stream.pool_size(),
             self.pool.count()
         );
+        let mut st = self.init_state(rec, resolve);
+        while let Some(chunk) = stream.next_chunk() {
+            for event in chunk {
+                self.handle_event(&mut st, event, rec);
+            }
+        }
+        self.finish(st, rec, resolve)
+    }
+
+    /// The run-compressed engine loop: plain records go through the
+    /// ordinary per-event handler; a [`Run`] record goes through
+    /// [`Engine::handle_run`], which services steady repetitions without
+    /// policy dispatch or state-machine branching and expands to the
+    /// per-event handler exactly where a policy boundary (TPM threshold,
+    /// DRPM drift window, scheduled action) lands inside the run. The
+    /// report is bit-identical to [`Engine::run_core`] on the lowered
+    /// stream (only [`SimReport::sim_path`] differs).
+    pub(crate) fn run_core_runs(
+        &self,
+        stream: &mut dyn RunStream,
+        rec: Obs<'_>,
+        resolve: bool,
+    ) -> (SimReport, Vec<Vec<DiskOp>>) {
+        assert_eq!(
+            stream.pool_size(),
+            self.pool.count(),
+            "stream generated for a {}-disk pool, simulating {}",
+            stream.pool_size(),
+            self.pool.count()
+        );
+        let mut st = self.init_state(rec, resolve);
+        while let Some(chunk) = stream.next_chunk() {
+            for record in chunk {
+                match record {
+                    REvent::Event(event) => self.handle_event(&mut st, event, rec),
+                    REvent::Run(run) => self.handle_run(&mut st, run, rec),
+                }
+            }
+        }
+        let (mut report, ops) = self.finish(st, rec, resolve);
+        report.sim_path = SimPath::RunCompressed;
+        (report, ops)
+    }
+
+    /// Plays a run-compressed stream to completion and reports.
+    #[must_use]
+    pub fn run_runs(&self, stream: &mut dyn RunStream) -> SimReport {
+        self.run_core_runs(stream, None, false).0
+    }
+
+    /// Per-disk runtimes and global accumulators, positioned at run
+    /// start.
+    fn init_state(&self, rec: Obs<'_>, resolve: bool) -> ExecState {
         let max = self.ladder.max_level();
-        let mut disks: Vec<DiskRt> = (0..self.pool.count())
+        let disks: Vec<DiskRt> = (0..self.pool.count())
             .map(|d| DiskRt {
                 id: DiskId(d),
                 machine: if resolve {
@@ -332,120 +403,275 @@ impl Engine {
                 }
             );
         }
+        #[cfg(not(feature = "obs"))]
+        let _ = rec;
 
-        let mut t = 0.0f64;
-        let mut stall = 0.0f64;
-        let mut slow_sum = 0.0f64;
-        let mut nreq = 0u64;
-        let mut misfires = MisfireCauses::default();
+        ExecState {
+            disks,
+            t: 0.0,
+            stall: 0.0,
+            slow_sum: 0.0,
+            nreq: 0,
+            misfires: MisfireCauses::default(),
+        }
+    }
 
-        while let Some(chunk) = stream.next_chunk() {
-            for event in chunk {
-                match event {
-                    AppEvent::Compute { secs, .. } => t += secs,
-                    AppEvent::Power { disk, action } => {
-                        if let Policy::Directive(cfg) = &self.policy {
-                            let rt = &mut disks[disk.0 as usize];
-                            self.catch_up(rt, t, &mut misfires, rec);
-                            obs_emit!(
-                                rec,
-                                ObsEvent::DirectiveIssued {
-                                    t,
-                                    disk: rt.id,
-                                    action: action_label(*action),
-                                    level: action_level(*action),
-                                }
-                            );
-                            if let Err(cause) = self.apply_action(rt, t, *action, rec) {
-                                misfires.count(cause);
-                                obs_emit!(
-                                    rec,
-                                    ObsEvent::DirectiveMisfire {
-                                        t,
-                                        disk: rt.id,
-                                        cause: cause.label(),
-                                    }
-                                );
-                            }
-                            t += cfg.overhead_secs;
+    /// Dispatches one application event against the running state. Both
+    /// engine loops funnel through here; the run-compressed fast path in
+    /// [`Engine::handle_run`] must produce bit-identical state updates.
+    fn handle_event(&self, st: &mut ExecState, event: &AppEvent, rec: Obs<'_>) {
+        let max = self.ladder.max_level();
+        let ExecState {
+            disks,
+            t,
+            stall,
+            slow_sum,
+            nreq,
+            misfires,
+        } = st;
+        match event {
+            AppEvent::Compute { secs, .. } => *t += secs,
+            AppEvent::Power { disk, action } => {
+                if let Policy::Directive(cfg) = &self.policy {
+                    let rt = &mut disks[disk.0 as usize];
+                    self.catch_up(rt, *t, misfires, rec);
+                    obs_emit!(
+                        rec,
+                        ObsEvent::DirectiveIssued {
+                            t: *t,
+                            disk: rt.id,
+                            action: action_label(*action),
+                            level: action_level(*action),
                         }
-                    }
-                    AppEvent::Io(req) => {
-                        let rt = &mut disks[req.disk.0 as usize];
-                        self.catch_up(rt, t, &mut misfires, rec);
+                    );
+                    if let Err(cause) = self.apply_action(rt, *t, *action, rec) {
+                        misfires.count(cause);
                         obs_emit!(
                             rec,
-                            ObsEvent::RequestArrived {
-                                t,
+                            ObsEvent::DirectiveMisfire {
+                                t: *t,
                                 disk: rt.id,
-                                bytes: req.size_bytes,
-                                write: matches!(req.kind, sdpm_trace::ReqKind::Write),
+                                cause: cause.label(),
                             }
                         );
-                        // The request's arrival closes the disk's idle gap.
-                        if t > rt.idle_since {
-                            obs_emit!(
-                                rec,
-                                ObsEvent::GapClose {
-                                    t,
-                                    disk: rt.id,
-                                    opened: rt.idle_since,
-                                    level: rt.min_level,
-                                    standby: rt.hit_standby,
-                                }
-                            );
-                            rt.gaps.push(GapRecord {
-                                start: rt.idle_since,
-                                end: t,
-                                level: rt.min_level,
-                                standby: rt.hit_standby,
-                            });
-                        }
-                        let completion = self.service(rt, t, req, rec);
-                        rt.requests += 1;
-                        let full = service_time_secs(
-                            &self.params,
-                            &self.ladder,
-                            max,
-                            ServiceRequest {
-                                size_bytes: req.size_bytes,
-                                sequential: req.sequential,
-                            },
-                        );
-                        let response = completion - t;
-                        let slowdown = if full > 0.0 { response / full } else { 1.0 };
-                        stall += response - full;
-                        obs_emit!(
-                            rec,
-                            ObsEvent::StallAccrued {
-                                t: completion,
-                                disk: rt.id,
-                                secs: response - full,
-                                slowdown,
-                            }
-                        );
-                        if full > 0.0 {
-                            slow_sum += slowdown;
-                            nreq += 1;
-                        }
-                        t = completion;
-                        // Open the next gap.
-                        rt.idle_since = t;
-                        rt.min_level = rt.cur_level;
-                        rt.hit_standby = false;
-                        rt.drift_mark = t;
-                        obs_emit!(rec, ObsEvent::GapOpen { t, disk: rt.id });
-                        // Reactive DRPM response-window controller.
-                        if let Policy::Drpm(cfg) = &self.policy {
-                            Self::drpm_window_update(rt, cfg, slowdown, t, max, rec);
-                        }
                     }
+                    *t += cfg.overhead_secs;
+                }
+            }
+            AppEvent::Io(req) => {
+                let rt = &mut disks[req.disk.0 as usize];
+                self.catch_up(rt, *t, misfires, rec);
+                obs_emit!(
+                    rec,
+                    ObsEvent::RequestArrived {
+                        t: *t,
+                        disk: rt.id,
+                        bytes: req.size_bytes,
+                        write: matches!(req.kind, sdpm_trace::ReqKind::Write),
+                    }
+                );
+                // The request's arrival closes the disk's idle gap.
+                if *t > rt.idle_since {
+                    obs_emit!(
+                        rec,
+                        ObsEvent::GapClose {
+                            t: *t,
+                            disk: rt.id,
+                            opened: rt.idle_since,
+                            level: rt.min_level,
+                            standby: rt.hit_standby,
+                        }
+                    );
+                    rt.gaps.push(GapRecord {
+                        start: rt.idle_since,
+                        end: *t,
+                        level: rt.min_level,
+                        standby: rt.hit_standby,
+                    });
+                }
+                let completion = self.service(rt, *t, req, rec);
+                rt.requests += 1;
+                let full = service_time_secs(
+                    &self.params,
+                    &self.ladder,
+                    max,
+                    ServiceRequest {
+                        size_bytes: req.size_bytes,
+                        sequential: req.sequential,
+                    },
+                );
+                let response = completion - *t;
+                let slowdown = if full > 0.0 { response / full } else { 1.0 };
+                *stall += response - full;
+                obs_emit!(
+                    rec,
+                    ObsEvent::StallAccrued {
+                        t: completion,
+                        disk: rt.id,
+                        secs: response - full,
+                        slowdown,
+                    }
+                );
+                if full > 0.0 {
+                    *slow_sum += slowdown;
+                    *nreq += 1;
+                }
+                *t = completion;
+                // Open the next gap.
+                rt.idle_since = *t;
+                rt.min_level = rt.cur_level;
+                rt.hit_standby = false;
+                rt.drift_mark = *t;
+                obs_emit!(rec, ObsEvent::GapOpen { t: *t, disk: rt.id });
+                // Reactive DRPM response-window controller.
+                if let Policy::Drpm(cfg) = &self.policy {
+                    Self::drpm_window_update(rt, cfg, slowdown, *t, max, rec);
                 }
             }
         }
+    }
 
-        // Finalize: bring every disk to the end of execution, closing its
-        // final gap.
+    /// True when the disk can take the next request of a run on the
+    /// steady fast path: it is spinning idle (no transition in flight)
+    /// and, critically, [`Engine::catch_up`] at time `t` would be a
+    /// no-op — every guard here is the same predicate `catch_up`
+    /// evaluates, so skipping the call cannot change the trajectory.
+    fn steady_ok(&self, rt: &DiskRt, t: f64) -> bool {
+        if !matches!(rt.machine.state(), DiskPowerState::Idle { .. }) {
+            return false;
+        }
+        match &self.policy {
+            Policy::Base | Policy::Directive(_) => true,
+            Policy::Tpm(_) => rt.idle_since + self.tpm_threshold > t,
+            Policy::Drpm(cfg) => {
+                rt.drift_hold
+                    || rt.cur_level == RpmLevel::MIN
+                    || rt.drift_mark + cfg.idle_drift_secs > t
+            }
+            Policy::Schedule(_) => rt.sched_idx >= rt.sched.len() || rt.sched[rt.sched_idx].at > t,
+            Policy::IdealTpm | Policy::IdealDrpm => {
+                unreachable!("ideal policies are lowered before Engine::new")
+            }
+        }
+    }
+
+    /// Services one [`Run`] record. Each repetition is a compute span
+    /// followed by the run's request templates; while a repetition stays
+    /// inside one power-state segment (checked by [`Engine::steady_ok`])
+    /// the request is serviced inline with the policy bookkeeping
+    /// statically resolved — same machine calls, same float operations,
+    /// in the same order as [`Engine::handle_event`], so the state after
+    /// the run is bitwise identical. The moment a policy boundary (TPM
+    /// threshold, DRPM drift window, scheduled action) lands inside the
+    /// repetition, that position expands to the exact per-event handler.
+    /// With a recorder attached every position expands, so observers see
+    /// the full per-event stream.
+    fn handle_run(&self, st: &mut ExecState, run: &Run, rec: Obs<'_>) {
+        #[cfg(feature = "obs")]
+        if rec.is_some() {
+            for rep in 0..run.count {
+                for sub in 0..run.events_per_rep() {
+                    self.handle_event(st, &run.event_at(rep, sub), rec);
+                }
+            }
+            return;
+        }
+        let max = self.ladder.max_level();
+        // Full-speed service time is a function of the template only —
+        // hoist it out of the repetition loop.
+        let fulls: Vec<f64> = run
+            .reqs
+            .iter()
+            .map(|tpl| {
+                service_time_secs(
+                    &self.params,
+                    &self.ladder,
+                    max,
+                    ServiceRequest {
+                        size_bytes: tpl.io.size_bytes,
+                        sequential: tpl.io.sequential,
+                    },
+                )
+            })
+            .collect();
+        let q = run.reqs_per_rep() as usize;
+        for rep in 0..run.count {
+            // The per-event Compute arm is exactly `t += secs`, and every
+            // repetition carries the same bitwise `secs_per_rep`.
+            st.t += run.secs_per_rep;
+            // Repetition `rep` issues template group `rep % rotation`;
+            // each template's disk is fixed, so the hot path still does
+            // no per-request disk arithmetic.
+            let base = (rep % run.rotation) as usize * q;
+            for (j, tpl) in run.reqs[base..base + q].iter().enumerate() {
+                let rt = &mut st.disks[tpl.io.disk.0 as usize];
+                if !self.steady_ok(rt, st.t) {
+                    self.handle_event(st, &run.event_at(rep, (1 + j) as u64), rec);
+                    continue;
+                }
+                // Steady fast path: catch_up is a proven no-op, obs is
+                // off, and the request kind/blocks don't affect service —
+                // only disk, size, and sequentiality do. The machine-call
+                // sequence below is identical to the generic Io arm, so
+                // resolve-mode op logs (and thus the sharded replay)
+                // match too.
+                if st.t > rt.idle_since {
+                    rt.gaps.push(GapRecord {
+                        start: rt.idle_since,
+                        end: st.t,
+                        level: rt.min_level,
+                        standby: rt.hit_standby,
+                    });
+                }
+                rt.advance(st.t.max(rt.machine.now()))
+                    .expect("advance to arrival");
+                let start = st.t.max(rt.machine.now());
+                let start = start.max(rt.machine.now());
+                let level = rt.begin_service(start).expect("begin service");
+                rt.cur_level = level;
+                let svc = service_time_secs(
+                    &self.params,
+                    &self.ladder,
+                    level,
+                    ServiceRequest {
+                        size_bytes: tpl.io.size_bytes,
+                        sequential: tpl.io.sequential,
+                    },
+                );
+                let completion = start + svc;
+                rt.end_service(completion).expect("end service");
+                rt.requests += 1;
+                let full = fulls[base + j];
+                let response = completion - st.t;
+                let slowdown = if full > 0.0 { response / full } else { 1.0 };
+                st.stall += response - full;
+                if full > 0.0 {
+                    st.slow_sum += slowdown;
+                    st.nreq += 1;
+                }
+                st.t = completion;
+                rt.idle_since = st.t;
+                rt.min_level = rt.cur_level;
+                rt.hit_standby = false;
+                rt.drift_mark = st.t;
+                if let Policy::Drpm(cfg) = &self.policy {
+                    Self::drpm_window_update(rt, cfg, slowdown, st.t, max, rec);
+                }
+            }
+        }
+    }
+
+    /// Finalize: bring every disk to the end of execution, closing its
+    /// final gap, and fold the per-disk ledgers into the report.
+    fn finish(&self, st: ExecState, rec: Obs<'_>, resolve: bool) -> (SimReport, Vec<Vec<DiskOp>>) {
+        let ExecState {
+            mut disks,
+            t,
+            stall,
+            slow_sum,
+            nreq,
+            mut misfires,
+        } = st;
         let exec_secs = t;
         for rt in &mut disks {
             self.catch_up(rt, exec_secs, &mut misfires, rec);
@@ -514,6 +740,7 @@ impl Engine {
                 slow_sum / nreq as f64
             },
             misfire_causes: misfires,
+            sim_path: SimPath::Streamed,
         };
         (report, ops)
     }

@@ -61,11 +61,19 @@ pub mod shard;
 pub use engine::Engine;
 pub use openloop::{replay_open_loop, replay_open_loop_demuxed, OpenDiskReport, OpenLoopReport};
 pub use policy::{DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
-pub use report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimReport};
+pub use report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimPath, SimReport};
 
 use sdpm_disk::DiskParams;
 use sdpm_layout::DiskPool;
-use sdpm_trace::{EventSource, EventStream, Trace};
+use sdpm_trace::{EventSource, EventStream, RunSource, RunStream, Trace};
+
+/// Below this many *events per disk* the sharded mode's fixed costs
+/// (op-log allocation during resolve, thread spawn and replay during the
+/// energy pass) outweigh what parallel energy integration saves, so
+/// [`simulate_sharded`] falls back to the sequential streamed loop when
+/// the source can bound its length up front. The report's
+/// [`SimReport::sim_path`] records which path actually ran.
+pub const SHARD_MIN_EVENTS_PER_DISK: u64 = 4096;
 
 /// Simulates `trace` on `pool.count()` disks of model `params` under
 /// `policy`.
@@ -110,6 +118,12 @@ pub fn simulate_source(
 /// sharded across threads ([`Engine::run_sharded`]). Bit-identical to
 /// [`simulate_source`] on the same source.
 ///
+/// Small workloads don't amortize the sharded mode's fixed costs: when
+/// the source knows its length ([`EventSource::size_hint`]) and it is
+/// below [`SHARD_MIN_EVENTS_PER_DISK`] events per disk, this routes to
+/// the sequential streamed loop instead — same numbers, and the report's
+/// [`SimReport::sim_path`] says which path ran.
+///
 /// # Panics
 /// Same conditions as [`simulate_source`].
 #[must_use]
@@ -119,9 +133,63 @@ pub fn simulate_sharded(
     pool: DiskPool,
     policy: &Policy,
 ) -> SimReport {
+    if let Some(n) = source.size_hint() {
+        if n < u64::from(pool.count()) * SHARD_MIN_EVENTS_PER_DISK {
+            return simulate_source(source, params, pool, policy);
+        }
+    }
     run_sim(source, params, pool, policy, |engine, stream| {
         engine.run_sharded(stream)
     })
+}
+
+/// Simulates a run-compressed source — a materialized
+/// [`sdpm_trace::RunTrace`], the analytic generator
+/// ([`sdpm_trace::RunGenSource`]), or any other re-openable run stream —
+/// through the O(#runs) engine loop ([`Engine::run_runs`]). The report
+/// is bit-identical to [`simulate_source`] on the lowered per-event
+/// equivalent; only the [`SimReport::sim_path`] metadata differs. Oracle
+/// policies run their internal Base pass over the same run-compressed
+/// records.
+///
+/// # Panics
+/// If `params` fails validation or the stream's pool size does not match
+/// `pool`.
+#[must_use]
+pub fn simulate_runs(
+    source: &dyn RunSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> SimReport {
+    params
+        .validate()
+        .expect("simulate requires valid DiskParams");
+    let run = |engine: &Engine, stream: &mut dyn RunStream| engine.run_runs(stream);
+    match policy {
+        Policy::IdealTpm => {
+            let base =
+                Engine::new(params.clone(), pool, Policy::Base).run_runs(&mut *source.open_runs());
+            let sched = oracle::ideal_tpm_schedule(&base, params);
+            run(
+                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
+                &mut *source.open_runs(),
+            )
+        }
+        Policy::IdealDrpm => {
+            let base =
+                Engine::new(params.clone(), pool, Policy::Base).run_runs(&mut *source.open_runs());
+            let sched = oracle::ideal_drpm_schedule(&base, params);
+            run(
+                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
+                &mut *source.open_runs(),
+            )
+        }
+        p => run(
+            &Engine::new(params.clone(), pool, p.clone()),
+            &mut *source.open_runs(),
+        ),
+    }
 }
 
 /// Like [`simulate`], but streams the run's event sequence into `rec`.

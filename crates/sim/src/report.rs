@@ -123,8 +123,36 @@ pub struct PerDiskReport {
     pub gaps: Vec<GapRecord>,
 }
 
+/// Which engine path produced a report. Metadata only: every path is
+/// bit-identical in results, so [`SimReport`]'s equality ignores this
+/// field — it records *how* the numbers were computed, not *what* they
+/// are.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimPath {
+    /// Sequential per-event streamed loop ([`crate::Engine::run_stream`]).
+    #[default]
+    Streamed,
+    /// Resolve + parallel per-disk energy replay
+    /// ([`crate::Engine::run_sharded`]).
+    Sharded,
+    /// Run-compressed loop ([`crate::Engine::run_runs`]).
+    RunCompressed,
+}
+
+impl SimPath {
+    /// Stable snake_case label (used in bench report metadata).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SimPath::Streamed => "streamed",
+            SimPath::Sharded => "sharded",
+            SimPath::RunCompressed => "run_compressed",
+        }
+    }
+}
+
 /// Whole-run outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimReport {
     /// Scheme label the run used.
     pub policy: String,
@@ -146,6 +174,25 @@ pub struct SimReport {
     /// cause; the engine resolves them gracefully but they indicate
     /// estimation error.
     pub misfire_causes: MisfireCauses,
+    /// Engine path that produced the report (metadata; excluded from
+    /// equality because every path is bit-identical in results).
+    pub sim_path: SimPath,
+}
+
+/// Equality over *results*: every field except [`SimReport::sim_path`],
+/// which records provenance, not outcome — the bit-exactness suites
+/// compare reports across paths.
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.exec_secs == other.exec_secs
+            && self.energy == other.energy
+            && self.per_disk == other.per_disk
+            && self.requests == other.requests
+            && self.stall_secs == other.stall_secs
+            && self.mean_slowdown == other.mean_slowdown
+            && self.misfire_causes == other.misfire_causes
+    }
 }
 
 impl SimReport {
@@ -228,7 +275,19 @@ mod tests {
             stall_secs: 0.0,
             mean_slowdown: 1.0,
             misfire_causes: MisfireCauses::default(),
+            sim_path: SimPath::default(),
         }
+    }
+
+    #[test]
+    fn equality_ignores_the_sim_path_metadata() {
+        let a = empty_report("Base");
+        let mut b = empty_report("Base");
+        b.sim_path = SimPath::RunCompressed;
+        assert_eq!(a, b, "sim_path is provenance, not outcome");
+        let mut c = empty_report("Base");
+        c.exec_secs += 1.0;
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! merged [`SimReport`] is bit-identical to [`Engine::run_stream`]'s.
 
 use crate::engine::Engine;
-use crate::report::SimReport;
+use crate::report::{SimPath, SimReport};
 use sdpm_disk::{DiskParams, EnergyBreakdown, PowerStateMachine, RpmLevel};
 use sdpm_trace::EventStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -133,6 +133,7 @@ impl Engine {
             .per_disk
             .iter()
             .fold(EnergyBreakdown::default(), |acc, d| acc.merged(&d.energy));
+        report.sim_path = SimPath::Sharded;
         report
     }
 }

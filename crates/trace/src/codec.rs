@@ -15,8 +15,23 @@
 //!   2 = Power:   disk u32 | action u8 | level u8
 //!                action 0 = SpinDown, 1 = SpinUp, 2 = SetRpm(level)
 //! ```
+//!
+//! Version 2 stores run-compressed records ([`crate::run::REvent`]); the
+//! `count` field then counts *records*, and a fourth tag appears:
+//!
+//! ```text
+//!   3 = Run:  count u64 | nest u32 | first_iter u64 | iters_per_rep u64
+//!             | secs f64 | rotation u32 | nreqs u32
+//!             | nreqs × (disk u32 | block u64 | stride u64 | size u64
+//!                        | flags u8 | nest u32 | iter u64)
+//! ```
+//!
+//! [`DecodeStream`] accepts both versions and always yields per-event
+//! output (runs are lowered incrementally), so legacy consumers read v2
+//! files unchanged; [`DecodeRunStream`] preserves the run structure.
 
 use crate::event::{AppEvent, IoRequest, PowerAction, ReqKind};
+use crate::run::{IoTemplate, REvent, Run, RunStream, RunTrace};
 use crate::stream::{EventStream, DEFAULT_CHUNK_EVENTS};
 use crate::trace::Trace;
 use sdpm_disk::RpmLevel;
@@ -24,6 +39,7 @@ use sdpm_layout::DiskId;
 
 const MAGIC: &[u8; 4] = b"SDPM";
 const VERSION: u16 = 1;
+const VERSION_RUNS: u16 = 2;
 
 /// Encoding/decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +52,9 @@ pub enum CodecError {
     BadTag(u8),
     /// The name field is not valid UTF-8.
     BadName,
+    /// A run record fails [`Run::validate`] (its lowering would be
+    /// degenerate or overflow).
+    BadRun(String),
 }
 
 impl std::fmt::Display for CodecError {
@@ -45,6 +64,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated trace"),
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
             CodecError::BadName => write!(f, "trace name is not UTF-8"),
+            CodecError::BadRun(why) => write!(f, "invalid run record: {why}"),
         }
     }
 }
@@ -211,9 +231,56 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Serializes one run record (tag 3).
+fn write_run(buf: &mut Vec<u8>, run: &Run) {
+    buf.push(3);
+    buf.extend_from_slice(&run.count.to_le_bytes());
+    buf.extend_from_slice(&(run.nest as u32).to_le_bytes());
+    buf.extend_from_slice(&run.first_iter.to_le_bytes());
+    buf.extend_from_slice(&run.iters_per_rep.to_le_bytes());
+    buf.extend_from_slice(&run.secs_per_rep.to_le_bytes());
+    buf.extend_from_slice(
+        &u32::try_from(run.rotation)
+            .expect("rotation fits u32")
+            .to_le_bytes(),
+    );
+    buf.extend_from_slice(&(run.reqs.len() as u32).to_le_bytes());
+    for t in &run.reqs {
+        buf.extend_from_slice(&t.io.disk.0.to_le_bytes());
+        buf.extend_from_slice(&t.io.start_block.to_le_bytes());
+        buf.extend_from_slice(&t.block_stride.to_le_bytes());
+        buf.extend_from_slice(&t.io.size_bytes.to_le_bytes());
+        let mut flags = 0u8;
+        if t.io.kind == ReqKind::Write {
+            flags |= 1;
+        }
+        if t.io.sequential {
+            flags |= 2;
+        }
+        buf.push(flags);
+        buf.extend_from_slice(&(t.io.nest as u32).to_le_bytes());
+        buf.extend_from_slice(&t.io.iter.to_le_bytes());
+    }
+}
+
+/// Serializes one run-compressed record.
+fn write_revent(buf: &mut Vec<u8>, re: &REvent) {
+    match re {
+        REvent::Event(e) => write_event(buf, e),
+        REvent::Run(r) => write_run(buf, r),
+    }
+}
+
 /// Deserializes one event record.
 fn read_event(r: &mut Reader<'_>) -> Result<AppEvent, CodecError> {
-    match r.get_u8()? {
+    let tag = r.get_u8()?;
+    read_event_body(tag, r)
+}
+
+/// Deserializes the body of an event record whose tag byte has already
+/// been consumed.
+fn read_event_body(tag: u8, r: &mut Reader<'_>) -> Result<AppEvent, CodecError> {
+    match tag {
         0 => Ok(AppEvent::Compute {
             nest: r.get_u32_le()? as usize,
             first_iter: r.get_u64_le()?,
@@ -257,9 +324,94 @@ fn read_event(r: &mut Reader<'_>) -> Result<AppEvent, CodecError> {
     }
 }
 
+/// Deserializes the body of a run record (tag 3 already consumed) and
+/// validates it, so a decoded run can never wrap in [`Run::event_at`].
+fn read_run_body(r: &mut Reader<'_>) -> Result<Run, CodecError> {
+    let count = r.get_u64_le()?;
+    let nest = r.get_u32_le()? as usize;
+    let first_iter = r.get_u64_le()?;
+    let iters_per_rep = r.get_u64_le()?;
+    let secs_per_rep = r.get_f64_le()?;
+    let rotation = u64::from(r.get_u32_le()?);
+    let nreqs = r.get_u32_le()? as usize;
+    let mut reqs = Vec::with_capacity(nreqs.min(r.buf.len() / 37 + 1));
+    for _ in 0..nreqs {
+        let disk = DiskId(r.get_u32_le()?);
+        let start_block = r.get_u64_le()?;
+        let block_stride = r.get_u64_le()?;
+        let size_bytes = r.get_u64_le()?;
+        let flags = r.get_u8()?;
+        let req_nest = r.get_u32_le()? as usize;
+        let iter = r.get_u64_le()?;
+        reqs.push(IoTemplate {
+            io: IoRequest {
+                disk,
+                start_block,
+                size_bytes,
+                kind: if flags & 1 != 0 {
+                    ReqKind::Write
+                } else {
+                    ReqKind::Read
+                },
+                sequential: flags & 2 != 0,
+                nest: req_nest,
+                iter,
+            },
+            block_stride,
+        });
+    }
+    let run = Run {
+        count,
+        nest,
+        first_iter,
+        iters_per_rep,
+        secs_per_rep,
+        rotation,
+        reqs,
+    };
+    run.validate().map_err(CodecError::BadRun)?;
+    Ok(run)
+}
+
+/// Deserializes one run-compressed record.
+fn read_revent(r: &mut Reader<'_>) -> Result<REvent, CodecError> {
+    let tag = r.get_u8()?;
+    if tag == 3 {
+        Ok(REvent::Run(read_run_body(r)?))
+    } else {
+        Ok(REvent::Event(read_event_body(tag, r)?))
+    }
+}
+
+/// Parses the common header; returns the reader positioned at the first
+/// record plus `(version, pool_size, name, count)`.
+fn read_header<'a>(
+    buf: &'a [u8],
+    accept: &[u16],
+) -> Result<(Reader<'a>, u16, u32, String, u64), CodecError> {
+    let mut r = Reader { buf };
+    if r.take(4)? != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    let version = r.get_u16_le()?;
+    if !accept.contains(&version) {
+        return Err(CodecError::BadHeader);
+    }
+    let pool_size = r.get_u32_le()?;
+    let name_len = r.get_u16_le()? as usize;
+    let name = String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| CodecError::BadName)?;
+    let count = r.get_u64_le()?;
+    Ok((r, version, pool_size, name, count))
+}
+
 /// Incremental decoder over an encoded byte buffer: the header is parsed
 /// up front, events are decoded one chunk at a time, so only one chunk
 /// of events is resident regardless of trace length.
+///
+/// Accepts both format versions and always yields *per-event* output: a
+/// v2 run record is lowered incrementally (a long run spans as many
+/// chunks as needed), so every legacy consumer reads run-compressed
+/// files unchanged.
 ///
 /// Corruption surfaces from [`DecodeStream::try_next_chunk`] as a
 /// [`CodecError`]; the infallible [`EventStream`] view panics instead,
@@ -267,9 +419,12 @@ fn read_event(r: &mut Reader<'_>) -> Result<AppEvent, CodecError> {
 /// through the fallible method.
 pub struct DecodeStream<'a> {
     r: Reader<'a>,
+    version: u16,
     name: String,
     pool_size: u32,
     remaining: u64,
+    /// A v2 run mid-lowering: the run plus the next `(rep, sub)` to emit.
+    pending: Option<(Run, u64, u64)>,
     buf: Vec<AppEvent>,
     chunk: usize,
 }
@@ -287,48 +442,85 @@ impl<'a> DecodeStream<'a> {
     /// If `chunk` is zero.
     pub fn chunked(buf: &'a [u8], chunk: usize) -> Result<Self, CodecError> {
         assert!(chunk > 0, "chunk size must be positive");
-        let mut r = Reader { buf };
-        if r.take(4)? != MAGIC {
-            return Err(CodecError::BadHeader);
-        }
-        if r.get_u16_le()? != VERSION {
-            return Err(CodecError::BadHeader);
-        }
-        let pool_size = r.get_u32_le()?;
-        let name_len = r.get_u16_le()? as usize;
-        let name =
-            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| CodecError::BadName)?;
-        let remaining = r.get_u64_le()?;
+        let (r, version, pool_size, name, remaining) = read_header(buf, &[VERSION, VERSION_RUNS])?;
         Ok(DecodeStream {
             r,
+            version,
             name,
             pool_size,
             remaining,
+            pending: None,
             buf: Vec::new(),
             chunk,
         })
     }
 
-    /// Events not yet decoded (per the header's count).
+    /// Records not yet decoded (per the header's count). In a v1 file
+    /// records are events; in a v2 file a record may lower to many
+    /// events.
     #[must_use]
     pub fn remaining(&self) -> u64 {
         self.remaining
     }
 
     /// Decodes the next chunk, or returns `Ok(None)` when the header's
-    /// event count has been fully delivered.
+    /// record count has been fully delivered.
     pub fn try_next_chunk(&mut self) -> Result<Option<&[AppEvent]>, CodecError> {
-        if self.remaining == 0 {
-            return Ok(None);
-        }
-        let n = (self.remaining as usize).min(self.chunk);
         self.buf.clear();
-        self.buf.reserve(n);
-        for _ in 0..n {
-            self.buf.push(read_event(&mut self.r)?);
+        if self.version == VERSION {
+            if self.remaining == 0 {
+                return Ok(None);
+            }
+            let n = (self.remaining as usize).min(self.chunk);
+            self.buf.reserve(n);
+            for _ in 0..n {
+                self.buf.push(read_event(&mut self.r)?);
+            }
+            self.remaining -= n as u64;
+            return Ok(Some(&self.buf));
         }
-        self.remaining -= n as u64;
-        Ok(Some(&self.buf))
+        let DecodeStream {
+            r,
+            remaining,
+            pending,
+            buf,
+            chunk,
+            ..
+        } = self;
+        while buf.len() < *chunk {
+            if let Some((run, rep, sub)) = pending {
+                let per = run.events_per_rep();
+                while *rep < run.count && buf.len() < *chunk {
+                    while *sub < per && buf.len() < *chunk {
+                        buf.push(run.event_at(*rep, *sub));
+                        *sub += 1;
+                    }
+                    if *sub == per {
+                        *sub = 0;
+                        *rep += 1;
+                    }
+                }
+                if *rep == run.count {
+                    *pending = None;
+                } else {
+                    break; // chunk full mid-run
+                }
+                continue;
+            }
+            if *remaining == 0 {
+                break;
+            }
+            *remaining -= 1;
+            match read_revent(r)? {
+                REvent::Event(e) => buf.push(e),
+                REvent::Run(run) => *pending = Some((run, 0, 0)),
+            }
+        }
+        if buf.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(buf))
+        }
     }
 }
 
@@ -363,6 +555,182 @@ pub fn decode(buf: &[u8]) -> Result<Trace, CodecError> {
         events.extend_from_slice(chunk);
     }
     Ok(Trace {
+        name: s.name,
+        pool_size: s.pool_size,
+        events,
+    })
+}
+
+/// Incremental run-compressed encoder (format version 2); the `count`
+/// field counts records, backpatched by [`RunStreamEncoder::finish`].
+pub struct RunStreamEncoder {
+    buf: Vec<u8>,
+    count_pos: usize,
+    count: u64,
+}
+
+impl RunStreamEncoder {
+    /// Starts a v2 encoding for a trace named `name` over `pool_size`
+    /// disks.
+    #[must_use]
+    pub fn new(name: &str, pool_size: u32) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION_RUNS.to_le_bytes());
+        buf.extend_from_slice(&pool_size.to_le_bytes());
+        let name = name.as_bytes();
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name);
+        let count_pos = buf.len();
+        buf.extend_from_slice(&0u64.to_le_bytes()); // backpatched by finish
+        RunStreamEncoder {
+            buf,
+            count_pos,
+            count: 0,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, re: &REvent) {
+        write_revent(&mut self.buf, re);
+        self.count += 1;
+    }
+
+    /// Appends a chunk of records.
+    pub fn extend(&mut self, records: &[REvent]) {
+        for re in records {
+            self.push(re);
+        }
+    }
+
+    /// Records encoded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Finishes the encoding: backpatches the record count and returns
+    /// the complete byte stream.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[self.count_pos..self.count_pos + 8].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Serializes a run-compressed trace into the v2 binary format.
+#[must_use]
+pub fn encode_runs(trace: &RunTrace) -> Vec<u8> {
+    let mut enc = RunStreamEncoder::new(&trace.name, trace.pool_size);
+    enc.extend(&trace.events);
+    enc.finish()
+}
+
+/// Drains a run stream through a [`RunStreamEncoder`]; byte-identical to
+/// `encode_runs(&collect_runs(stream))` without materializing the trace.
+#[must_use]
+pub fn encode_run_stream(stream: &mut dyn RunStream) -> Vec<u8> {
+    let mut enc = RunStreamEncoder::new(stream.name(), stream.pool_size());
+    while let Some(chunk) = stream.next_chunk() {
+        enc.extend(chunk);
+    }
+    enc.finish()
+}
+
+/// Incremental run-preserving decoder: like [`DecodeStream`] but yields
+/// the run-compressed records themselves. A v1 file decodes as all-plain
+/// records.
+pub struct DecodeRunStream<'a> {
+    r: Reader<'a>,
+    version: u16,
+    name: String,
+    pool_size: u32,
+    remaining: u64,
+    buf: Vec<REvent>,
+    chunk: usize,
+}
+
+impl<'a> DecodeRunStream<'a> {
+    /// Parses the header (either version) and positions the stream at
+    /// the first record.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        Self::chunked(buf, DEFAULT_CHUNK_EVENTS)
+    }
+
+    /// Like [`DecodeRunStream::new`] with an explicit chunk size.
+    ///
+    /// # Panics
+    /// If `chunk` is zero.
+    pub fn chunked(buf: &'a [u8], chunk: usize) -> Result<Self, CodecError> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let (r, version, pool_size, name, remaining) = read_header(buf, &[VERSION, VERSION_RUNS])?;
+        Ok(DecodeRunStream {
+            r,
+            version,
+            name,
+            pool_size,
+            remaining,
+            buf: Vec::new(),
+            chunk,
+        })
+    }
+
+    /// Records not yet decoded (per the header's count).
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes the next chunk of records, or returns `Ok(None)` when the
+    /// header's record count has been fully delivered.
+    pub fn try_next_chunk(&mut self) -> Result<Option<&[REvent]>, CodecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let n = (self.remaining as usize).min(self.chunk);
+        self.buf.clear();
+        for _ in 0..n {
+            let re = if self.version == VERSION {
+                REvent::Event(read_event(&mut self.r)?)
+            } else {
+                read_revent(&mut self.r)?
+            };
+            self.buf.push(re);
+        }
+        self.remaining -= n as u64;
+        Ok(Some(&self.buf))
+    }
+}
+
+impl RunStream for DecodeRunStream<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn pool_size(&self) -> u32 {
+        self.pool_size
+    }
+
+    /// # Panics
+    /// On a corrupt byte stream — use
+    /// [`DecodeRunStream::try_next_chunk`] when corruption must be
+    /// handled rather than aborted on.
+    fn next_chunk(&mut self) -> Option<&[REvent]> {
+        self.try_next_chunk()
+            .unwrap_or_else(|e| panic!("corrupt run trace stream: {e}"))
+    }
+}
+
+/// Deserializes a run-compressed trace previously produced by
+/// [`encode_runs`] (or a v1 file, which decodes as all-plain records).
+pub fn decode_runs(buf: &[u8]) -> Result<RunTrace, CodecError> {
+    let mut s = DecodeRunStream::new(buf)?;
+    let cap = (s.remaining() as usize).min(buf.len() / 7 + 1);
+    let mut events = Vec::with_capacity(cap);
+    while let Some(chunk) = s.try_next_chunk()? {
+        events.extend_from_slice(chunk);
+    }
+    Ok(RunTrace {
         name: s.name,
         pool_size: s.pool_size,
         events,
@@ -463,6 +831,103 @@ mod tests {
         let mut bytes = encode(&sample()).to_vec();
         bytes[4] = 0xFF;
         assert_eq!(decode(&bytes), Err(CodecError::BadHeader));
+    }
+
+    /// A run-compressed trace with raw records on both sides of a run.
+    fn sample_runs() -> RunTrace {
+        let mut t = sample();
+        for k in 0..40u64 {
+            t.events.push(AppEvent::Compute {
+                nest: 1,
+                first_iter: k * 8,
+                iters: 8,
+                secs: 8.0e-6,
+            });
+            t.events.push(AppEvent::Io(IoRequest {
+                disk: DiskId(2),
+                start_block: 1000 + k * 64,
+                size_bytes: 32 * 1024,
+                kind: ReqKind::Read,
+                sequential: false,
+                nest: 1,
+                iter: (k + 1) * 8,
+            }));
+        }
+        let rt = crate::run::compress(&t);
+        assert!(
+            rt.events.iter().any(|e| matches!(e, REvent::Run(_))),
+            "sample must contain a run record"
+        );
+        rt
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_runs() {
+        let rt = sample_runs();
+        let bytes = encode_runs(&rt);
+        assert_eq!(decode_runs(&bytes).unwrap(), rt);
+    }
+
+    #[test]
+    fn v2_decodes_to_per_event_stream_for_legacy_consumers() {
+        let rt = sample_runs();
+        let bytes = encode_runs(&rt);
+        // Tiny chunks so runs lower across chunk boundaries.
+        let mut s = DecodeStream::chunked(&bytes, 3).unwrap();
+        let lowered = crate::stream::collect(&mut s);
+        assert_eq!(lowered, rt.lower());
+        // decode() sees the same per-event trace.
+        assert_eq!(decode(&bytes).unwrap(), rt.lower());
+    }
+
+    #[test]
+    fn v1_decodes_as_plain_run_records() {
+        let t = sample();
+        let bytes = encode(&t);
+        let rt = decode_runs(&bytes).unwrap();
+        assert!(rt.events.iter().all(|e| matches!(e, REvent::Event(_))));
+        assert_eq!(rt.lower(), t);
+    }
+
+    #[test]
+    fn v2_truncation_rejected_at_every_length() {
+        let bytes = encode_runs(&sample_runs());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_runs(&bytes[..cut]).is_err(),
+                "decode_runs of {cut}-byte prefix must fail"
+            );
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "decode of {cut}-byte prefix must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_run_records_rejected() {
+        let rt = RunTrace {
+            name: "bad".into(),
+            pool_size: 1,
+            events: vec![REvent::Run(Run {
+                count: 0,
+                nest: 0,
+                first_iter: 0,
+                iters_per_rep: 1,
+                secs_per_rep: 0.0,
+                rotation: 1,
+                reqs: vec![],
+            })],
+        };
+        let bytes = encode_runs(&rt);
+        assert!(matches!(decode_runs(&bytes), Err(CodecError::BadRun(_))));
+    }
+
+    #[test]
+    fn run_stream_encoder_matches_materialized_encoding() {
+        let rt = sample_runs();
+        let via_stream = encode_run_stream(&mut rt.stream());
+        assert_eq!(via_stream, encode_runs(&rt));
     }
 }
 

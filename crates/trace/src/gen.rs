@@ -47,13 +47,13 @@ impl Default for TraceGenConfig {
 
 /// A reference pre-linearized against its array's storage order, so the
 /// per-iteration work is one affine evaluation.
-struct LinRef {
-    array: usize,
-    lin: sdpm_ir::AffineExpr,
-    kind: ReqKind,
+pub(crate) struct LinRef {
+    pub(crate) array: usize,
+    pub(crate) lin: sdpm_ir::AffineExpr,
+    pub(crate) kind: ReqKind,
 }
 
-fn linrefs_of(program: &Program, ni: usize) -> Vec<LinRef> {
+pub(crate) fn linrefs_of(program: &Program, ni: usize) -> Vec<LinRef> {
     program.nests[ni]
         .stmts
         .iter()
@@ -75,7 +75,64 @@ fn linrefs_of(program: &Program, ni: usize) -> Vec<LinRef> {
 /// Iterations walked per internal step. The walk itself is O(1) per
 /// iteration; this only bounds how often the stream checks whether the
 /// chunk target has been reached.
-const ITERS_PER_STEP: u64 = 65_536;
+pub(crate) const ITERS_PER_STEP: u64 = 65_536;
+
+/// Flushes the compute span accumulated in `[pending_start, flat)` and
+/// restarts accumulation at `flat`. Shared by the per-iteration walk and
+/// the analytic generator ([`crate::rungen`]) so both emit the identical
+/// event — same fields, same float expression.
+pub(crate) fn flush_compute(
+    buf: &mut Vec<AppEvent>,
+    ni: usize,
+    pending_start: &mut u64,
+    flat: u64,
+    iter_secs: f64,
+) {
+    if flat > *pending_start {
+        buf.push(AppEvent::Compute {
+            nest: ni,
+            first_iter: *pending_start,
+            iters: flat - *pending_start,
+            secs: (flat - *pending_start) as f64 * iter_secs,
+        });
+        *pending_start = flat;
+    }
+}
+
+/// Emits the block-level requests of one chunk fetch (clipped to the file
+/// end, split along stripe boundaries into per-disk extents). Shared by
+/// both generators; the caller has already updated the buffer cache and
+/// flushed the pending compute span.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_chunk_fetch(
+    file: &sdpm_layout::ArrayFile,
+    pool: DiskPool,
+    config: &TraceGenConfig,
+    next_block: &mut [Option<u64>],
+    buf: &mut Vec<AppEvent>,
+    ni: usize,
+    flat: u64,
+    kind: ReqKind,
+    chunk: u64,
+) {
+    let chunk_start = chunk * config.io_chunk_bytes;
+    let chunk_len = config.io_chunk_bytes.min(file.total_bytes() - chunk_start);
+    for ext in file.map_bytes(pool, chunk_start, chunk_len) {
+        let d = ext.disk.0 as usize;
+        let sequential = config.detect_sequential && next_block[d] == Some(ext.start_block);
+        let end_block = ext.start_block + (ext.block_offset + ext.len).div_ceil(BLOCK_BYTES);
+        next_block[d] = Some(end_block);
+        buf.push(AppEvent::Io(IoRequest {
+            disk: ext.disk,
+            start_block: ext.start_block,
+            size_bytes: ext.len,
+            kind,
+            sequential,
+            nest: ni,
+            iter: flat,
+        }));
+    }
+}
 
 /// The generator as a lazy [`EventStream`]: events are produced by
 /// resuming the iteration-space walk chunk by chunk, so the trace is
@@ -100,6 +157,11 @@ pub struct GenStream<'a> {
     linrefs: Vec<LinRef>,
     buf: Vec<AppEvent>,
     target: usize,
+    /// Events delivered so far; reported to `learn` on exhaustion.
+    counted: u64,
+    /// Where a [`GenSource`] learns its event count from the first fully
+    /// drained pass (its [`EventSource::size_hint`]).
+    learn: Option<&'a std::cell::Cell<Option<u64>>>,
 }
 
 impl<'a> GenStream<'a> {
@@ -132,6 +194,8 @@ impl<'a> GenStream<'a> {
             linrefs,
             buf: Vec::new(),
             target: DEFAULT_CHUNK_EVENTS,
+            counted: 0,
+            learn: None,
         }
     }
 
@@ -167,49 +231,18 @@ impl<'a> GenStream<'a> {
                     continue;
                 }
                 cached_chunk[lr.array] = Some(chunk);
-                // Flush the compute accumulated before this miss.
-                if flat > *pending_start {
-                    buf.push(AppEvent::Compute {
-                        nest: ni,
-                        first_iter: *pending_start,
-                        iters: flat - *pending_start,
-                        secs: (flat - *pending_start) as f64 * iter_secs,
-                    });
-                    *pending_start = flat;
-                }
-                // Fetch the whole chunk (clipped to the file end).
-                let chunk_start = chunk * config.io_chunk_bytes;
-                let chunk_len = config.io_chunk_bytes.min(file.total_bytes() - chunk_start);
-                for ext in file.map_bytes(*pool, chunk_start, chunk_len) {
-                    let d = ext.disk.0 as usize;
-                    let sequential =
-                        config.detect_sequential && next_block[d] == Some(ext.start_block);
-                    let end_block =
-                        ext.start_block + (ext.block_offset + ext.len).div_ceil(BLOCK_BYTES);
-                    next_block[d] = Some(end_block);
-                    buf.push(AppEvent::Io(IoRequest {
-                        disk: ext.disk,
-                        start_block: ext.start_block,
-                        size_bytes: ext.len,
-                        kind: lr.kind,
-                        sequential,
-                        nest: ni,
-                        iter: flat,
-                    }));
-                }
+                // Flush the compute accumulated before this miss, then
+                // fetch the whole chunk (clipped to the file end).
+                flush_compute(buf, ni, pending_start, flat, iter_secs);
+                emit_chunk_fetch(
+                    file, *pool, config, next_block, buf, ni, flat, lr.kind, chunk,
+                );
             }
         });
         self.pos = step_to;
         if step_to >= total {
             // Flush the tail compute of the nest.
-            if total > self.pending_start {
-                self.buf.push(AppEvent::Compute {
-                    nest: ni,
-                    first_iter: self.pending_start,
-                    iters: total - self.pending_start,
-                    secs: (total - self.pending_start) as f64 * iter_secs,
-                });
-            }
+            flush_compute(&mut self.buf, ni, &mut self.pending_start, total, iter_secs);
             self.ni += 1;
             self.pos = 0;
             self.pending_start = 0;
@@ -235,8 +268,12 @@ impl EventStream for GenStream<'_> {
             self.step();
         }
         if self.buf.is_empty() {
+            if let Some(cell) = self.learn {
+                cell.set(Some(self.counted));
+            }
             None
         } else {
+            self.counted += self.buf.len() as u64;
             Some(&self.buf)
         }
     }
@@ -250,6 +287,10 @@ pub struct GenSource<'a> {
     program: &'a Program,
     pool: DiskPool,
     config: TraceGenConfig,
+    /// Event count learned from the first fully drained stream; until
+    /// then the source's size is unknown (counting up front would cost a
+    /// full generation pass).
+    learned: std::cell::Cell<Option<u64>>,
 }
 
 impl<'a> GenSource<'a> {
@@ -266,13 +307,20 @@ impl<'a> GenSource<'a> {
             program,
             pool,
             config,
+            learned: std::cell::Cell::new(None),
         }
     }
 }
 
 impl EventSource for GenSource<'_> {
     fn open(&self) -> Box<dyn EventStream + '_> {
-        Box::new(GenStream::new(self.program, self.pool, self.config))
+        let mut s = GenStream::new(self.program, self.pool, self.config);
+        s.learn = Some(&self.learned);
+        Box::new(s)
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        self.learned.get()
     }
 }
 

@@ -26,12 +26,19 @@
 pub mod codec;
 pub mod event;
 pub mod gen;
+pub mod run;
+pub mod rungen;
 pub mod stream;
 pub mod trace;
 
-pub use codec::{DecodeStream, StreamEncoder};
+pub use codec::{DecodeRunStream, DecodeStream, RunStreamEncoder, StreamEncoder};
 pub use event::{AppEvent, IoRequest, PowerAction, ReqKind};
 pub use gen::{generate, GenSource, GenStream, TraceGenConfig};
+pub use run::{
+    collect_runs, compress, compress_stream, CompressStream, IoTemplate, LowerStream, REvent, Run,
+    RunSource, RunStream, RunTrace, RunTraceStream, MAX_ROTATION,
+};
+pub use rungen::{generate_runs, RunGenSource, RunGenStream};
 pub use stream::{
     collect, demux, Demuxed, EventSource, EventStream, TimedEvent, TraceStream,
     DEFAULT_CHUNK_EVENTS,

@@ -6,9 +6,13 @@ use proptest::strategy::ValueTree;
 use sdpm_disk::RpmLevel;
 use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
 use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
-use sdpm_trace::codec::{decode, encode, CodecError, DecodeStream, StreamEncoder};
+use sdpm_trace::codec::{
+    decode, decode_runs, encode, encode_runs, CodecError, DecodeRunStream, DecodeStream,
+    StreamEncoder,
+};
 use sdpm_trace::{
-    collect, generate, AppEvent, IoRequest, PowerAction, ReqKind, Trace, TraceGenConfig,
+    collect, compress, generate, AppEvent, IoRequest, PowerAction, REvent, ReqKind, Trace,
+    TraceGenConfig,
 };
 
 fn event_strategy(pool: u32, nest: usize) -> impl Strategy<Value = AppEvent> {
@@ -210,6 +214,149 @@ proptest! {
         // Requests equal the chunk count (split across stripes).
         let chunks = (elems * 8).div_ceil(chunk);
         prop_assert!(stats.requests >= chunks);
+    }
+
+    /// Run compression is lossless on arbitrary event sequences: lowering
+    /// the compressed form reproduces exactly the events it was fed,
+    /// whatever mix of compute spans, requests, and power directives.
+    #[test]
+    fn compression_round_trips_arbitrary_event_sequences(
+        pool in 1u32..16,
+        events in proptest::collection::vec((0usize..4, 0u32..1000), 0..80),
+    ) {
+        let mut evs = Vec::new();
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let mut last_nest = 0usize;
+        for (nest_inc, _) in events {
+            last_nest += nest_inc % 2;
+            let e = event_strategy(pool, last_nest)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            evs.push(e);
+        }
+        let t = Trace { name: "arb".into(), pool_size: pool, events: evs };
+        let rt = compress(&t);
+        prop_assert_eq!(rt.lower(), t);
+    }
+
+    /// Rotating periodic traces (the striped-layout shape) compress into
+    /// genuine runs that lower back exactly; a single perturbed request
+    /// anywhere still round-trips.
+    #[test]
+    fn compression_recovers_rotating_periodic_structure(
+        n in 4u64..48,
+        m in 1u64..7,
+        q in 1u64..4,
+        perturb_seed in 0usize..1200,
+    ) {
+        // The vendored proptest has no `option` module; low seeds mean
+        // "leave the trace clean".
+        let perturb = (perturb_seed >= 200).then_some(perturb_seed);
+        let pool = 8u32;
+        let mut evs = Vec::new();
+        for k in 0..n {
+            evs.push(AppEvent::Compute { nest: 0, first_iter: k * 4, iters: 4, secs: 1.0e-6 });
+            for j in 0..q {
+                evs.push(AppEvent::Io(IoRequest {
+                    disk: DiskId((((k % m) + j) % u64::from(pool)) as u32),
+                    start_block: (k / m) * 64 + j * 100_000,
+                    size_bytes: 4096,
+                    kind: ReqKind::Read,
+                    sequential: false,
+                    nest: 0,
+                    iter: (k + 1) * 4,
+                }));
+            }
+        }
+        let perturbed = perturb.map(|seed| {
+            let idx = seed % evs.len();
+            if let AppEvent::Io(r) = &mut evs[idx] {
+                r.start_block += 7;
+            }
+            idx
+        });
+        let t = Trace { name: "rot".into(), pool_size: pool, events: evs };
+        let rt = compress(&t);
+        prop_assert_eq!(rt.lower(), t.clone());
+        let fused = rt.events.iter().any(|e| matches!(e, REvent::Run(_)));
+        if perturbed.is_none() && n >= 4 * m {
+            prop_assert!(fused, "a clean rotation-{} trace of {} periods must fuse", m, n);
+            prop_assert!((rt.events.len() as u64) < t.events.len() as u64);
+        }
+    }
+
+    /// The v2 codec round-trips run-compressed traces exactly, and the
+    /// per-event decoder lowers the same bytes back to the original
+    /// per-event sequence (legacy consumers read v2 unchanged).
+    #[test]
+    fn run_codec_round_trips(
+        pool in 1u32..16,
+        chunk in 1usize..9,
+        events in proptest::collection::vec((0usize..4, 0u32..1000), 0..60),
+    ) {
+        let mut evs = Vec::new();
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let mut last_nest = 0usize;
+        for (nest_inc, _) in events {
+            last_nest += nest_inc % 2;
+            let e = event_strategy(pool, last_nest)
+                .new_tree(&mut runner)
+                .unwrap()
+                .current();
+            evs.push(e);
+        }
+        let t = Trace { name: "v2".into(), pool_size: pool, events: evs };
+        let rt = compress(&t);
+        let bytes = encode_runs(&rt);
+        prop_assert_eq!(decode_runs(&bytes).unwrap(), rt);
+        // The event-level decoder lowers v2 incrementally.
+        let mut dec = DecodeStream::chunked(&bytes, chunk).unwrap();
+        prop_assert_eq!(collect(&mut dec), t);
+    }
+
+    /// Cutting a v2 encoding anywhere short of its full length makes the
+    /// run decoder report `Truncated` — never a partial success, never a
+    /// panic — even when the cut lands inside a run record.
+    #[test]
+    fn run_codec_rejects_truncation_mid_chunk(
+        n in 4u64..24,
+        m in 1u64..5,
+        chunk in 1usize..5,
+        cut_seed in 0usize..10_000,
+    ) {
+        let pool = 8u32;
+        let mut evs = Vec::new();
+        for k in 0..n {
+            evs.push(AppEvent::Compute { nest: 0, first_iter: k * 2, iters: 2, secs: 5.0e-7 });
+            evs.push(AppEvent::Io(IoRequest {
+                disk: DiskId((k % m) as u32),
+                start_block: (k / m) * 32,
+                size_bytes: 2048,
+                kind: ReqKind::Read,
+                sequential: false,
+                nest: 0,
+                iter: (k + 1) * 2,
+            }));
+        }
+        let t = Trace { name: "cutv2".into(), pool_size: pool, events: evs };
+        let rt = compress(&t);
+        let bytes = encode_runs(&rt);
+        let cut = cut_seed % (bytes.len() - 1).max(1);
+
+        match DecodeRunStream::chunked(&bytes[..cut], chunk) {
+            Err(e) => prop_assert_eq!(e, CodecError::Truncated),
+            Ok(mut dec) => {
+                let err = loop {
+                    match dec.try_next_chunk() {
+                        Ok(Some(_)) => {}
+                        Ok(None) => panic!("truncated v2 stream decoded to completion"),
+                        Err(e) => break e,
+                    }
+                };
+                prop_assert_eq!(err, CodecError::Truncated);
+            }
+        }
     }
 
     /// Nominal arrivals are non-decreasing and one per request.

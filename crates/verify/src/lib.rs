@@ -49,7 +49,7 @@ pub use replay::{crosscheck_report, replay_directives, replay_stream, ReplayDisk
 
 use sdpm_disk::DiskParams;
 use sdpm_sim::SimReport;
-use sdpm_trace::Trace;
+use sdpm_trace::{RunTrace, Trace};
 
 /// One-call verification of a pipeline run: directive safety always,
 /// plus the replay cross-check when the simulator's report is supplied.
@@ -70,4 +70,23 @@ pub fn verify_run(
         diags.extend(crosscheck_report(trace, params, overhead_secs, r));
     }
     diags
+}
+
+/// [`verify_run`] over a run-compressed instrumented trace.
+///
+/// The run form is lowered through the exact per-event adapter
+/// ([`RunTrace::lower`]) before any checking, so every `SDPM-E001..E008`
+/// check sees the identical event sequence — and produces the identical
+/// diagnostics, spans included — as the per-event form it was compressed
+/// from. (Directives pass through compression raw, so no finding can hide
+/// inside a run record.)
+#[must_use]
+pub fn verify_run_compressed(
+    trace: &RunTrace,
+    params: &DiskParams,
+    overhead_secs: f64,
+    plan: Option<PlanRef<'_>>,
+    report: Option<&SimReport>,
+) -> Vec<Diagnostic> {
+    verify_run(&trace.lower(), params, overhead_secs, plan, report)
 }

@@ -1,0 +1,89 @@
+//! Run-compressed traces must verify exactly like the per-event form
+//! they were compressed from: same codes, same spans, same messages.
+
+use sdpm_core::{run_scheme_with_artifacts, PipelineConfig, Scheme};
+use sdpm_layout::DiskId;
+use sdpm_trace::{compress, AppEvent, IoRequest, PowerAction, ReqKind, Trace};
+use sdpm_verify::{has_errors, verify_run, verify_run_compressed, PlanRef};
+
+#[test]
+fn clean_cm_run_verifies_identically_in_both_forms() {
+    let program = sdpm_workloads::swim().program;
+    let cfg = PipelineConfig::default();
+    let art = run_scheme_with_artifacts(&program, Scheme::CmTpm, &cfg);
+    let plan = art.insertion.as_ref().map(PlanRef::of);
+
+    let per_event = verify_run(
+        &art.trace,
+        &cfg.params,
+        cfg.overhead_secs,
+        plan,
+        Some(&art.report),
+    );
+    let rt = compress(&art.trace);
+    assert!(
+        (rt.events.len() as u64) < art.trace.events.len() as u64,
+        "the instrumented trace must actually compress"
+    );
+    let run_form =
+        verify_run_compressed(&rt, &cfg.params, cfg.overhead_secs, plan, Some(&art.report));
+    assert!(!has_errors(&per_event), "{per_event:#?}");
+    assert_eq!(per_event, run_form);
+}
+
+#[test]
+fn corrupt_directives_produce_identical_diagnostics_in_both_forms() {
+    // A spin-down with I/O landing while the disk is commanded to standby
+    // (SDPM-E001) plus an unpaired spin-up (SDPM-E006), buried between
+    // periodic compute/io pairs so compression produces real runs around
+    // the corruption.
+    let mut events = Vec::new();
+    for k in 0..20u64 {
+        events.push(AppEvent::Compute {
+            nest: 0,
+            first_iter: k,
+            iters: 1,
+            secs: 1.0e-3,
+        });
+        events.push(AppEvent::Io(IoRequest {
+            disk: DiskId(0),
+            start_block: k * 64,
+            size_bytes: 4096,
+            kind: ReqKind::Read,
+            sequential: false,
+            nest: 0,
+            iter: k + 1,
+        }));
+    }
+    events.insert(
+        21,
+        AppEvent::Power {
+            disk: DiskId(0),
+            action: PowerAction::SpinDown,
+        },
+    );
+    events.push(AppEvent::Power {
+        disk: DiskId(1),
+        action: PowerAction::SpinUp,
+    });
+    let t = Trace {
+        name: "corrupt".into(),
+        pool_size: 2,
+        events,
+    };
+    t.validate().unwrap();
+
+    let params = sdpm_disk::ultrastar36z15();
+    let per_event = verify_run(&t, &params, 50e-6, None, None);
+    assert!(has_errors(&per_event), "corruption must be detected");
+
+    let rt = compress(&t);
+    assert!(
+        rt.events
+            .iter()
+            .any(|e| matches!(e, sdpm_trace::REvent::Run(_))),
+        "periods around the corruption must fuse into runs"
+    );
+    let run_form = verify_run_compressed(&rt, &params, 50e-6, None, None);
+    assert_eq!(per_event, run_form);
+}
