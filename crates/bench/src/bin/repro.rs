@@ -7,6 +7,7 @@
 //! repro probe <events.jsonl> [top_k]
 //! repro lint [benchmark|all] [--scheme S|all] [--json]
 //! repro bench [--bench swim] [--json] [--out BENCH_streaming.json]
+//! repro faultsim [--seed N] [--rates 0,0.01,0.05] [--bench swim]
 //! ```
 //!
 //! With no argument, runs `all`. Output pairs each measured value with
@@ -39,6 +40,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("bench") {
         bench_cmd(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("faultsim") {
+        faultsim_cmd(&argv[1..]);
         return;
     }
     let mut trace_out: Option<String> = None;
@@ -212,6 +217,104 @@ fn bench_cmd(args: &[String]) {
         println!("wrote {out_path}");
     }
     if !r.reports_identical {
+        std::process::exit(1);
+    }
+}
+
+/// `repro faultsim [--seed N] [--rates 0,0.01,0.05] [--bench NAME]`:
+/// the fault-injection sweep (see `sdpm_bench::faultsim`). Every scheme
+/// × kernel cell runs at every rate; rate 0 must be bit-exact with the
+/// clean run, nonzero rates must complete without panicking and
+/// reproduce the same per-cause fault counts when re-run under the same
+/// seed. Exits 1 when any cell fails.
+fn faultsim_cmd(args: &[String]) {
+    use sdpm_bench::faultsim::{run_fault_sweep, DEFAULT_RATES};
+
+    let mut seed = 42u64;
+    let mut rates: Vec<f64> = DEFAULT_RATES.to_vec();
+    let mut bench_arg = String::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--seed" => {
+                seed = val("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("--seed must be an integer: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--rates" => {
+                let raw = val("--rates");
+                rates = raw
+                    .split(',')
+                    .map(|r| {
+                        r.trim().parse::<f64>().unwrap_or_else(|e| {
+                            eprintln!("--rates must be comma-separated numbers: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if rates.is_empty() || rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+                    eprintln!("--rates must be probabilities in [0, 1]");
+                    std::process::exit(2);
+                }
+            }
+            "--bench" => bench_arg = val("--bench"),
+            other => bench_arg = other.to_string(),
+        }
+    }
+
+    let mut benches = suite();
+    if !bench_arg.is_empty() {
+        let needle = bench_arg.to_ascii_lowercase();
+        benches.retain(|b| b.name.to_ascii_lowercase().contains(&needle));
+        if benches.is_empty() {
+            let names: Vec<&str> = suite().iter().map(|b| b.name).collect();
+            eprintln!(
+                "unknown benchmark '{bench_arg}'; one of: {}",
+                names.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let sweep = run_fault_sweep(&benches, seed, &rates);
+    println!(
+        "== Fault-injection sweep: {} kernels x 7 schemes x {} rates (seed {}) ==",
+        benches.len(),
+        rates.len(),
+        seed
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "kernel".into(),
+                "scheme".into(),
+                "rate".into(),
+                "faults".into(),
+                "breakdown".into(),
+                "energy J".into(),
+                "exec s".into(),
+                "stall s".into(),
+                "pass".into(),
+            ],
+            &sweep.rows()
+        )
+    );
+    println!(
+        "total injected faults: {}; all cells passed: {}",
+        sweep.faults_total(),
+        if sweep.passed() { "yes" } else { "NO" }
+    );
+    if !sweep.passed() {
         std::process::exit(1);
     }
 }

@@ -1,0 +1,219 @@
+//! `repro faultsim`: the fault-injection sweep harness.
+//!
+//! Sweeps a seeded [`FaultPlan`] over every scheme × kernel cell at a
+//! set of fault rates and checks the three properties the fault spine
+//! promises:
+//!
+//! 1. **Graceful degradation** — every cell completes with `Ok`; an
+//!    injected fault is absorbed (retry, slow spin-up, stuck shift) and
+//!    tallied in [`sdpm_sim::SimReport::faults`], never a panic.
+//! 2. **Bit-exactness when disabled** — the rate-0 column runs with no
+//!    plan attached and must match the clean [`Session::run`] report
+//!    bit for bit (energy and execution time compared on raw bits).
+//! 3. **Determinism** — every nonzero-rate cell is run twice with the
+//!    same seed; the reports, including the per-cause fault counts,
+//!    must be identical.
+//!
+//! A cell that violates any property flips the sweep's `passed` flag,
+//! which the CLI turns into a nonzero exit for CI.
+
+use crate::config_for;
+use sdpm_core::{Scheme, Session};
+use sdpm_fault::{FaultConfig, FaultCounts, FaultPlan};
+use sdpm_workloads::Benchmark;
+
+/// Default fault rates swept when the CLI does not override them: the
+/// bit-exactness control plus a light and a heavy injection column.
+pub const DEFAULT_RATES: [f64; 3] = [0.0, 0.01, 0.05];
+
+/// One scheme × kernel × rate measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCell {
+    pub bench: &'static str,
+    pub scheme: &'static str,
+    pub rate: f64,
+    /// Per-cause injected-fault tallies (all zero at rate 0).
+    pub counts: FaultCounts,
+    pub energy_j: f64,
+    pub exec_secs: f64,
+    pub stall_secs: f64,
+    /// The run completed with `Ok` (graceful degradation).
+    pub ok: bool,
+    /// Rate-0 cells only: the no-plan run matched the clean run bitwise.
+    pub bit_exact: bool,
+    /// Two runs with the same seed produced identical reports.
+    pub deterministic: bool,
+}
+
+impl FaultCell {
+    /// Every property this cell is responsible for holds.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.ok && self.bit_exact && self.deterministic
+    }
+}
+
+/// The full sweep record: every kernel, seven schemes, every rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSweep {
+    pub seed: u64,
+    pub rates: Vec<f64>,
+    pub cells: Vec<FaultCell>,
+}
+
+impl FaultSweep {
+    /// Conjunction of every cell's [`FaultCell::passed`].
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(FaultCell::passed)
+    }
+
+    /// Total injected faults across all cells (a sanity signal: a sweep
+    /// with nonzero rates that injects nothing is misconfigured).
+    #[must_use]
+    pub fn faults_total(&self) -> u64 {
+        self.cells.iter().map(|c| c.counts.total()).sum()
+    }
+
+    /// Human-readable summary rows, one per cell.
+    #[must_use]
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        self.cells
+            .iter()
+            .map(|c| {
+                let breakdown = c
+                    .counts
+                    .breakdown()
+                    .iter()
+                    .map(|(k, n)| format!("{k}={n}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    c.bench.to_string(),
+                    c.scheme.to_string(),
+                    format!("{:.2}", c.rate),
+                    format!("{}", c.counts.total()),
+                    if breakdown.is_empty() {
+                        "-".to_string()
+                    } else {
+                        breakdown
+                    },
+                    format!("{:.1}", c.energy_j),
+                    format!("{:.1}", c.exec_secs),
+                    format!("{:.1}", c.stall_secs),
+                    if c.passed() { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect()
+    }
+}
+
+/// Runs every scheme of one kernel at one rate. Rate 0 runs without a
+/// plan and is compared bitwise against the cached clean reports;
+/// nonzero rates run twice under the same seeded plan for the
+/// determinism check.
+fn sweep_kernel_rate(
+    session: &mut Session<'_>,
+    bench: &'static str,
+    clean: &[sdpm_sim::SimReport],
+    seed: u64,
+    rate: f64,
+) -> Vec<FaultCell> {
+    let schemes = Scheme::all();
+    schemes
+        .iter()
+        .zip(clean)
+        .map(|(&scheme, clean)| {
+            let plan = (rate > 0.0).then(|| FaultPlan::new(FaultConfig::uniform(seed, rate)));
+            let first = session.run_with_faults(scheme, plan.as_ref());
+            let second = session.run_with_faults(scheme, plan.as_ref());
+            let (counts, energy_j, exec_secs, stall_secs, bit_exact, deterministic) =
+                match (&first, &second) {
+                    (Ok(a), Ok(b)) => (
+                        a.faults,
+                        a.total_energy_j(),
+                        a.exec_secs,
+                        a.stall_secs,
+                        plan.is_some()
+                            || (a == clean
+                                && a.total_energy_j().to_bits()
+                                    == clean.total_energy_j().to_bits()
+                                && a.exec_secs.to_bits() == clean.exec_secs.to_bits()),
+                        a == b,
+                    ),
+                    _ => (FaultCounts::default(), 0.0, 0.0, 0.0, false, false),
+                };
+            FaultCell {
+                bench,
+                scheme: scheme.label(),
+                rate,
+                counts,
+                energy_j,
+                exec_secs,
+                stall_secs,
+                ok: first.is_ok() && second.is_ok(),
+                bit_exact,
+                deterministic,
+            }
+        })
+        .collect()
+}
+
+/// Runs the sweep over `benches` at `rates`, seeding every plan with
+/// `seed`. Each kernel gets one [`Session`], so trace generation and
+/// instrumentation are paid once per kernel, not once per cell.
+#[must_use]
+pub fn run_fault_sweep(benches: &[Benchmark], seed: u64, rates: &[f64]) -> FaultSweep {
+    let mut cells = Vec::new();
+    for bench in benches {
+        let cfg = config_for(bench);
+        let mut session = Session::new(&bench.program, &cfg);
+        let clean: Vec<sdpm_sim::SimReport> =
+            Scheme::all().iter().map(|&s| session.run(s)).collect();
+        for &rate in rates {
+            cells.extend(sweep_kernel_rate(
+                &mut session,
+                bench.name,
+                &clean,
+                seed,
+                rate,
+            ));
+        }
+    }
+    FaultSweep {
+        seed,
+        rates: rates.to_vec(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_passes_on_one_kernel() {
+        let bench = sdpm_workloads::swim();
+        let sweep = run_fault_sweep(std::slice::from_ref(&bench), 42, &[0.0, 0.05]);
+        assert_eq!(sweep.cells.len(), 2 * Scheme::all().len());
+        assert!(sweep.passed(), "failing cells: {:?}", sweep.cells);
+        // Rate 0 injects nothing; rate 0.05 must inject something
+        // somewhere across seven schemes.
+        let zero: u64 = sweep
+            .cells
+            .iter()
+            .filter(|c| c.rate == 0.0)
+            .map(|c| c.counts.total())
+            .sum();
+        assert_eq!(zero, 0, "disabled column must be fault-free");
+        assert!(sweep.faults_total() > 0, "nonzero rate must inject faults");
+    }
+
+    #[test]
+    fn sweep_is_reproducible_across_invocations() {
+        let bench = sdpm_workloads::swim();
+        let a = run_fault_sweep(std::slice::from_ref(&bench), 7, &[0.05]);
+        let b = run_fault_sweep(std::slice::from_ref(&bench), 7, &[0.05]);
+        assert_eq!(a, b, "same seed and rates must reproduce the sweep");
+    }
+}

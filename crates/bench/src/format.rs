@@ -146,6 +146,7 @@ mod tests {
             stall_secs: 0.0,
             mean_slowdown: 1.0,
             misfire_causes: sdpm_sim::MisfireCauses::default(),
+            faults: sdpm_fault::FaultCounts::default(),
             sim_path: sdpm_sim::SimPath::default(),
         };
         let t = disk_timeline(&r, 10);

@@ -6,6 +6,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod faultsim;
 pub mod format;
 pub mod lint;
 pub mod runbench;

@@ -16,9 +16,10 @@
 
 use crate::insert::{insert_directives, CmMode, InsertOutcome};
 use crate::pipeline::{PipelineConfig, Scheme, SchemeArtifacts};
+use sdpm_fault::FaultPlan;
 use sdpm_ir::Program;
 use sdpm_layout::DiskPool;
-use sdpm_sim::{DirectiveConfig, Policy, SimReport};
+use sdpm_sim::{DirectiveConfig, Policy, SimError, SimReport};
 use sdpm_trace::{compress, generate, generate_runs, RunTrace, Trace};
 
 #[cfg(feature = "obs")]
@@ -242,6 +243,81 @@ impl<'a> Session<'a> {
         report
     }
 
+    /// Runs one scheme with an optional fault-injection plan, returning
+    /// typed errors instead of panicking on malformed inputs. With
+    /// `faults: None` the report is bit-identical to [`Session::run`];
+    /// with a plan, injected faults are tallied in
+    /// [`sdpm_sim::SimReport::faults`] and the run still completes
+    /// (graceful degradation, never a panic).
+    pub fn run_with_faults(
+        &mut self,
+        scheme: Scheme,
+        faults: Option<&FaultPlan>,
+    ) -> Result<SimReport, SimError> {
+        let cfg = self.cfg;
+        let pool = self.pool;
+        let mut report = match scheme {
+            Scheme::Base => {
+                let t = self.base_trace();
+                sdpm_sim::try_simulate_source_faulted(t, &cfg.params, pool, &Policy::Base, faults)?
+            }
+            Scheme::Tpm => {
+                let t = self.base_trace();
+                sdpm_sim::try_simulate_source_faulted(
+                    t,
+                    &cfg.params,
+                    pool,
+                    &Policy::Tpm(cfg.tpm),
+                    faults,
+                )?
+            }
+            Scheme::ITpm => {
+                let t = self.base_trace();
+                sdpm_sim::try_simulate_source_faulted(
+                    t,
+                    &cfg.params,
+                    pool,
+                    &Policy::IdealTpm,
+                    faults,
+                )?
+            }
+            Scheme::Drpm => {
+                let t = self.base_trace();
+                sdpm_sim::try_simulate_source_faulted(
+                    t,
+                    &cfg.params,
+                    pool,
+                    &Policy::Drpm(cfg.drpm),
+                    faults,
+                )?
+            }
+            Scheme::IDrpm => {
+                let t = self.base_trace();
+                sdpm_sim::try_simulate_source_faulted(
+                    t,
+                    &cfg.params,
+                    pool,
+                    &Policy::IdealDrpm,
+                    faults,
+                )?
+            }
+            Scheme::CmTpm | Scheme::CmDrpm => {
+                let mode = if scheme == Scheme::CmTpm {
+                    CmMode::Tpm
+                } else {
+                    CmMode::Drpm
+                };
+                let policy = Policy::Directive(DirectiveConfig {
+                    overhead_secs: cfg.overhead_secs,
+                });
+                let t = &self.instrumented(mode).trace;
+                sdpm_sim::try_simulate_source_faulted(t, &cfg.params, pool, &policy, faults)?
+            }
+        };
+        report.policy = scheme.label().to_string();
+        Ok(report)
+    }
+
     pub(crate) fn run_full(&mut self, scheme: Scheme, rec: Obs<'_>) -> SchemeArtifacts {
         let cfg = self.cfg;
         let pool = self.pool;
@@ -418,6 +494,45 @@ mod tests {
         let lowered = session.base_runs().lower();
         let base = session.base_trace();
         assert_eq!(base.events, lowered.events);
+    }
+
+    #[test]
+    fn run_with_faults_disabled_is_bit_exact_with_run() {
+        let p = checkpoint_loop(2, 2, 8.0);
+        let cfg = PipelineConfig::default();
+        let mut session = Session::new(&p, &cfg);
+        for scheme in Scheme::all() {
+            let clean = session.run(scheme);
+            let faultless = session
+                .run_with_faults(scheme, None)
+                .expect("fault-free run succeeds");
+            assert_eq!(clean, faultless, "{}: reports differ", scheme.label());
+            assert_eq!(
+                clean.total_energy_j().to_bits(),
+                faultless.total_energy_j().to_bits(),
+                "{}: energy drifted",
+                scheme.label()
+            );
+            assert_eq!(faultless.faults.total(), 0, "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn run_with_faults_is_deterministic() {
+        use sdpm_fault::{FaultConfig, FaultPlan};
+        let p = checkpoint_loop(2, 2, 8.0);
+        let cfg = PipelineConfig::default();
+        let mut session = Session::new(&p, &cfg);
+        let plan = FaultPlan::new(FaultConfig::uniform(7, 0.2));
+        for scheme in Scheme::all() {
+            let a = session
+                .run_with_faults(scheme, Some(&plan))
+                .expect("faulted run degrades gracefully");
+            let b = session
+                .run_with_faults(scheme, Some(&plan))
+                .expect("faulted run degrades gracefully");
+            assert_eq!(a, b, "{}: fault runs must be deterministic", scheme.label());
+        }
     }
 
     #[test]

@@ -262,6 +262,15 @@ impl Recorder for ChromeTraceRecorder {
                     &format!("\"cause\":\"{cause}\""),
                 ));
             }
+            Event::FaultInjected { t, disk, kind } => {
+                st.out.push(instant(
+                    "fault",
+                    "fault",
+                    tid(disk),
+                    t,
+                    &format!("\"kind\":\"{kind}\""),
+                ));
+            }
             Event::StallAccrued { t, disk, secs, .. } => {
                 if secs > 0.0 {
                     let mut args = String::from("\"secs\":");

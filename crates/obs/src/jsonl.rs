@@ -98,6 +98,10 @@ pub fn event_to_json(ev: &Event) -> String {
             s.push_str(",\"cause\":");
             push_escaped(&mut s, cause);
         }
+        Event::FaultInjected { kind, .. } => {
+            s.push_str(",\"kind\":");
+            push_escaped(&mut s, kind);
+        }
         Event::StallAccrued { secs, slowdown, .. } => {
             s.push_str(",\"secs\":");
             push_f64(&mut s, *secs);

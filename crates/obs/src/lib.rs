@@ -110,6 +110,15 @@ pub enum Event {
         disk: DiskId,
         cause: &'static str,
     },
+    /// The fault-injection harness perturbed this disk; `kind` matches
+    /// `sdpm_fault::kind` (`"transient_service_failure"`,
+    /// `"slow_spin_up"`, `"stuck_rpm"`). Emitted at the simulated time
+    /// the fault takes effect.
+    FaultInjected {
+        t: f64,
+        disk: DiskId,
+        kind: &'static str,
+    },
     /// A request cost `secs` beyond its full-speed service time
     /// (`slowdown` = observed response / full-speed service). Emitted
     /// once per request, at its completion time.
@@ -152,6 +161,7 @@ impl Event {
             Event::RpmShiftComplete { .. } => "rpm_shift_complete",
             Event::DirectiveIssued { .. } => "directive_issued",
             Event::DirectiveMisfire { .. } => "directive_misfire",
+            Event::FaultInjected { .. } => "fault_injected",
             Event::StallAccrued { .. } => "stall_accrued",
             Event::DiskEnergy { .. } => "disk_energy",
             Event::RunEnd { .. } => "run_end",
@@ -177,6 +187,7 @@ impl Event {
             | Event::RpmShiftComplete { t, .. }
             | Event::DirectiveIssued { t, .. }
             | Event::DirectiveMisfire { t, .. }
+            | Event::FaultInjected { t, .. }
             | Event::StallAccrued { t, .. }
             | Event::DiskEnergy { t, .. }
             | Event::RunEnd { t } => Some(*t),
@@ -201,6 +212,7 @@ impl Event {
             | Event::RpmShiftComplete { disk, .. }
             | Event::DirectiveIssued { disk, .. }
             | Event::DirectiveMisfire { disk, .. }
+            | Event::FaultInjected { disk, .. }
             | Event::StallAccrued { disk, .. }
             | Event::DiskEnergy { disk, .. } => Some(*disk),
             Event::RunEnd { .. } | Event::PhaseStart { .. } | Event::PhaseEnd { .. } => None,

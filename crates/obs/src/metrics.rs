@@ -129,6 +129,8 @@ pub struct Metrics {
     pub directives_issued: u64,
     /// Misfire counts keyed by cause label.
     pub misfires: BTreeMap<&'static str, u64>,
+    /// Injected-fault counts keyed by kind label (`sdpm_fault::kind`).
+    pub faults: BTreeMap<&'static str, u64>,
     /// Total stall seconds, accumulated in event order (bit-identical to
     /// the engine's own accumulation).
     pub stall_secs: f64,
@@ -159,6 +161,7 @@ impl Default for Metrics {
             rpm_shifts: 0,
             directives_issued: 0,
             misfires: BTreeMap::new(),
+            faults: BTreeMap::new(),
             stall_secs: 0.0,
             gap_count: 0,
             standby_gaps: 0,
@@ -179,6 +182,12 @@ impl Metrics {
     #[must_use]
     pub fn misfires_total(&self) -> u64 {
         self.misfires.values().sum()
+    }
+
+    /// Total injected faults across kinds.
+    #[must_use]
+    pub fn faults_total(&self) -> u64 {
+        self.faults.values().sum()
     }
 
     fn disk(&mut self, d: sdpm_layout::DiskId) -> &mut PerDiskMetrics {
@@ -321,6 +330,9 @@ impl Recorder for MetricsRecorder {
             Event::DirectiveIssued { .. } => m.directives_issued += 1,
             Event::DirectiveMisfire { cause, .. } => {
                 *m.misfires.entry(cause).or_insert(0) += 1;
+            }
+            Event::FaultInjected { kind, .. } => {
+                *m.faults.entry(kind).or_insert(0) += 1;
             }
             Event::StallAccrued {
                 disk,

@@ -7,6 +7,7 @@
 //! correct timestamps — when the disk is next touched or at finalization,
 //! so the energy integral is exact without a global event queue.
 
+use crate::error::SimError;
 use crate::policy::{DrpmConfig, Policy, ScheduledAction};
 use crate::report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimPath, SimReport};
 use crate::shard::DiskOp;
@@ -14,6 +15,7 @@ use sdpm_disk::{
     service_time_secs, tpm_break_even_secs, DiskParams, DiskPowerState, EnergyBreakdown,
     PowerError, PowerStateMachine, RpmLadder, RpmLevel, ServiceRequest,
 };
+use sdpm_fault::{FaultCounts, FaultPlan};
 use sdpm_layout::{DiskId, DiskPool};
 use sdpm_trace::{AppEvent, EventStream, IoRequest, PowerAction, REvent, Run, RunStream, Trace};
 
@@ -143,6 +145,15 @@ struct DiskRt {
     /// fresh full machine (see [`crate::shard`]).
     log_ops: bool,
     ops: Vec<DiskOp>,
+    /// Per-disk fault-decision counter: each potential injection site
+    /// consumes one draw, so the fault pattern is a pure function of
+    /// `(seed, disk, per-disk event order)` — deterministic across
+    /// replays and independent of cross-disk interleaving.
+    fault_seq: u64,
+    /// Under an injected slow spin-up from a *directive*, the absolute
+    /// time the platters actually reach speed (the machine itself still
+    /// models the nominal transition; the surplus surfaces as stall).
+    slow_ready_at: f64,
 }
 
 /// Machine-call shims: every top-level mutation of the power-state
@@ -212,6 +223,9 @@ struct ExecState {
     /// Count behind `slow_sum`.
     nreq: u64,
     misfires: MisfireCauses,
+    /// Injected-fault counters (all zero unless a [`FaultPlan`] is
+    /// attached).
+    faults: FaultCounts,
 }
 
 /// Closed-loop trace player. Construct with a policy, [`Engine::run`] a
@@ -222,6 +236,10 @@ pub struct Engine {
     pool: DiskPool,
     policy: Policy,
     tpm_threshold: f64,
+    /// Disk-level fault injection. `None` keeps every code path — and
+    /// therefore every float operation — bit-identical to the engine
+    /// before fault support existed.
+    faults: Option<FaultPlan>,
 }
 
 impl Engine {
@@ -232,6 +250,25 @@ impl Engine {
     /// [`Policy::Schedule`] by [`crate::simulate`].
     #[must_use]
     pub fn new(params: DiskParams, pool: DiskPool, policy: Policy) -> Self {
+        Self::with_faults(params, pool, policy, None)
+    }
+
+    /// Like [`Engine::new`] with a disk-level [`FaultPlan`] attached:
+    /// transient service failures (bounded retry + exponential backoff),
+    /// stochastic slow spin-ups, and stuck-at-RPM transitions, all
+    /// deterministic in the plan's seed. Pass `None` for the bit-exact
+    /// fault-free engine.
+    ///
+    /// # Panics
+    /// If an ideal policy is passed directly — those are lowered to
+    /// [`Policy::Schedule`] by [`crate::simulate`].
+    #[must_use]
+    pub fn with_faults(
+        params: DiskParams,
+        pool: DiskPool,
+        policy: Policy,
+        faults: Option<FaultPlan>,
+    ) -> Self {
         assert!(
             !matches!(policy, Policy::IdealTpm | Policy::IdealDrpm),
             "ideal policies must be lowered to a Schedule (use sdpm_sim::simulate)"
@@ -249,6 +286,7 @@ impl Engine {
             pool,
             policy,
             tpm_threshold,
+            faults,
         }
     }
 
@@ -263,12 +301,32 @@ impl Engine {
         self.run_stream(&mut trace.stream())
     }
 
+    /// Panic-free variant of [`Engine::run`].
+    ///
+    /// # Errors
+    /// A [`SimError`] describing the malformed input or the machine call
+    /// that could not be applied.
+    pub fn try_run(&self, trace: &Trace) -> Result<SimReport, SimError> {
+        self.try_run_stream(&mut trace.stream())
+    }
+
     /// Plays an event stream to completion and reports. The report is
     /// bit-identical to [`Engine::run`] on the materialized equivalent —
     /// chunking does not alter the event sequence.
     #[must_use]
     pub fn run_stream(&self, stream: &mut dyn EventStream) -> SimReport {
         self.run_core(stream, None, false).0
+    }
+
+    /// Panic-free variant of [`Engine::run_stream`]: malformed events,
+    /// corrupt stream bytes (via [`EventStream::try_next_chunk`]), and
+    /// impossible machine transitions surface as a [`SimError`] instead
+    /// of aborting.
+    ///
+    /// # Errors
+    /// A [`SimError`] describing the malformed input.
+    pub fn try_run_stream(&self, stream: &mut dyn EventStream) -> Result<SimReport, SimError> {
+        Ok(self.try_run_core(stream, None, false)?.0)
     }
 
     /// Like [`Engine::run`], but streams the run's event sequence into
@@ -301,17 +359,29 @@ impl Engine {
         rec: Obs<'_>,
         resolve: bool,
     ) -> (SimReport, Vec<Vec<DiskOp>>) {
-        assert_eq!(
-            stream.pool_size(),
-            self.pool.count(),
-            "stream generated for a {}-disk pool, simulating {}",
-            stream.pool_size(),
-            self.pool.count()
-        );
+        match self.try_run_core(stream, rec, resolve) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-free engine loop behind [`Engine::run_core`].
+    pub(crate) fn try_run_core(
+        &self,
+        stream: &mut dyn EventStream,
+        rec: Obs<'_>,
+        resolve: bool,
+    ) -> Result<(SimReport, Vec<Vec<DiskOp>>), SimError> {
+        if stream.pool_size() != self.pool.count() {
+            return Err(SimError::PoolMismatch {
+                stream: stream.pool_size(),
+                pool: self.pool.count(),
+            });
+        }
         let mut st = self.init_state(rec, resolve);
-        while let Some(chunk) = stream.next_chunk() {
+        while let Some(chunk) = stream.try_next_chunk().map_err(SimError::Codec)? {
             for event in chunk {
-                self.handle_event(&mut st, event, rec);
+                self.handle_event(&mut st, event, rec)?;
             }
         }
         self.finish(st, rec, resolve)
@@ -331,31 +401,51 @@ impl Engine {
         rec: Obs<'_>,
         resolve: bool,
     ) -> (SimReport, Vec<Vec<DiskOp>>) {
-        assert_eq!(
-            stream.pool_size(),
-            self.pool.count(),
-            "stream generated for a {}-disk pool, simulating {}",
-            stream.pool_size(),
-            self.pool.count()
-        );
+        match self.try_run_core_runs(stream, rec, resolve) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-free engine loop behind [`Engine::run_core_runs`].
+    pub(crate) fn try_run_core_runs(
+        &self,
+        stream: &mut dyn RunStream,
+        rec: Obs<'_>,
+        resolve: bool,
+    ) -> Result<(SimReport, Vec<Vec<DiskOp>>), SimError> {
+        if stream.pool_size() != self.pool.count() {
+            return Err(SimError::PoolMismatch {
+                stream: stream.pool_size(),
+                pool: self.pool.count(),
+            });
+        }
         let mut st = self.init_state(rec, resolve);
-        while let Some(chunk) = stream.next_chunk() {
+        while let Some(chunk) = stream.try_next_chunk().map_err(SimError::Codec)? {
             for record in chunk {
                 match record {
-                    REvent::Event(event) => self.handle_event(&mut st, event, rec),
-                    REvent::Run(run) => self.handle_run(&mut st, run, rec),
+                    REvent::Event(event) => self.handle_event(&mut st, event, rec)?,
+                    REvent::Run(run) => self.handle_run(&mut st, run, rec)?,
                 }
             }
         }
-        let (mut report, ops) = self.finish(st, rec, resolve);
+        let (mut report, ops) = self.finish(st, rec, resolve)?;
         report.sim_path = SimPath::RunCompressed;
-        (report, ops)
+        Ok((report, ops))
     }
 
     /// Plays a run-compressed stream to completion and reports.
     #[must_use]
     pub fn run_runs(&self, stream: &mut dyn RunStream) -> SimReport {
         self.run_core_runs(stream, None, false).0
+    }
+
+    /// Panic-free variant of [`Engine::run_runs`].
+    ///
+    /// # Errors
+    /// A [`SimError`] describing the malformed input.
+    pub fn try_run_runs(&self, stream: &mut dyn RunStream) -> Result<SimReport, SimError> {
+        Ok(self.try_run_core_runs(stream, None, false)?.0)
     }
 
     /// Per-disk runtimes and global accumulators, positioned at run
@@ -389,6 +479,8 @@ impl Engine {
                 requests: 0,
                 log_ops: resolve,
                 ops: Vec::new(),
+                fault_seq: 0,
+                slow_ready_at: 0.0,
             })
             .collect();
 
@@ -413,13 +505,19 @@ impl Engine {
             slow_sum: 0.0,
             nreq: 0,
             misfires: MisfireCauses::default(),
+            faults: FaultCounts::default(),
         }
     }
 
     /// Dispatches one application event against the running state. Both
     /// engine loops funnel through here; the run-compressed fast path in
     /// [`Engine::handle_run`] must produce bit-identical state updates.
-    fn handle_event(&self, st: &mut ExecState, event: &AppEvent, rec: Obs<'_>) {
+    fn handle_event(
+        &self,
+        st: &mut ExecState,
+        event: &AppEvent,
+        rec: Obs<'_>,
+    ) -> Result<(), SimError> {
         let max = self.ladder.max_level();
         let ExecState {
             disks,
@@ -428,13 +526,17 @@ impl Engine {
             slow_sum,
             nreq,
             misfires,
+            faults,
         } = st;
+        let pool = disks.len() as u32;
         match event {
             AppEvent::Compute { secs, .. } => *t += secs,
             AppEvent::Power { disk, action } => {
                 if let Policy::Directive(cfg) = &self.policy {
-                    let rt = &mut disks[disk.0 as usize];
-                    self.catch_up(rt, *t, misfires, rec);
+                    let rt = disks
+                        .get_mut(disk.0 as usize)
+                        .ok_or(SimError::DiskOutOfRange { disk: disk.0, pool })?;
+                    self.catch_up(rt, *t, misfires, faults, rec)?;
                     obs_emit!(
                         rec,
                         ObsEvent::DirectiveIssued {
@@ -444,7 +546,7 @@ impl Engine {
                             level: action_level(*action),
                         }
                     );
-                    if let Err(cause) = self.apply_action(rt, *t, *action, rec) {
+                    if let Err(cause) = self.apply_action(rt, *t, *action, rec, faults)? {
                         misfires.count(cause);
                         obs_emit!(
                             rec,
@@ -459,8 +561,13 @@ impl Engine {
                 }
             }
             AppEvent::Io(req) => {
-                let rt = &mut disks[req.disk.0 as usize];
-                self.catch_up(rt, *t, misfires, rec);
+                let rt = disks
+                    .get_mut(req.disk.0 as usize)
+                    .ok_or(SimError::DiskOutOfRange {
+                        disk: req.disk.0,
+                        pool,
+                    })?;
+                self.catch_up(rt, *t, misfires, faults, rec)?;
                 obs_emit!(
                     rec,
                     ObsEvent::RequestArrived {
@@ -489,7 +596,7 @@ impl Engine {
                         standby: rt.hit_standby,
                     });
                 }
-                let completion = self.service(rt, *t, req, rec);
+                let completion = self.service(rt, *t, req, rec, faults)?;
                 rt.requests += 1;
                 let full = service_time_secs(
                     &self.params,
@@ -525,10 +632,20 @@ impl Engine {
                 obs_emit!(rec, ObsEvent::GapOpen { t: *t, disk: rt.id });
                 // Reactive DRPM response-window controller.
                 if let Policy::Drpm(cfg) = &self.policy {
-                    Self::drpm_window_update(rt, cfg, slowdown, *t, max, rec);
+                    Self::drpm_window_update(
+                        rt,
+                        cfg,
+                        slowdown,
+                        *t,
+                        max,
+                        rec,
+                        self.faults.as_ref(),
+                        faults,
+                    );
                 }
             }
         }
+        Ok(())
     }
 
     /// True when the disk can take the next request of a run on the
@@ -566,15 +683,22 @@ impl Engine {
     /// repetition, that position expands to the exact per-event handler.
     /// With a recorder attached every position expands, so observers see
     /// the full per-event stream.
-    fn handle_run(&self, st: &mut ExecState, run: &Run, rec: Obs<'_>) {
+    fn handle_run(&self, st: &mut ExecState, run: &Run, rec: Obs<'_>) -> Result<(), SimError> {
+        // A decoded run was validated by the codec, but a hand-built
+        // RunTrace reaches here unchecked — and a zero rotation would
+        // divide by zero below.
+        run.validate().map_err(SimError::InvalidRun)?;
         #[cfg(feature = "obs")]
         if rec.is_some() {
-            for rep in 0..run.count {
-                for sub in 0..run.events_per_rep() {
-                    self.handle_event(st, &run.event_at(rep, sub), rec);
-                }
-            }
-            return;
+            return self.expand_run(st, run, rec);
+        }
+        // Under fault injection the steady fast path is unsound: a
+        // transient failure or slow spin-up inside the run changes
+        // timing in ways `steady_ok` cannot prove away. Degrade the
+        // whole record to per-event servicing and count the degradation.
+        if self.faults.is_some() {
+            st.faults.degraded_expansions += 1;
+            return self.expand_run(st, run, rec);
         }
         let max = self.ladder.max_level();
         // Full-speed service time is a function of the template only —
@@ -595,6 +719,7 @@ impl Engine {
             })
             .collect();
         let q = run.reqs_per_rep() as usize;
+        let pool = st.disks.len() as u32;
         for rep in 0..run.count {
             // The per-event Compute arm is exactly `t += secs`, and every
             // repetition carries the same bitwise `secs_per_rep`.
@@ -604,9 +729,15 @@ impl Engine {
             // no per-request disk arithmetic.
             let base = (rep % run.rotation) as usize * q;
             for (j, tpl) in run.reqs[base..base + q].iter().enumerate() {
-                let rt = &mut st.disks[tpl.io.disk.0 as usize];
+                let rt =
+                    st.disks
+                        .get_mut(tpl.io.disk.0 as usize)
+                        .ok_or(SimError::DiskOutOfRange {
+                            disk: tpl.io.disk.0,
+                            pool,
+                        })?;
                 if !self.steady_ok(rt, st.t) {
-                    self.handle_event(st, &run.event_at(rep, (1 + j) as u64), rec);
+                    self.handle_event(st, &run.event_at(rep, (1 + j) as u64), rec)?;
                     continue;
                 }
                 // Steady fast path: catch_up is a proven no-op, obs is
@@ -623,11 +754,14 @@ impl Engine {
                         standby: rt.hit_standby,
                     });
                 }
-                rt.advance(st.t.max(rt.machine.now()))
-                    .expect("advance to arrival");
+                let arrive = st.t.max(rt.machine.now());
+                rt.advance(arrive)
+                    .map_err(|e| SimError::power("advance to arrival", rt.id, arrive, e))?;
                 let start = st.t.max(rt.machine.now());
                 let start = start.max(rt.machine.now());
-                let level = rt.begin_service(start).expect("begin service");
+                let level = rt
+                    .begin_service(start)
+                    .map_err(|e| SimError::power("begin_service", rt.id, start, e))?;
                 rt.cur_level = level;
                 let svc = service_time_secs(
                     &self.params,
@@ -639,7 +773,8 @@ impl Engine {
                     },
                 );
                 let completion = start + svc;
-                rt.end_service(completion).expect("end service");
+                rt.end_service(completion)
+                    .map_err(|e| SimError::power("end_service", rt.id, completion, e))?;
                 rt.requests += 1;
                 let full = fulls[base + j];
                 let response = completion - st.t;
@@ -655,15 +790,44 @@ impl Engine {
                 rt.hit_standby = false;
                 rt.drift_mark = st.t;
                 if let Policy::Drpm(cfg) = &self.policy {
-                    Self::drpm_window_update(rt, cfg, slowdown, st.t, max, rec);
+                    // The fast path is never taken with faults attached
+                    // (degraded above), so no plan is threaded here.
+                    Self::drpm_window_update(
+                        rt,
+                        cfg,
+                        slowdown,
+                        st.t,
+                        max,
+                        rec,
+                        None,
+                        &mut st.faults,
+                    );
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Expands a run record through the per-event handler — the
+    /// degraded path used whenever a recorder or a fault plan makes the
+    /// steady fast path unsound.
+    fn expand_run(&self, st: &mut ExecState, run: &Run, rec: Obs<'_>) -> Result<(), SimError> {
+        for rep in 0..run.count {
+            for sub in 0..run.events_per_rep() {
+                self.handle_event(st, &run.event_at(rep, sub), rec)?;
+            }
+        }
+        Ok(())
     }
 
     /// Finalize: bring every disk to the end of execution, closing its
     /// final gap, and fold the per-disk ledgers into the report.
-    fn finish(&self, st: ExecState, rec: Obs<'_>, resolve: bool) -> (SimReport, Vec<Vec<DiskOp>>) {
+    fn finish(
+        &self,
+        st: ExecState,
+        rec: Obs<'_>,
+        resolve: bool,
+    ) -> Result<(SimReport, Vec<Vec<DiskOp>>), SimError> {
         let ExecState {
             mut disks,
             t,
@@ -671,12 +835,14 @@ impl Engine {
             slow_sum,
             nreq,
             mut misfires,
+            mut faults,
         } = st;
         let exec_secs = t;
         for rt in &mut disks {
-            self.catch_up(rt, exec_secs, &mut misfires, rec);
+            self.catch_up(rt, exec_secs, &mut misfires, &mut faults, rec)?;
             let end = exec_secs.max(rt.machine.now());
-            rt.advance(end).expect("finalize advance");
+            rt.advance(end)
+                .map_err(|e| SimError::power("finalize advance", rt.id, end, e))?;
             if end > rt.idle_since {
                 obs_emit!(
                     rec,
@@ -740,13 +906,21 @@ impl Engine {
                 slow_sum / nreq as f64
             },
             misfire_causes: misfires,
+            faults,
             sim_path: SimPath::Streamed,
         };
-        (report, ops)
+        Ok((report, ops))
     }
 
     /// Applies the policy's timed actions for one disk up to time `t`.
-    fn catch_up(&self, rt: &mut DiskRt, t: f64, misfires: &mut MisfireCauses, rec: Obs<'_>) {
+    fn catch_up(
+        &self,
+        rt: &mut DiskRt,
+        t: f64,
+        misfires: &mut MisfireCauses,
+        fc: &mut FaultCounts,
+        rec: Obs<'_>,
+    ) -> Result<(), SimError> {
         match &self.policy {
             Policy::Base | Policy::Directive(_) => {}
             Policy::Tpm(_) => {
@@ -771,7 +945,7 @@ impl Engine {
             }
             Policy::Drpm(cfg) => {
                 if rt.drift_hold {
-                    return;
+                    return Ok(());
                 }
                 let one_step = self.params.rpm_transition_secs_per_step;
                 while rt.cur_level > RpmLevel::MIN {
@@ -781,9 +955,30 @@ impl Engine {
                     }
                     // Complete any in-flight shift first.
                     if let DiskPowerState::Shifting { until, .. } = rt.machine.state() {
-                        rt.advance(until).expect("finish shift");
+                        rt.advance(until)
+                            .map_err(|e| SimError::power("finish shift", rt.id, until, e))?;
                     }
                     let at = fire.max(rt.machine.now());
+                    // Injected fault: the actuator sticks at its current
+                    // level. Counted both as a fault and as the misfire
+                    // the policy observes; drifting stops for this gap.
+                    if let Some(plan) = &self.faults {
+                        let n = rt.fault_seq;
+                        rt.fault_seq += 1;
+                        if plan.stuck_rpm(rt.id.0, n) {
+                            fc.stuck_rpm += 1;
+                            misfires.count(MisfireCause::RpmShiftRejected);
+                            obs_emit!(
+                                rec,
+                                ObsEvent::FaultInjected {
+                                    t: at,
+                                    disk: rt.id,
+                                    kind: sdpm_fault::kind::STUCK_RPM,
+                                }
+                            );
+                            break;
+                        }
+                    }
                     let target = self.ladder.step_down(rt.cur_level);
                     if rt.set_rpm(at, target).is_ok() {
                         obs_transition!(rec, rt, at);
@@ -817,7 +1012,7 @@ impl Engine {
                             level: action_level(a.action),
                         }
                     );
-                    if let Err(cause) = self.apply_action(rt, a.at, a.action, rec) {
+                    if let Err(cause) = self.apply_action(rt, a.at, a.action, rec, fc)? {
                         misfires.count(cause);
                         obs_emit!(
                             rec,
@@ -834,44 +1029,104 @@ impl Engine {
                 unreachable!("ideal policies are lowered before Engine::new")
             }
         }
+        Ok(())
     }
 
     /// Makes the disk serviceable at or after `t`, begins and completes
     /// service, and returns the completion time.
-    fn service(&self, rt: &mut DiskRt, t: f64, req: &IoRequest, rec: Obs<'_>) -> f64 {
+    fn service(
+        &self,
+        rt: &mut DiskRt,
+        t: f64,
+        req: &IoRequest,
+        rec: Obs<'_>,
+        fc: &mut FaultCounts,
+    ) -> Result<f64, SimError> {
+        // Injected fault: transient service failures. Each failed
+        // attempt costs an exponentially growing backoff before the
+        // retry; a request whose budget runs out is serviced anyway
+        // (degraded) — the closed-loop application cannot drop it. The
+        // delay shifts the effective arrival, so it surfaces as stall.
+        let t = match &self.faults {
+            Some(plan) => {
+                let n = rt.fault_seq;
+                rt.fault_seq += 1;
+                let (failed, exhausted) = plan.transient_failures(rt.id.0, n);
+                if failed > 0 {
+                    fc.transient_failures += 1;
+                    fc.retries += u64::from(failed);
+                    if exhausted {
+                        fc.retry_exhausted += 1;
+                    }
+                    obs_emit!(
+                        rec,
+                        ObsEvent::FaultInjected {
+                            t,
+                            disk: rt.id,
+                            kind: sdpm_fault::kind::TRANSIENT,
+                        }
+                    );
+                    t + plan.backoff_secs(failed)
+                } else {
+                    t
+                }
+            }
+            None => t,
+        };
         // Bring the machine to the arrival time first, so transitions that
         // finished before `t` are seen as completed (a spin-down that ended
         // an hour ago is a standby disk, not an in-flight transition).
-        rt.advance(t.max(rt.machine.now()))
-            .expect("advance to arrival");
+        let arrive = t.max(rt.machine.now());
+        rt.advance(arrive)
+            .map_err(|e| SimError::power("advance to arrival", rt.id, arrive, e))?;
         let start = match rt.machine.state() {
             DiskPowerState::Idle { .. } => t.max(rt.machine.now()),
             DiskPowerState::Active { .. } => {
-                unreachable!("closed-loop app cannot overlap requests on one disk")
+                // Unreachable through the closed-loop generator, but a
+                // corrupted trace can interleave arrivals arbitrarily.
+                return Err(SimError::power(
+                    "begin_service (overlapping request)",
+                    rt.id,
+                    t,
+                    PowerError::IllegalTransition {
+                        state: "Active",
+                        event: "begin_service",
+                    },
+                ));
             }
             DiskPowerState::Standby => {
                 // Demand wake-up: full spin-up penalty.
                 let at = t.max(rt.machine.now());
-                rt.spin_up(at).expect("spin up from standby");
+                rt.spin_up(at)
+                    .map_err(|e| SimError::power("spin_up from standby", rt.id, at, e))?;
                 obs_transition!(rec, rt, at);
                 rt.cur_level = self.ladder.max_level();
-                at + self.params.spin_up_secs
+                at + self.params.spin_up_secs + self.slow_spinup_extra(rt, at, rec, fc)
             }
             DiskPowerState::SpinningDown { until } => {
-                rt.advance(until).expect("finish spin-down");
-                rt.spin_up(until).expect("spin up after spin-down");
+                rt.advance(until)
+                    .map_err(|e| SimError::power("finish spin-down", rt.id, until, e))?;
+                rt.spin_up(until)
+                    .map_err(|e| SimError::power("spin_up after spin-down", rt.id, until, e))?;
                 obs_transition!(rec, rt, until);
                 rt.cur_level = self.ladder.max_level();
-                until + self.params.spin_up_secs
+                until + self.params.spin_up_secs + self.slow_spinup_extra(rt, until, rec, fc)
             }
             DiskPowerState::SpinningUp { until } | DiskPowerState::Shifting { until, .. } => {
                 until.max(t)
             }
         };
+        // A directive-issued spin-up that came up slow delays readiness
+        // past the machine's nominal transition end.
+        let start = if self.faults.is_some() {
+            start.max(rt.slow_ready_at)
+        } else {
+            start
+        };
         let start = start.max(rt.machine.now());
         let level = rt
             .begin_service(start)
-            .expect("disk must be serviceable at start");
+            .map_err(|e| SimError::power("begin_service", rt.id, start, e))?;
         rt.cur_level = level;
         obs_emit!(
             rec,
@@ -891,7 +1146,8 @@ impl Engine {
             },
         );
         let completion = start + st;
-        rt.end_service(completion).expect("end service");
+        rt.end_service(completion)
+            .map_err(|e| SimError::power("end_service", rt.id, completion, e))?;
         obs_emit!(
             rec,
             ObsEvent::ServiceEnd {
@@ -899,10 +1155,45 @@ impl Engine {
                 disk: rt.id,
             }
         );
-        completion
+        Ok(completion)
+    }
+
+    /// Injected fault: a demand spin-up that comes up slower than the
+    /// nominal `Tsu`. Returns the extra seconds (0.0 when no plan is
+    /// attached or this spin-up is healthy). The machine still models
+    /// the nominal transition; only the application-visible readiness
+    /// is delayed.
+    fn slow_spinup_extra(
+        &self,
+        rt: &mut DiskRt,
+        at: f64,
+        rec: Obs<'_>,
+        fc: &mut FaultCounts,
+    ) -> f64 {
+        #[cfg(not(feature = "obs"))]
+        let _ = at;
+        let Some(plan) = &self.faults else {
+            return 0.0;
+        };
+        let n = rt.fault_seq;
+        rt.fault_seq += 1;
+        let extra = plan.slow_spinup_extra(rt.id.0, n, self.params.spin_up_secs);
+        if extra > 0.0 {
+            fc.slow_spinups += 1;
+            obs_emit!(
+                rec,
+                ObsEvent::FaultInjected {
+                    t: at,
+                    disk: rt.id,
+                    kind: sdpm_fault::kind::SLOW_SPINUP,
+                }
+            );
+        }
+        extra
     }
 
     /// Reactive DRPM window bookkeeping after a completed request.
+    #[allow(clippy::too_many_arguments)]
     fn drpm_window_update(
         rt: &mut DiskRt,
         cfg: &DrpmConfig,
@@ -910,9 +1201,34 @@ impl Engine {
         t: f64,
         max: RpmLevel,
         rec: Obs<'_>,
+        plan: Option<&FaultPlan>,
+        fc: &mut FaultCounts,
     ) {
         rt.window_sum += slowdown;
         rt.window_n += 1;
+        // Injected fault: a stuck-at-RPM actuator ignores the shift
+        // request. The window statistics still reset, so a stuck disk
+        // keeps re-attempting on later windows — mirroring a retried
+        // ioctl rather than a wedged controller.
+        let stuck = |rt: &mut DiskRt, fc: &mut FaultCounts| -> bool {
+            let Some(plan) = plan else { return false };
+            let n = rt.fault_seq;
+            rt.fault_seq += 1;
+            if plan.stuck_rpm(rt.id.0, n) {
+                fc.stuck_rpm += 1;
+                obs_emit!(
+                    rec,
+                    ObsEvent::FaultInjected {
+                        t,
+                        disk: rt.id,
+                        kind: sdpm_fault::kind::STUCK_RPM,
+                    }
+                );
+                true
+            } else {
+                false
+            }
+        };
         // Immediate per-request reaction ([10]'s upper tolerance): a
         // severely slow service ramps the disk up one level right away;
         // moderate slowdowns wait for the window check, which is what
@@ -920,7 +1236,7 @@ impl Engine {
         // large-stripe behavior).
         if slowdown > cfg.upper_tolerance && rt.cur_level < max {
             let target = RpmLevel((rt.cur_level.0 + 1).min(max.0));
-            if rt.set_rpm(t, target).is_ok() {
+            if !stuck(rt, fc) && rt.set_rpm(t, target).is_ok() {
                 obs_transition!(rec, rt, t);
                 rt.cur_level = target;
             }
@@ -935,7 +1251,7 @@ impl Engine {
             // Compensate: restore full speed and hold it until the
             // response recovers (the slowdown/restore oscillation the
             // paper describes for large stripe sizes).
-            if rt.set_rpm(t, max).is_ok() {
+            if !stuck(rt, fc) && rt.set_rpm(t, max).is_ok() {
                 obs_transition!(rec, rt, t);
                 rt.cur_level = max;
             }
@@ -945,62 +1261,98 @@ impl Engine {
         }
     }
 
-    /// Applies one power-management call at time `t`, reporting why it
-    /// could not be applied as issued (a misfire) on failure.
+    /// Applies one power-management call at time `t`. The inner result
+    /// reports why the call could not be applied as issued (a misfire);
+    /// the outer one surfaces machine failures on malformed input.
     fn apply_action(
         &self,
         rt: &mut DiskRt,
         t: f64,
         action: PowerAction,
         rec: Obs<'_>,
-    ) -> Result<(), MisfireCause> {
+        fc: &mut FaultCounts,
+    ) -> Result<Result<(), MisfireCause>, SimError> {
         match action {
             PowerAction::SpinDown => {
                 // Let an in-flight shift finish, then spin down.
                 if let DiskPowerState::Shifting { until, .. } = rt.machine.state() {
-                    rt.advance(until).expect("finish shift");
+                    rt.advance(until)
+                        .map_err(|e| SimError::power("finish shift", rt.id, until, e))?;
                 }
                 let at = t.max(rt.machine.now());
                 if rt.spin_down(at).is_ok() {
                     rt.hit_standby = true;
                     obs_transition!(rec, rt, at);
-                    Ok(())
+                    Ok(Ok(()))
                 } else {
-                    Err(MisfireCause::SpinDownRejected)
+                    Ok(Err(MisfireCause::SpinDownRejected))
                 }
             }
             PowerAction::SpinUp => {
                 if let DiskPowerState::SpinningDown { until } = rt.machine.state() {
-                    rt.advance(until).expect("finish spin-down");
+                    rt.advance(until)
+                        .map_err(|e| SimError::power("finish spin-down", rt.id, until, e))?;
                 }
                 let at = t.max(rt.machine.now());
                 if rt.spin_up(at).is_ok() {
                     rt.cur_level = self.ladder.max_level();
                     obs_transition!(rec, rt, at);
-                    Ok(())
+                    // Injected fault: a directive-issued spin-up that
+                    // comes up slow. The pre-activation distance `d`
+                    // was computed for the nominal `Tsu`, so the next
+                    // request catches the disk still spinning up and
+                    // stalls — exactly the interaction the harness
+                    // exists to exercise.
+                    if self.faults.is_some() {
+                        let extra = self.slow_spinup_extra(rt, at, rec, fc);
+                        if extra > 0.0 {
+                            rt.slow_ready_at = at + self.params.spin_up_secs + extra;
+                        }
+                    }
+                    Ok(Ok(()))
                 } else {
-                    Err(MisfireCause::SpinUpRejected)
+                    Ok(Err(MisfireCause::SpinUpRejected))
                 }
             }
             PowerAction::SetRpm(level) => {
                 if !self.ladder.contains(level) {
-                    return Err(MisfireCause::OffLadderLevel);
+                    return Ok(Err(MisfireCause::OffLadderLevel));
                 }
                 match rt.machine.state() {
                     DiskPowerState::Shifting { until, .. }
                     | DiskPowerState::SpinningUp { until } => {
-                        rt.advance(until).expect("finish transition");
+                        rt.advance(until)
+                            .map_err(|e| SimError::power("finish transition", rt.id, until, e))?;
                     }
                     _ => {}
+                }
+                // Injected fault: stuck-at-RPM — the platters never
+                // leave their current speed, which the policy observes
+                // as a rejected shift.
+                if let Some(plan) = &self.faults {
+                    let n = rt.fault_seq;
+                    rt.fault_seq += 1;
+                    if plan.stuck_rpm(rt.id.0, n) {
+                        fc.stuck_rpm += 1;
+                        obs_emit!(
+                            rec,
+                            ObsEvent::FaultInjected {
+                                t,
+                                disk: rt.id,
+                                kind: sdpm_fault::kind::STUCK_RPM,
+                            }
+                        );
+                        return Ok(Err(MisfireCause::RpmShiftRejected));
+                    }
                 }
                 let at = t.max(rt.machine.now());
                 if rt.set_rpm(at, level).is_ok() {
                     obs_transition!(rec, rt, at);
                     rt.cur_level = level;
                     rt.min_level = rt.min_level.min(level);
-                    Ok(())
+                    Ok(Ok(()))
                 } else {
-                    Err(MisfireCause::RpmShiftRejected)
+                    Ok(Err(MisfireCause::RpmShiftRejected))
                 }
             }
         }

@@ -51,7 +51,13 @@
 //! assert_eq!(ideal.exec_secs, base.exec_secs); // pre-activation hides the shifts
 //! ```
 
+// The engine replays untrusted traces; a stray `unwrap()` on decoded
+// input is a denial-of-service. Failures must flow through `SimError`
+// (or, for the legacy infallible wrappers, an explicit `panic!`).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod engine;
+pub mod error;
 pub mod openloop;
 pub mod oracle;
 pub mod policy;
@@ -59,11 +65,13 @@ pub mod report;
 pub mod shard;
 
 pub use engine::Engine;
+pub use error::SimError;
 pub use openloop::{replay_open_loop, replay_open_loop_demuxed, OpenDiskReport, OpenLoopReport};
 pub use policy::{DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
 pub use report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimPath, SimReport};
 
 use sdpm_disk::DiskParams;
+use sdpm_fault::FaultPlan;
 use sdpm_layout::DiskPool;
 use sdpm_trace::{EventSource, EventStream, RunSource, RunStream, Trace};
 
@@ -83,8 +91,24 @@ pub const SHARD_MIN_EVENTS_PER_DISK: u64 = 4096;
 /// was generated for a different pool size.
 #[must_use]
 pub fn simulate(trace: &Trace, params: &DiskParams, pool: DiskPool, policy: &Policy) -> SimReport {
-    trace.validate().expect("simulate requires a valid trace");
-    simulate_source(trace, params, pool, policy)
+    match try_simulate(trace, params, pool, policy) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-free variant of [`simulate`].
+///
+/// # Errors
+/// A [`SimError`] describing the invalid input.
+pub fn try_simulate(
+    trace: &Trace,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> Result<SimReport, SimError> {
+    trace.validate().map_err(SimError::InvalidTrace)?;
+    try_simulate_source(trace, params, pool, policy)
 }
 
 /// Simulates an event source — a materialized [`Trace`], a lazy
@@ -109,8 +133,49 @@ pub fn simulate_source(
     pool: DiskPool,
     policy: &Policy,
 ) -> SimReport {
-    run_sim(source, params, pool, policy, |engine, stream| {
-        engine.run_stream(stream)
+    match try_simulate_source(source, params, pool, policy) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-free variant of [`simulate_source`].
+///
+/// # Errors
+/// A [`SimError`] describing the invalid input.
+pub fn try_simulate_source(
+    source: &dyn EventSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> Result<SimReport, SimError> {
+    run_sim(source, params, pool, policy, None, |engine, stream| {
+        engine.try_run_stream(stream)
+    })
+}
+
+/// [`try_simulate_source`] with a fault plan attached to the measured
+/// run. Faults perturb the *measured* pass only: the internal Base pass
+/// that oracle policies use to recover the gap structure stays clean,
+/// so the schedule is built from the intended timeline and the injected
+/// faults then stress its replay — the scenario the paper's
+/// estimation-error discussion worries about.
+///
+/// With `faults` `None` (or a plan whose rates are all zero but which
+/// still degrades runs — see [`sdpm_fault::FaultConfig::is_disabled`]),
+/// the report is bit-identical to [`try_simulate_source`].
+///
+/// # Errors
+/// A [`SimError`] describing the invalid input.
+pub fn try_simulate_source_faulted(
+    source: &dyn EventSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+    faults: Option<&FaultPlan>,
+) -> Result<SimReport, SimError> {
+    run_sim(source, params, pool, policy, faults, |engine, stream| {
+        engine.try_run_stream(stream)
     })
 }
 
@@ -133,13 +198,29 @@ pub fn simulate_sharded(
     pool: DiskPool,
     policy: &Policy,
 ) -> SimReport {
+    match try_simulate_sharded(source, params, pool, policy) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-free variant of [`simulate_sharded`].
+///
+/// # Errors
+/// A [`SimError`] describing the invalid input.
+pub fn try_simulate_sharded(
+    source: &dyn EventSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> Result<SimReport, SimError> {
     if let Some(n) = source.size_hint() {
         if n < u64::from(pool.count()) * SHARD_MIN_EVENTS_PER_DISK {
-            return simulate_source(source, params, pool, policy);
+            return try_simulate_source(source, params, pool, policy);
         }
     }
-    run_sim(source, params, pool, policy, |engine, stream| {
-        engine.run_sharded(stream)
+    run_sim(source, params, pool, policy, None, |engine, stream| {
+        engine.try_run_sharded(stream)
     })
 }
 
@@ -162,33 +243,54 @@ pub fn simulate_runs(
     pool: DiskPool,
     policy: &Policy,
 ) -> SimReport {
-    params
-        .validate()
-        .expect("simulate requires valid DiskParams");
-    let run = |engine: &Engine, stream: &mut dyn RunStream| engine.run_runs(stream);
+    match try_simulate_runs(source, params, pool, policy) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-free variant of [`simulate_runs`].
+///
+/// # Errors
+/// A [`SimError`] describing the invalid input.
+pub fn try_simulate_runs(
+    source: &dyn RunSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+) -> Result<SimReport, SimError> {
+    try_simulate_runs_faulted(source, params, pool, policy, None)
+}
+
+/// [`try_simulate_runs`] with a fault plan attached to the measured
+/// run; same oracle semantics as [`try_simulate_source_faulted`].
+///
+/// # Errors
+/// A [`SimError`] describing the invalid input.
+pub fn try_simulate_runs_faulted(
+    source: &dyn RunSource,
+    params: &DiskParams,
+    pool: DiskPool,
+    policy: &Policy,
+    faults: Option<&FaultPlan>,
+) -> Result<SimReport, SimError> {
+    params.validate().map_err(SimError::InvalidParams)?;
+    let run = |engine: &Engine, stream: &mut dyn RunStream| engine.try_run_runs(stream);
+    let faulted = |p: Policy| Engine::with_faults(params.clone(), pool, p, faults.cloned());
     match policy {
         Policy::IdealTpm => {
-            let base =
-                Engine::new(params.clone(), pool, Policy::Base).run_runs(&mut *source.open_runs());
+            let base = Engine::new(params.clone(), pool, Policy::Base)
+                .try_run_runs(&mut *source.open_runs())?;
             let sched = oracle::ideal_tpm_schedule(&base, params);
-            run(
-                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
-                &mut *source.open_runs(),
-            )
+            run(&faulted(Policy::schedule(sched)), &mut *source.open_runs())
         }
         Policy::IdealDrpm => {
-            let base =
-                Engine::new(params.clone(), pool, Policy::Base).run_runs(&mut *source.open_runs());
+            let base = Engine::new(params.clone(), pool, Policy::Base)
+                .try_run_runs(&mut *source.open_runs())?;
             let sched = oracle::ideal_drpm_schedule(&base, params);
-            run(
-                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
-                &mut *source.open_runs(),
-            )
+            run(&faulted(Policy::schedule(sched)), &mut *source.open_runs())
         }
-        p => run(
-            &Engine::new(params.clone(), pool, p.clone()),
-            &mut *source.open_runs(),
-        ),
+        p => run(&faulted(p.clone()), &mut *source.open_runs()),
     }
 }
 
@@ -210,7 +312,9 @@ pub fn simulate_with_recorder(
     policy: &Policy,
     rec: &dyn sdpm_obs::Recorder,
 ) -> SimReport {
-    trace.validate().expect("simulate requires a valid trace");
+    if let Err(e) = trace.validate() {
+        panic!("{}", SimError::InvalidTrace(e));
+    }
     simulate_source_with_recorder(trace, params, pool, policy, rec)
 }
 
@@ -230,43 +334,43 @@ pub fn simulate_source_with_recorder(
     policy: &Policy,
     rec: &dyn sdpm_obs::Recorder,
 ) -> SimReport {
-    run_sim(source, params, pool, policy, |engine, stream| {
-        engine.run_stream_with_recorder(stream, rec)
-    })
+    let out = run_sim(source, params, pool, policy, None, |engine, stream| {
+        Ok(engine.run_stream_with_recorder(stream, rec))
+    });
+    match out {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
 }
 
+/// Shared oracle-aware driver: builds the final engine (with `faults`
+/// attached if given) and hands it plus a fresh stream to `run`. Oracle
+/// policies first replay a clean fault-free Base pass to recover the
+/// gap structure — the derived schedule then meets the faults during
+/// the measured replay.
 fn run_sim(
     source: &dyn EventSource,
     params: &DiskParams,
     pool: DiskPool,
     policy: &Policy,
-    run: impl Fn(&Engine, &mut dyn EventStream) -> SimReport,
-) -> SimReport {
-    params
-        .validate()
-        .expect("simulate requires valid DiskParams");
+    faults: Option<&FaultPlan>,
+    run: impl Fn(&Engine, &mut dyn EventStream) -> Result<SimReport, SimError>,
+) -> Result<SimReport, SimError> {
+    params.validate().map_err(SimError::InvalidParams)?;
+    let faulted = |p: Policy| Engine::with_faults(params.clone(), pool, p, faults.cloned());
     match policy {
         Policy::IdealTpm => {
-            let base =
-                Engine::new(params.clone(), pool, Policy::Base).run_stream(&mut *source.open());
+            let base = Engine::new(params.clone(), pool, Policy::Base)
+                .try_run_stream(&mut *source.open())?;
             let sched = oracle::ideal_tpm_schedule(&base, params);
-            run(
-                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
-                &mut *source.open(),
-            )
+            run(&faulted(Policy::schedule(sched)), &mut *source.open())
         }
         Policy::IdealDrpm => {
-            let base =
-                Engine::new(params.clone(), pool, Policy::Base).run_stream(&mut *source.open());
+            let base = Engine::new(params.clone(), pool, Policy::Base)
+                .try_run_stream(&mut *source.open())?;
             let sched = oracle::ideal_drpm_schedule(&base, params);
-            run(
-                &Engine::new(params.clone(), pool, Policy::schedule(sched)),
-                &mut *source.open(),
-            )
+            run(&faulted(Policy::schedule(sched)), &mut *source.open())
         }
-        p => run(
-            &Engine::new(params.clone(), pool, p.clone()),
-            &mut *source.open(),
-        ),
+        p => run(&faulted(p.clone()), &mut *source.open()),
     }
 }

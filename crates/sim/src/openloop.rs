@@ -77,7 +77,9 @@ pub fn replay_open_loop(
     pool: DiskPool,
     level: RpmLevel,
 ) -> OpenLoopReport {
-    trace.validate().expect("replay requires a valid trace");
+    if let Err(e) = trace.validate() {
+        panic!("replay requires a valid trace: {e}");
+    }
     replay_open_loop_demuxed(&demux(&mut trace.stream()), params, pool, level)
 }
 
@@ -98,7 +100,9 @@ pub fn replay_open_loop_demuxed(
     pool: DiskPool,
     level: RpmLevel,
 ) -> OpenLoopReport {
-    params.validate().expect("replay requires valid DiskParams");
+    if let Err(e) = params.validate() {
+        panic!("replay requires valid DiskParams: {e}");
+    }
     assert_eq!(demuxed.pool_size, pool.count(), "stream/pool mismatch");
     let ladder = RpmLadder::new(params);
     assert!(ladder.contains(level), "RPM level off the ladder");
@@ -118,7 +122,9 @@ pub fn replay_open_loop_demuxed(
         .map(|_| {
             let mut machine = PowerStateMachine::new(params.clone());
             // Park the disk at the study level from t = 0.
-            machine.set_rpm(0.0, level).expect("level change");
+            machine
+                .set_rpm(0.0, level)
+                .unwrap_or_else(|e| panic!("open-loop replay: initial level change failed: {e}"));
             DiskState {
                 machine,
                 available_at: 0.0,
@@ -167,9 +173,17 @@ pub fn replay_open_loop_demuxed(
                 },
             );
             let completion = start + st;
-            d.machine.advance(start).expect("advance to start");
-            d.machine.begin_service(start).expect("begin");
-            d.machine.end_service(completion).expect("end");
+            // Infallible by construction: arrivals are monotone per disk
+            // and the spindle is parked idle between services.
+            d.machine
+                .advance(start)
+                .unwrap_or_else(|e| panic!("open-loop replay: advance to start failed: {e}"));
+            d.machine
+                .begin_service(start)
+                .unwrap_or_else(|e| panic!("open-loop replay: begin_service failed: {e}"));
+            d.machine
+                .end_service(completion)
+                .unwrap_or_else(|e| panic!("open-loop replay: end_service failed: {e}"));
             d.available_at = completion;
             d.last_end = completion;
             d.busy_secs += st;
@@ -190,7 +204,9 @@ pub fn replay_open_loop_demuxed(
         .into_iter()
         .map(|mut d| {
             let end = makespan.max(d.machine.now());
-            d.machine.advance(end).expect("finalize");
+            d.machine
+                .advance(end)
+                .unwrap_or_else(|e| panic!("open-loop replay: finalize advance failed: {e}"));
             if end > d.last_end {
                 d.gaps.push(GapRecord {
                     start: d.last_end,

@@ -1,6 +1,7 @@
 //! Simulation reports.
 
 use sdpm_disk::{best_rpm_for_gap, EnergyBreakdown, RpmLadder, RpmLevel};
+use sdpm_fault::FaultCounts;
 use serde::{Deserialize, Serialize};
 
 /// One idle period of one disk, as observed during a run.
@@ -174,6 +175,10 @@ pub struct SimReport {
     /// cause; the engine resolves them gracefully but they indicate
     /// estimation error.
     pub misfire_causes: MisfireCauses,
+    /// Injected faults the run absorbed, broken down by cause. All
+    /// zeros when no [`sdpm_fault::FaultPlan`] was attached, so the
+    /// field is inert for fault-free bit-exactness comparisons.
+    pub faults: FaultCounts,
     /// Engine path that produced the report (metadata; excluded from
     /// equality because every path is bit-identical in results).
     pub sim_path: SimPath,
@@ -192,6 +197,7 @@ impl PartialEq for SimReport {
             && self.stall_secs == other.stall_secs
             && self.mean_slowdown == other.mean_slowdown
             && self.misfire_causes == other.misfire_causes
+            && self.faults == other.faults
     }
 }
 
@@ -275,6 +281,7 @@ mod tests {
             stall_secs: 0.0,
             mean_slowdown: 1.0,
             misfire_causes: MisfireCauses::default(),
+            faults: FaultCounts::default(),
             sim_path: SimPath::default(),
         }
     }

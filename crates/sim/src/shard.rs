@@ -111,7 +111,9 @@ fn replay_all(params: &DiskParams, ops: &[Vec<DiskOp>]) -> Vec<PowerStateMachine
         }
     });
     out.into_iter()
-        .map(|m| m.expect("every disk replayed"))
+        // Unreachable by construction: the counter loop visits every
+        // index before any worker exits.
+        .map(|m| m.unwrap_or_else(|| unreachable!("every disk replayed")))
         .collect()
 }
 
@@ -119,9 +121,26 @@ impl Engine {
     /// Plays an event stream with per-disk energy integration sharded
     /// across threads. The returned report is bit-identical to
     /// [`Engine::run_stream`]'s on the same stream.
+    ///
+    /// # Panics
+    /// On malformed input; see [`Engine::try_run_sharded`].
     #[must_use]
     pub fn run_sharded(&self, stream: &mut dyn EventStream) -> SimReport {
-        let (mut report, ops) = self.run_core(stream, None, true);
+        match self.try_run_sharded(stream) {
+            Ok(report) => report,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Panic-free variant of [`Engine::run_sharded`].
+    ///
+    /// # Errors
+    /// A [`crate::SimError`] describing the malformed input.
+    pub fn try_run_sharded(
+        &self,
+        stream: &mut dyn EventStream,
+    ) -> Result<SimReport, crate::SimError> {
+        let (mut report, ops) = self.try_run_core(stream, None, true)?;
         let machines = replay_all(self.params(), &ops);
         for (d, m) in report.per_disk.iter_mut().zip(&machines) {
             debug_assert_eq!(d.spin_downs, m.spin_downs);
@@ -134,7 +153,7 @@ impl Engine {
             .iter()
             .fold(EnergyBreakdown::default(), |acc, d| acc.merged(&d.energy));
         report.sim_path = SimPath::Sharded;
-        report
+        Ok(report)
     }
 }
 

@@ -55,6 +55,8 @@ pub enum CodecError {
     /// A run record fails [`Run::validate`] (its lowering would be
     /// degenerate or overflow).
     BadRun(String),
+    /// A run's `rotation` exceeds the format's u32 field.
+    RotationOverflow(u64),
 }
 
 impl std::fmt::Display for CodecError {
@@ -65,6 +67,9 @@ impl std::fmt::Display for CodecError {
             CodecError::BadTag(t) => write!(f, "unknown tag {t}"),
             CodecError::BadName => write!(f, "trace name is not UTF-8"),
             CodecError::BadRun(why) => write!(f, "invalid run record: {why}"),
+            CodecError::RotationOverflow(r) => {
+                write!(f, "run rotation {r} exceeds the format's u32 field")
+            }
         }
     }
 }
@@ -215,35 +220,43 @@ impl<'a> Reader<'a> {
     }
 
     fn get_u16_le(&mut self) -> Result<u16, CodecError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     fn get_u32_le(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     fn get_u64_le(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn get_f64_le(&mut self) -> Result<f64, CodecError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_bits(self.get_u64_le()?))
     }
 }
 
-/// Serializes one run record (tag 3).
-fn write_run(buf: &mut Vec<u8>, run: &Run) {
+/// Serializes one run record (tag 3). The format stores `rotation` in a
+/// u32 field; a hand-built run exceeding that (the [`Compressor`] caps
+/// rotation at [`crate::run::MAX_ROTATION`], so only hand-built records
+/// can) is rejected rather than panicking mid-encode.
+///
+/// [`Compressor`]: crate::run::compress
+fn write_run(buf: &mut Vec<u8>, run: &Run) -> Result<(), CodecError> {
+    let rotation =
+        u32::try_from(run.rotation).map_err(|_| CodecError::RotationOverflow(run.rotation))?;
     buf.push(3);
     buf.extend_from_slice(&run.count.to_le_bytes());
     buf.extend_from_slice(&(run.nest as u32).to_le_bytes());
     buf.extend_from_slice(&run.first_iter.to_le_bytes());
     buf.extend_from_slice(&run.iters_per_rep.to_le_bytes());
     buf.extend_from_slice(&run.secs_per_rep.to_le_bytes());
-    buf.extend_from_slice(
-        &u32::try_from(run.rotation)
-            .expect("rotation fits u32")
-            .to_le_bytes(),
-    );
+    buf.extend_from_slice(&rotation.to_le_bytes());
     buf.extend_from_slice(&(run.reqs.len() as u32).to_le_bytes());
     for t in &run.reqs {
         buf.extend_from_slice(&t.io.disk.0.to_le_bytes());
@@ -261,12 +274,16 @@ fn write_run(buf: &mut Vec<u8>, run: &Run) {
         buf.extend_from_slice(&(t.io.nest as u32).to_le_bytes());
         buf.extend_from_slice(&t.io.iter.to_le_bytes());
     }
+    Ok(())
 }
 
 /// Serializes one run-compressed record.
-fn write_revent(buf: &mut Vec<u8>, re: &REvent) {
+fn write_revent(buf: &mut Vec<u8>, re: &REvent) -> Result<(), CodecError> {
     match re {
-        REvent::Event(e) => write_event(buf, e),
+        REvent::Event(e) => {
+            write_event(buf, e);
+            Ok(())
+        }
         REvent::Run(r) => write_run(buf, r),
     }
 }
@@ -537,8 +554,11 @@ impl EventStream for DecodeStream<'_> {
     /// On a corrupt byte stream — use [`DecodeStream::try_next_chunk`]
     /// when corruption must be handled rather than aborted on.
     fn next_chunk(&mut self) -> Option<&[AppEvent]> {
-        self.try_next_chunk()
-            .unwrap_or_else(|e| panic!("corrupt trace stream: {e}"))
+        DecodeStream::try_next_chunk(self).unwrap_or_else(|e| panic!("corrupt trace stream: {e}"))
+    }
+
+    fn try_next_chunk(&mut self) -> Result<Option<&[AppEvent]>, CodecError> {
+        DecodeStream::try_next_chunk(self)
     }
 }
 
@@ -590,17 +610,28 @@ impl RunStreamEncoder {
         }
     }
 
-    /// Appends one record.
-    pub fn push(&mut self, re: &REvent) {
-        write_revent(&mut self.buf, re);
+    /// Appends one record. A rejected record (rotation overflow) leaves
+    /// the encoding unchanged, so the encoder stays usable.
+    ///
+    /// # Errors
+    /// [`CodecError::RotationOverflow`] when a run's rotation exceeds the
+    /// format's u32 field.
+    pub fn push(&mut self, re: &REvent) -> Result<(), CodecError> {
+        write_revent(&mut self.buf, re)?;
         self.count += 1;
+        Ok(())
     }
 
     /// Appends a chunk of records.
-    pub fn extend(&mut self, records: &[REvent]) {
+    ///
+    /// # Errors
+    /// As [`RunStreamEncoder::push`]; records before the offending one
+    /// stay encoded.
+    pub fn extend(&mut self, records: &[REvent]) -> Result<(), CodecError> {
         for re in records {
-            self.push(re);
+            self.push(re)?;
         }
+        Ok(())
     }
 
     /// Records encoded so far.
@@ -619,22 +650,27 @@ impl RunStreamEncoder {
 }
 
 /// Serializes a run-compressed trace into the v2 binary format.
-#[must_use]
-pub fn encode_runs(trace: &RunTrace) -> Vec<u8> {
+///
+/// # Errors
+/// [`CodecError::RotationOverflow`] when a (necessarily hand-built) run
+/// record's rotation exceeds the format's u32 field.
+pub fn encode_runs(trace: &RunTrace) -> Result<Vec<u8>, CodecError> {
     let mut enc = RunStreamEncoder::new(&trace.name, trace.pool_size);
-    enc.extend(&trace.events);
-    enc.finish()
+    enc.extend(&trace.events)?;
+    Ok(enc.finish())
 }
 
 /// Drains a run stream through a [`RunStreamEncoder`]; byte-identical to
 /// `encode_runs(&collect_runs(stream))` without materializing the trace.
-#[must_use]
-pub fn encode_run_stream(stream: &mut dyn RunStream) -> Vec<u8> {
+///
+/// # Errors
+/// As [`encode_runs`].
+pub fn encode_run_stream(stream: &mut dyn RunStream) -> Result<Vec<u8>, CodecError> {
     let mut enc = RunStreamEncoder::new(stream.name(), stream.pool_size());
     while let Some(chunk) = stream.next_chunk() {
-        enc.extend(chunk);
+        enc.extend(chunk)?;
     }
-    enc.finish()
+    Ok(enc.finish())
 }
 
 /// Incremental run-preserving decoder: like [`DecodeStream`] but yields
@@ -716,8 +752,12 @@ impl RunStream for DecodeRunStream<'_> {
     /// [`DecodeRunStream::try_next_chunk`] when corruption must be
     /// handled rather than aborted on.
     fn next_chunk(&mut self) -> Option<&[REvent]> {
-        self.try_next_chunk()
+        DecodeRunStream::try_next_chunk(self)
             .unwrap_or_else(|e| panic!("corrupt run trace stream: {e}"))
+    }
+
+    fn try_next_chunk(&mut self) -> Result<Option<&[REvent]>, CodecError> {
+        DecodeRunStream::try_next_chunk(self)
     }
 }
 
@@ -864,14 +904,14 @@ mod tests {
     #[test]
     fn v2_round_trip_preserves_runs() {
         let rt = sample_runs();
-        let bytes = encode_runs(&rt);
+        let bytes = encode_runs(&rt).unwrap();
         assert_eq!(decode_runs(&bytes).unwrap(), rt);
     }
 
     #[test]
     fn v2_decodes_to_per_event_stream_for_legacy_consumers() {
         let rt = sample_runs();
-        let bytes = encode_runs(&rt);
+        let bytes = encode_runs(&rt).unwrap();
         // Tiny chunks so runs lower across chunk boundaries.
         let mut s = DecodeStream::chunked(&bytes, 3).unwrap();
         let lowered = crate::stream::collect(&mut s);
@@ -891,7 +931,7 @@ mod tests {
 
     #[test]
     fn v2_truncation_rejected_at_every_length() {
-        let bytes = encode_runs(&sample_runs());
+        let bytes = encode_runs(&sample_runs()).unwrap();
         for cut in 0..bytes.len() {
             assert!(
                 decode_runs(&bytes[..cut]).is_err(),
@@ -919,15 +959,69 @@ mod tests {
                 reqs: vec![],
             })],
         };
-        let bytes = encode_runs(&rt);
+        let bytes = encode_runs(&rt).unwrap();
         assert!(matches!(decode_runs(&bytes), Err(CodecError::BadRun(_))));
+    }
+
+    /// Regression: a hand-built run whose rotation exceeds the format's
+    /// u32 field used to panic mid-encode via `expect("rotation fits
+    /// u32")`; it must surface as a `CodecError` instead.
+    #[test]
+    fn oversized_rotation_is_an_error_not_a_panic() {
+        let big = u64::from(u32::MAX) + 1;
+        let run = Run {
+            count: 1,
+            nest: 0,
+            first_iter: 0,
+            iters_per_rep: big,
+            secs_per_rep: 1.0,
+            rotation: big,
+            reqs: (0..big.min(2))
+                .map(|k| IoTemplate {
+                    io: IoRequest {
+                        disk: DiskId(0),
+                        start_block: k,
+                        size_bytes: 4096,
+                        kind: ReqKind::Read,
+                        sequential: false,
+                        nest: 0,
+                        iter: k,
+                    },
+                    block_stride: 0,
+                })
+                .collect(),
+        };
+        let rt = RunTrace {
+            name: "overflow".into(),
+            pool_size: 1,
+            events: vec![REvent::Run(run.clone())],
+        };
+        assert_eq!(
+            encode_runs(&rt),
+            Err(CodecError::RotationOverflow(big)),
+            "encode_runs must reject, not panic"
+        );
+        let mut enc = RunStreamEncoder::new("overflow", 1);
+        let before = enc.count();
+        assert!(enc.push(&REvent::Run(run)).is_err());
+        assert_eq!(enc.count(), before, "rejected record must not count");
+        // The encoder stays usable after a rejected record.
+        enc.push(&REvent::Event(AppEvent::Compute {
+            nest: 0,
+            first_iter: 0,
+            iters: 1,
+            secs: 0.5,
+        }))
+        .unwrap();
+        let bytes = enc.finish();
+        assert_eq!(decode_runs(&bytes).unwrap().events.len(), 1);
     }
 
     #[test]
     fn run_stream_encoder_matches_materialized_encoding() {
         let rt = sample_runs();
-        let via_stream = encode_run_stream(&mut rt.stream());
-        assert_eq!(via_stream, encode_runs(&rt));
+        let via_stream = encode_run_stream(&mut rt.stream()).unwrap();
+        assert_eq!(via_stream, encode_runs(&rt).unwrap());
     }
 }
 

@@ -174,9 +174,9 @@ impl<'a> GenStream<'a> {
     #[must_use]
     pub fn new(program: &'a Program, pool: DiskPool, config: TraceGenConfig) -> Self {
         assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
-        program
-            .validate(pool)
-            .expect("trace generation requires a valid program");
+        if let Err(e) = program.validate(pool) {
+            panic!("trace generation requires a valid program: {e}");
+        }
         let linrefs = if program.nests.is_empty() {
             Vec::new()
         } else {
@@ -300,9 +300,9 @@ impl<'a> GenSource<'a> {
     #[must_use]
     pub fn new(program: &'a Program, pool: DiskPool, config: TraceGenConfig) -> Self {
         assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
-        program
-            .validate(pool)
-            .expect("trace generation requires a valid program");
+        if let Err(e) = program.validate(pool) {
+            panic!("trace generation requires a valid program: {e}");
+        }
         GenSource {
             program,
             pool,

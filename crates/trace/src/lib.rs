@@ -23,6 +23,11 @@
 //! can propagate device stalls into application execution time — exactly
 //! the effect behind the paper's Fig. 4 performance comparison.
 
+// This crate parses untrusted bytes; a stray `unwrap()` is a
+// denial-of-service. Failures must flow through `CodecError` (or, for
+// caller contract violations, an explicit `panic!` with context).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod codec;
 pub mod event;
 pub mod gen;

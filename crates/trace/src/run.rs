@@ -24,6 +24,7 @@
 //!   into a per-event stream for legacy consumers (the verifier's replay,
 //!   obs recorders, the v1 codec).
 
+use crate::codec::CodecError;
 use crate::event::{AppEvent, IoRequest};
 use crate::stream::{EventSource, EventStream, DEFAULT_CHUNK_EVENTS};
 use crate::trace::Trace;
@@ -117,7 +118,11 @@ impl Run {
         } else {
             let group = rep % self.rotation;
             let cycle = rep / self.rotation;
-            let t = &self.reqs[(group * self.reqs_per_rep() + sub - 1) as usize];
+            // Checked narrowing: on a 32-bit target a hostile run could
+            // otherwise silently truncate the index; saturating to
+            // usize::MAX turns that into a clean bounds panic instead.
+            let idx = group * self.reqs_per_rep() + sub - 1;
+            let t = &self.reqs[usize::try_from(idx).unwrap_or(usize::MAX)];
             AppEvent::Io(IoRequest {
                 start_block: t.io.start_block + cycle * t.block_stride,
                 iter: t.io.iter + cycle * self.rotation * self.iters_per_rep,
@@ -222,6 +227,14 @@ pub trait RunStream {
     /// The next chunk of records, or `None` when exhausted. Chunks are
     /// non-empty.
     fn next_chunk(&mut self) -> Option<&[REvent]>;
+
+    /// Fallible variant of [`RunStream::next_chunk`]. Streams that
+    /// cannot fail inherit this default; streams over untrusted bytes
+    /// ([`crate::codec::DecodeRunStream`]) override it to surface
+    /// corruption as a [`CodecError`] instead of panicking.
+    fn try_next_chunk(&mut self) -> Result<Option<&[REvent]>, CodecError> {
+        Ok(self.next_chunk())
+    }
 }
 
 impl<S: RunStream + ?Sized> RunStream for Box<S> {
@@ -235,6 +248,10 @@ impl<S: RunStream + ?Sized> RunStream for Box<S> {
 
     fn next_chunk(&mut self) -> Option<&[REvent]> {
         (**self).next_chunk()
+    }
+
+    fn try_next_chunk(&mut self) -> Result<Option<&[REvent]>, CodecError> {
+        (**self).try_next_chunk()
     }
 }
 
@@ -495,7 +512,9 @@ impl Compressor {
         self.pending.push_back(p);
         self.detect(out);
         while self.pending.len() > (2 * MAX_ROTATION) as usize {
-            let old = self.pending.pop_front().expect("non-empty by len check");
+            let Some(old) = self.pending.pop_front() else {
+                break; // unreachable: len check above guarantees an element
+            };
             Self::emit_period(&old, out);
         }
     }

@@ -142,9 +142,9 @@ impl<'a> RunGenStream<'a> {
     #[must_use]
     pub fn new(program: &'a Program, pool: DiskPool, config: TraceGenConfig) -> Self {
         assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
-        program
-            .validate(pool)
-            .expect("trace generation requires a valid program");
+        if let Err(e) = program.validate(pool) {
+            panic!("trace generation requires a valid program: {e}");
+        }
         let (linrefs, plan) = if program.nests.is_empty() {
             (Vec::new(), NestPlan::Affine(Vec::new()))
         } else {
@@ -365,9 +365,9 @@ impl<'a> RunGenSource<'a> {
     #[must_use]
     pub fn new(program: &'a Program, pool: DiskPool, config: TraceGenConfig) -> Self {
         assert!(config.io_chunk_bytes > 0, "chunk size must be positive");
-        program
-            .validate(pool)
-            .expect("trace generation requires a valid program");
+        if let Err(e) = program.validate(pool) {
+            panic!("trace generation requires a valid program: {e}");
+        }
         RunGenSource {
             program,
             pool,

@@ -22,6 +22,7 @@
 //! nominal (compute-only) timeline — the per-disk view that open-loop
 //! replay and per-disk analyses consume.
 
+use crate::codec::CodecError;
 use crate::event::AppEvent;
 use crate::trace::Trace;
 
@@ -46,6 +47,15 @@ pub trait EventStream {
     /// The next chunk of events, or `None` when exhausted. Chunks are
     /// non-empty.
     fn next_chunk(&mut self) -> Option<&[AppEvent]>;
+
+    /// Fallible variant of [`EventStream::next_chunk`]. Most streams
+    /// cannot fail and inherit this default; streams over untrusted
+    /// bytes ([`crate::codec::DecodeStream`]) override it to surface
+    /// corruption as a [`CodecError`] instead of panicking, which is
+    /// what the panic-free simulation entry points consume.
+    fn try_next_chunk(&mut self) -> Result<Option<&[AppEvent]>, CodecError> {
+        Ok(self.next_chunk())
+    }
 }
 
 /// A stream factory: something that can be replayed from the start any

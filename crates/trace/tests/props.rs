@@ -308,7 +308,7 @@ proptest! {
         }
         let t = Trace { name: "v2".into(), pool_size: pool, events: evs };
         let rt = compress(&t);
-        let bytes = encode_runs(&rt);
+        let bytes = encode_runs(&rt).unwrap();
         prop_assert_eq!(decode_runs(&bytes).unwrap(), rt);
         // The event-level decoder lowers v2 incrementally.
         let mut dec = DecodeStream::chunked(&bytes, chunk).unwrap();
@@ -341,7 +341,7 @@ proptest! {
         }
         let t = Trace { name: "cutv2".into(), pool_size: pool, events: evs };
         let rt = compress(&t);
-        let bytes = encode_runs(&rt);
+        let bytes = encode_runs(&rt).unwrap();
         let cut = cut_seed % (bytes.len() - 1).max(1);
 
         match DecodeRunStream::chunked(&bytes[..cut], chunk) {
@@ -356,6 +356,52 @@ proptest! {
                 };
                 prop_assert_eq!(err, CodecError::Truncated);
             }
+        }
+    }
+
+    /// Fuzz: arbitrary byte strings fed to every decoder entry point
+    /// produce an error or a trace — never a panic. Covers garbage that
+    /// is not just a truncation of a valid encoding.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoders(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+        chunk in 1usize..6,
+    ) {
+        let _ = decode(&bytes);
+        let _ = decode_runs(&bytes);
+        if let Ok(mut dec) = DecodeStream::chunked(&bytes, chunk) {
+            while let Ok(Some(_)) = dec.try_next_chunk() {}
+        }
+        if let Ok(mut dec) = DecodeRunStream::chunked(&bytes, chunk) {
+            while let Ok(Some(_)) = dec.try_next_chunk() {}
+        }
+    }
+
+    /// Fuzz: a valid header followed by arbitrary garbage exercises the
+    /// record readers (not just header rejection); still error-not-panic.
+    #[test]
+    fn valid_header_with_garbage_tail_never_panics(
+        version_v2 in any::<bool>(),
+        pool in 1u32..16,
+        count in 0u64..10_000,
+        tail in proptest::collection::vec(any::<u8>(), 0..400),
+        chunk in 1usize..6,
+    ) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SDPM");
+        bytes.extend_from_slice(&(if version_v2 { 2u16 } else { 1u16 }).to_le_bytes());
+        bytes.extend_from_slice(&pool.to_le_bytes());
+        bytes.extend_from_slice(&2u16.to_le_bytes());
+        bytes.extend_from_slice(b"fz");
+        bytes.extend_from_slice(&count.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        let _ = decode(&bytes);
+        let _ = decode_runs(&bytes);
+        if let Ok(mut dec) = DecodeStream::chunked(&bytes, chunk) {
+            while let Ok(Some(_)) = dec.try_next_chunk() {}
+        }
+        if let Ok(mut dec) = DecodeRunStream::chunked(&bytes, chunk) {
+            while let Ok(Some(_)) = dec.try_next_chunk() {}
         }
     }
 
@@ -403,4 +449,37 @@ proptest! {
             prop_assert!(w[0].0 <= w[1].0);
         }
     }
+}
+
+/// An attacker-controlled count of `u64::MAX` in the header must not
+/// drive a pre-allocation: the decoders cap their reservations by the
+/// buffer length, so the hostile count surfaces as `Truncated` long
+/// before memory is at risk.
+#[test]
+fn hostile_length_prefix_does_not_preallocate() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"SDPM");
+    bytes.extend_from_slice(&1u16.to_le_bytes());
+    bytes.extend_from_slice(&4u32.to_le_bytes());
+    bytes.extend_from_slice(&0u16.to_le_bytes());
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(decode(&bytes), Err(CodecError::Truncated));
+    assert_eq!(decode_runs(&bytes).unwrap_err(), CodecError::Truncated);
+
+    // Same for a v2 run record claiming u32::MAX request templates.
+    let mut v2 = Vec::new();
+    v2.extend_from_slice(b"SDPM");
+    v2.extend_from_slice(&2u16.to_le_bytes());
+    v2.extend_from_slice(&4u32.to_le_bytes());
+    v2.extend_from_slice(&0u16.to_le_bytes());
+    v2.extend_from_slice(&1u64.to_le_bytes()); // one record
+    v2.push(3); // tag: Run
+    v2.extend_from_slice(&1u64.to_le_bytes()); // count
+    v2.extend_from_slice(&0u32.to_le_bytes()); // nest
+    v2.extend_from_slice(&0u64.to_le_bytes()); // first_iter
+    v2.extend_from_slice(&1u64.to_le_bytes()); // iters_per_rep
+    v2.extend_from_slice(&1.0f64.to_le_bytes()); // secs_per_rep
+    v2.extend_from_slice(&1u32.to_le_bytes()); // rotation
+    v2.extend_from_slice(&u32::MAX.to_le_bytes()); // nreqs: hostile
+    assert_eq!(decode_runs(&v2).unwrap_err(), CodecError::Truncated);
 }

@@ -80,6 +80,9 @@ pub enum Code {
     /// SDPM-W001: the replay predicts directive misfires (the inserter's
     /// timeline estimate diverged from the simulated run).
     ReplayMisfires,
+    /// SDPM-W002: the report was produced under fault injection, so the
+    /// fault-free replay cannot meaningfully cross-check it.
+    ReplayUnderFaults,
 }
 
 impl Code {
@@ -103,6 +106,7 @@ impl Code {
             Code::ReplayEnergyMismatch => "SDPM-E201",
             Code::ReplayMisfireMismatch => "SDPM-E202",
             Code::ReplayMisfires => "SDPM-W001",
+            Code::ReplayUnderFaults => "SDPM-W002",
         }
     }
 
@@ -126,6 +130,7 @@ impl Code {
             Code::ReplayEnergyMismatch => "replay energy/time mismatch",
             Code::ReplayMisfireMismatch => "replay misfire mismatch",
             Code::ReplayMisfires => "replay predicts directive misfires",
+            Code::ReplayUnderFaults => "report produced under fault injection",
         }
     }
 
@@ -133,7 +138,7 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Code::ReplayMisfires => Severity::Warning,
+            Code::ReplayMisfires | Code::ReplayUnderFaults => Severity::Warning,
             _ => Severity::Error,
         }
     }

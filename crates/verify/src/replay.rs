@@ -205,6 +205,12 @@ fn close(a: f64, b: f64) -> bool {
 /// misfire breakdown does, and a [`Code::ReplayMisfires`] warning when
 /// the replay itself predicts misfires (the directives as written do not
 /// all land — usually a short pre-activation lead under noise).
+///
+/// A report produced under fault injection ([`SimReport::faults`]
+/// nonzero) cannot be cross-checked: the replay models fault-free
+/// directive semantics, so any divergence would be the injected faults,
+/// not simulator drift. Such reports get a single
+/// [`Code::ReplayUnderFaults`] warning and no diff.
 #[must_use]
 pub fn crosscheck_report(
     trace: &Trace,
@@ -213,6 +219,20 @@ pub fn crosscheck_report(
     report: &SimReport,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
+    if report.faults.total() > 0 {
+        diags.push(
+            Diagnostic::new(
+                Code::ReplayUnderFaults,
+                format!(
+                    "report carries {} injected fault(s); fault-free replay cross-check skipped",
+                    report.faults.total()
+                ),
+            )
+            .label(Span::Run, "whole run")
+            .help("re-run the scheme without a fault plan to cross-check directive semantics"),
+        );
+        return diags;
+    }
     let replay = replay_directives(trace, params, overhead_secs);
 
     if !close(replay.exec_secs, report.exec_secs) {
@@ -301,4 +321,32 @@ fn fmt_misfires(m: &MisfireCauses) -> String {
         .map(|(c, n)| format!("{c}={n}"))
         .collect::<Vec<_>>()
         .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdpm_core::{PipelineConfig, Scheme, Session};
+    use sdpm_workloads::synth::checkpoint_loop;
+
+    #[test]
+    fn faulted_report_skips_crosscheck_with_warning() {
+        let p = checkpoint_loop(2, 2, 8.0);
+        let cfg = PipelineConfig::default();
+        let mut session = Session::new(&p, &cfg);
+        let art = session.run_with_artifacts(Scheme::CmTpm);
+
+        let clean = crosscheck_report(&art.trace, &cfg.params, cfg.overhead_secs, &art.report);
+        assert!(
+            clean.iter().all(|d| d.code != Code::ReplayUnderFaults),
+            "fault-free report must be cross-checked normally"
+        );
+
+        let mut faulted = art.report.clone();
+        faulted.faults.transient_failures = 3;
+        let diags = crosscheck_report(&art.trace, &cfg.params, cfg.overhead_secs, &faulted);
+        assert_eq!(diags.len(), 1, "exactly the skip warning: {diags:?}");
+        assert_eq!(diags[0].code, Code::ReplayUnderFaults);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Warning);
+    }
 }

@@ -3,10 +3,14 @@
 //! run.
 
 use sdpm_disk::{ultrastar36z15, RpmLevel};
+use sdpm_fault::{FaultConfig, FaultPlan};
 use sdpm_layout::{DiskId, DiskPool};
-use sdpm_sim::{simulate, DirectiveConfig, Policy};
+use sdpm_sim::{
+    simulate, try_simulate, try_simulate_runs, try_simulate_runs_faulted, try_simulate_source,
+    try_simulate_source_faulted, DirectiveConfig, Policy, SimError,
+};
 use sdpm_trace::codec::{decode, encode, CodecError};
-use sdpm_trace::{AppEvent, IoRequest, PowerAction, ReqKind, Trace};
+use sdpm_trace::{AppEvent, IoRequest, PowerAction, REvent, ReqKind, Run, RunTrace, Trace};
 
 fn io(disk: u32, size: u64) -> AppEvent {
     AppEvent::Io(IoRequest {
@@ -157,6 +161,153 @@ fn empty_trace_simulates_to_zero_time() {
     assert_eq!(r.exec_secs, 0.0);
     assert_eq!(r.requests, 0);
     assert_eq!(r.total_energy_j(), 0.0);
+}
+
+#[test]
+fn malformed_stream_surfaces_typed_error_not_panic() {
+    // A stream cannot be pre-validated without draining it, so an
+    // out-of-pool disk must surface from inside the engine as a typed
+    // error, not a panic or an index OOB.
+    let t = Trace {
+        name: "bad-stream".into(),
+        pool_size: 2,
+        events: vec![compute(1.0), io(5, 4096)],
+    };
+    let err = try_simulate_source(&t, &ultrastar36z15(), DiskPool::new(2), &Policy::Base)
+        .expect_err("out-of-pool disk must be rejected");
+    assert!(
+        matches!(err, SimError::DiskOutOfRange { disk: 5, pool: 2 }),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn invalid_trace_surfaces_typed_error_not_panic() {
+    let t = Trace {
+        name: "bad".into(),
+        pool_size: 2,
+        events: vec![io(5, 4096)],
+    };
+    let err = try_simulate(&t, &ultrastar36z15(), DiskPool::new(2), &Policy::Base)
+        .expect_err("validation failure must be typed");
+    assert!(matches!(err, SimError::InvalidTrace(_)), "got: {err}");
+
+    let mismatch = Trace {
+        name: "mismatch".into(),
+        pool_size: 4,
+        events: vec![compute(1.0)],
+    };
+    let err = try_simulate(
+        &mismatch,
+        &ultrastar36z15(),
+        DiskPool::new(8),
+        &Policy::Base,
+    )
+    .expect_err("pool mismatch must be typed");
+    assert!(matches!(err, SimError::PoolMismatch { .. }), "got: {err}");
+}
+
+#[test]
+fn malformed_run_record_surfaces_typed_error_not_panic() {
+    // rotation = 0 would divide by zero in the period math; the engine
+    // must reject the record before touching it.
+    let rt = RunTrace {
+        name: "bad-run".into(),
+        pool_size: 2,
+        events: vec![REvent::Run(Run {
+            count: 3,
+            nest: 0,
+            first_iter: 0,
+            iters_per_rep: 1,
+            secs_per_rep: 1.0,
+            rotation: 0,
+            reqs: vec![],
+        })],
+    };
+    let err = try_simulate_runs(&rt, &ultrastar36z15(), DiskPool::new(2), &Policy::Base)
+        .expect_err("zero-rotation run must be rejected");
+    assert!(matches!(err, SimError::InvalidRun(_)), "got: {err}");
+}
+
+#[test]
+fn faults_disabled_is_bit_exact_across_data_paths() {
+    let bench = sdpm_workloads::swim();
+    let cfg = sdpm_bench::config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let params = cfg.params;
+    let trace = sdpm_trace::generate(&bench.program, pool, bench.gen);
+    let runs = sdpm_trace::compress(&trace);
+    for policy in [Policy::IdealDrpm, Policy::Base] {
+        let clean = simulate(&trace, &params, pool, &policy);
+        let streamed = try_simulate_source_faulted(&trace, &params, pool, &policy, None)
+            .expect("fault-free streamed run succeeds");
+        let compressed = try_simulate_runs_faulted(&runs, &params, pool, &policy, None)
+            .expect("fault-free run-compressed run succeeds");
+        assert_eq!(clean, streamed, "streamed path drifted with faults off");
+        assert_eq!(
+            clean.total_energy_j().to_bits(),
+            streamed.total_energy_j().to_bits()
+        );
+        assert_eq!(
+            clean.total_energy_j().to_bits(),
+            compressed.total_energy_j().to_bits(),
+            "run-compressed path drifted with faults off"
+        );
+        assert_eq!(clean.exec_secs.to_bits(), compressed.exec_secs.to_bits());
+        assert_eq!(clean.faults.total(), 0);
+    }
+}
+
+#[test]
+fn injected_faults_degrade_gracefully_and_deterministically() {
+    let bench = sdpm_workloads::swim();
+    let cfg = sdpm_bench::config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let params = cfg.params;
+    let trace = sdpm_trace::generate(&bench.program, pool, bench.gen);
+    let plan = FaultPlan::new(FaultConfig::uniform(42, 0.1));
+    for policy in [
+        Policy::Base,
+        Policy::Drpm(Default::default()),
+        Policy::IdealTpm,
+    ] {
+        let a = try_simulate_source_faulted(&trace, &params, pool, &policy, Some(&plan))
+            .expect("faulted run must degrade gracefully, not fail");
+        let b = try_simulate_source_faulted(&trace, &params, pool, &policy, Some(&plan))
+            .expect("faulted run must degrade gracefully, not fail");
+        assert_eq!(a, b, "same seed must reproduce the same faulted run");
+        assert!(a.faults.total() > 0, "rate 0.1 must inject something");
+        // Under Base only transient retries fire, and their backoff can
+        // only delay requests. (RPM-stuck faults under DRPM can pin a
+        // disk at a *faster* level, so no such bound holds there.)
+        if matches!(policy, Policy::Base) {
+            let clean = simulate(&trace, &params, pool, &policy);
+            assert!(
+                a.exec_secs >= clean.exec_secs,
+                "transient faults must not speed up the run: {} < {}",
+                a.exec_secs,
+                clean.exec_secs
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_run_compressed_path_degrades_to_per_event_servicing() {
+    let bench = sdpm_workloads::swim();
+    let cfg = sdpm_bench::config_for(&bench);
+    let pool = DiskPool::new(cfg.disks);
+    let params = cfg.params;
+    let trace = sdpm_trace::generate(&bench.program, pool, bench.gen);
+    let runs = sdpm_trace::compress(&trace);
+    let plan = FaultPlan::new(FaultConfig::uniform(9, 0.1));
+    let r = try_simulate_runs_faulted(&runs, &params, pool, &Policy::Base, Some(&plan))
+        .expect("faulted run-compressed run must complete");
+    assert!(
+        r.faults.degraded_expansions > 0,
+        "fault plan must force run records off the steady fast path"
+    );
+    assert!(r.faults.total() > 0);
 }
 
 #[test]
