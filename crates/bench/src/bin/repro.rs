@@ -7,6 +7,10 @@
 //! repro probe <events.jsonl> [top_k]
 //! repro lint [benchmark|all] [--scheme S|all] [--json]
 //! repro bench [--bench swim] [--json] [--out BENCH_streaming.json]
+//! repro bench all [--kernel swim|all] [--json] [--out BENCH.json]
+//!                 [--history dev/bench/history.jsonl] [--gate]
+//! repro profile [--bench swim] [--json PROFILE.json]
+//!               [--trace-out profile_trace.json] [--redact-times]
 //! repro faultsim [--seed N] [--rates 0,0.01,0.05] [--bench swim]
 //! ```
 //!
@@ -39,7 +43,15 @@ fn main() {
         return;
     }
     if argv.first().map(String::as_str) == Some("bench") {
-        bench_cmd(&argv[1..]);
+        if argv.get(1).map(String::as_str) == Some("all") {
+            bench_all_cmd(&argv[2..]);
+        } else {
+            bench_cmd(&argv[1..]);
+        }
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("profile") {
+        profile_cmd(&argv[1..]);
         return;
     }
     if argv.first().map(String::as_str) == Some("faultsim") {
@@ -219,6 +231,226 @@ fn bench_cmd(args: &[String]) {
     if !r.reports_identical {
         std::process::exit(1);
     }
+}
+
+/// `repro bench all`: the merged taxonomy (see `sdpm_bench::benchall`)
+/// subsuming the streaming, run-compression, codec, and fault-sweep
+/// harnesses under one `sdpm-bench/v1` record. `--gate` compares wall
+/// times against the last line of `--history` (default
+/// `dev/bench/history.jsonl`) and exits 1 on a >10% regression or any
+/// bit-exactness drift; the current run is then appended to the history.
+#[cfg(feature = "obs")]
+fn bench_all_cmd(args: &[String]) {
+    use sdpm_bench::benchall::{gate_against, run_bench_all, GATE_THRESHOLD};
+
+    let mut kernel = "swim".to_string();
+    let mut json = false;
+    let mut gate = false;
+    let mut out_path = "BENCH.json".to_string();
+    let mut history_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--gate" => gate = true,
+            "--kernel" | "--bench" => kernel = val(a.as_str()),
+            "--out" => out_path = val("--out"),
+            "--history" => history_path = Some(val("--history")),
+            other => kernel = other.to_string(),
+        }
+    }
+
+    let mut benches = suite();
+    if kernel != "all" {
+        let needle = kernel.to_ascii_lowercase();
+        benches.retain(|b| b.name.to_ascii_lowercase().contains(&needle));
+        if benches.is_empty() {
+            let names: Vec<&str> = suite().iter().map(|b| b.name).collect();
+            eprintln!("unknown kernel '{kernel}'; one of: all {}", names.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let r = run_bench_all(&benches);
+    println!(
+        "== Merged bench: {} kernels, {} entries ({}) ==",
+        benches.len(),
+        r.entries.len(),
+        r.schema
+    );
+    println!(
+        "{}",
+        render_table(
+            &[
+                "entry".into(),
+                "wall s".into(),
+                "peak KiB".into(),
+                "work".into(),
+                "rate".into(),
+                "identical".into(),
+            ],
+            &r.rows()
+        )
+    );
+    println!(
+        "bit-exactness held across all entries: {}",
+        if r.identical_all { "yes" } else { "NO" }
+    );
+    if json {
+        std::fs::write(&out_path, r.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {out_path}");
+    }
+
+    let mut regressed = false;
+    if let Some(hist) = &history_path {
+        let prev = std::fs::read_to_string(hist).ok().and_then(|text| {
+            text.lines()
+                .rev()
+                .find(|l| !l.trim().is_empty())
+                .map(str::to_string)
+        });
+        if gate {
+            match prev.as_deref() {
+                None => println!("gate: no previous history at {hist}; baseline run"),
+                Some(line) => match gate_against(line, &r, GATE_THRESHOLD) {
+                    Err(e) => {
+                        eprintln!("gate: {e}");
+                        std::process::exit(2);
+                    }
+                    Ok(failures) if failures.is_empty() => {
+                        println!("gate: no wall-time regression past {GATE_THRESHOLD}x");
+                    }
+                    Ok(failures) => {
+                        regressed = true;
+                        for f in &failures {
+                            eprintln!("gate: REGRESSION {f}");
+                        }
+                    }
+                },
+            }
+        }
+        if let Some(dir) = std::path::Path::new(hist).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut text = std::fs::read_to_string(hist).unwrap_or_default();
+        text.push_str(&r.history_line());
+        text.push('\n');
+        std::fs::write(hist, text).unwrap_or_else(|e| {
+            eprintln!("cannot append {hist}: {e}");
+            std::process::exit(2);
+        });
+        println!("appended history to {hist}");
+    } else if gate {
+        eprintln!("--gate needs --history PATH");
+        std::process::exit(2);
+    }
+
+    if !r.identical_all || regressed {
+        std::process::exit(1);
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn bench_all_cmd(_: &[String]) {
+    eprintln!(
+        "bench all needs the `obs` feature (on by default; rebuild without --no-default-features)"
+    );
+    std::process::exit(2);
+}
+
+/// `repro profile`: runs the five-leg profiling driver (see
+/// `sdpm_bench::profile`) and exports the span tree as a terminal
+/// summary, a JSON profile (`--json`), and/or a Chrome trace with the
+/// host-profiling tracks merged next to the sim-time tracks
+/// (`--trace-out`). `--redact-times` drops wall times and allocation
+/// figures from the JSON so two runs of the same build compare
+/// byte-for-byte.
+#[cfg(feature = "obs")]
+fn profile_cmd(args: &[String]) {
+    use sdpm_bench::profile::run_profile;
+
+    let mut bench_arg = "swim".to_string();
+    let mut json_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut redact = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--bench" => bench_arg = val("--bench"),
+            "--json" => json_out = Some(val("--json")),
+            "--trace-out" => trace_out = Some(val("--trace-out")),
+            "--redact-times" => redact = true,
+            other => bench_arg = other.to_string(),
+        }
+    }
+
+    let all = suite();
+    let Some(b) = all.iter().find(|b| {
+        b.name
+            .to_ascii_lowercase()
+            .contains(&bench_arg.to_ascii_lowercase())
+    }) else {
+        let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        eprintln!(
+            "unknown benchmark '{bench_arg}'; one of: {}",
+            names.join(" ")
+        );
+        std::process::exit(2);
+    };
+
+    let (profile, chrome) = run_profile(b);
+    println!("== {} profile ==", b.name);
+    print!("{}", profile.render());
+
+    if let Some(path) = &json_out {
+        std::fs::write(path, profile.to_json(!redact)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "wrote {path}{}",
+            if redact { " (times redacted)" } else { "" }
+        );
+    }
+    if let Some(path) = &trace_out {
+        chrome.attach_profile(&profile);
+        let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("create {path}: {e}");
+            std::process::exit(2);
+        });
+        chrome.write_to(&mut f).unwrap_or_else(|e| {
+            eprintln!("write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote Chrome trace to {path} (host tracks merged; open in Perfetto)");
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn profile_cmd(_: &[String]) {
+    eprintln!(
+        "profile needs the `obs` feature (on by default; rebuild without --no-default-features)"
+    );
+    std::process::exit(2);
 }
 
 /// `repro faultsim [--seed N] [--rates 0,0.01,0.05] [--bench NAME]`:
@@ -571,9 +803,10 @@ fn probe_events_cmd(args: &[String]) {
     });
 
     // (length, disk, opened) per closed gap; misfire counts by cause;
-    // joules by disk.
+    // injected-fault counts by kind; joules by disk.
     let mut gaps: Vec<(f64, u64, f64)> = Vec::new();
     let mut misfires: BTreeMap<String, u64> = BTreeMap::new();
+    let mut faults: BTreeMap<String, u64> = BTreeMap::new();
     let mut energy: BTreeMap<u64, f64> = BTreeMap::new();
     for (ln, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -597,6 +830,11 @@ fn probe_events_cmd(args: &[String]) {
             Some("directive_misfire") => {
                 if let Some(cause) = v.get("cause").and_then(Value::as_str) {
                     *misfires.entry(cause.to_string()).or_insert(0) += 1;
+                }
+            }
+            Some("fault_injected") => {
+                if let Some(kind) = v.get("kind").and_then(Value::as_str) {
+                    *faults.entry(kind.to_string()).or_insert(0) += 1;
                 }
             }
             Some("disk_energy") => {
@@ -650,6 +888,19 @@ fn probe_events_cmd(args: &[String]) {
             .map(|(c, n)| vec![c.clone(), n.to_string()])
             .collect();
         println!("{}", render_table(&["cause".into(), "count".into()], &rows));
+    }
+
+    println!("-- injected faults --");
+    if faults.is_empty() {
+        println!("(none)\n");
+    } else {
+        let total: u64 = faults.values().sum();
+        let rows: Vec<Vec<String>> = faults
+            .iter()
+            .map(|(k, n)| vec![k.clone(), n.to_string()])
+            .collect();
+        println!("{}", render_table(&["kind".into(), "count".into()], &rows));
+        println!("total: {total}");
     }
 
     println!("-- per-disk energy shares --");

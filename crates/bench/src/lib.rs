@@ -5,11 +5,24 @@
 //! figure).
 
 pub mod ablations;
+#[cfg(feature = "obs")]
+pub mod benchall;
 pub mod experiments;
 pub mod faultsim;
 pub mod format;
 pub mod lint;
+#[cfg(feature = "obs")]
+pub mod profile;
 pub mod runbench;
 pub mod streambench;
 
 pub use experiments::*;
+
+/// The counting global allocator from `sdpm-obs`, installed for every
+/// binary and test in this crate so profiling spans report allocation
+/// totals and the bench harnesses can measure *per-phase* heap peaks
+/// (`/proc`'s VmHWM is a process-lifetime high-water mark, useless for
+/// the second phase onward).
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static COUNTING_ALLOC: sdpm_obs::prof::CountingAlloc = sdpm_obs::prof::CountingAlloc;

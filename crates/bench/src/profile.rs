@@ -1,0 +1,103 @@
+//! `repro profile`: the host-side profiling driver.
+//!
+//! Turns on the profiling spine ([`sdpm_obs::prof`]) and drives the
+//! full pipeline once over one kernel, in five labeled legs:
+//!
+//! 1. `profile.per_event` — the seven-scheme suite through
+//!    [`Session::run`] (walk generator, instrumentation, per-event
+//!    engine), plus one CMDRPM run with the Chrome recorder attached so
+//!    the exported timeline carries sim-time tracks next to the host
+//!    spans.
+//! 2. `profile.run_compressed` — the same suite through
+//!    [`Session::run_compressed`] (analytic generator, O(#runs) engine).
+//! 3. `profile.codec` — run compression plus the binary codec round
+//!    trip (encode and decode of both trace forms) and a simulation of
+//!    the decoded trace, so `encode.bytes`/`decode.bytes` throughput is
+//!    measured on real data.
+//! 4. `profile.sharded` — the streaming simulator's sharded path over a
+//!    re-openable generator source (small kernels fall back to the
+//!    sequential loop; the fallback is itself a profiling result).
+//! 5. `profile.verify` — the static verifier over the base trace.
+//!
+//! Every span below the legs comes from the instrumented crates
+//! themselves (`trace.gen.walk`, `sim.simulate`, `verify.run`, ...), so
+//! the tree is the ground truth of what the pipeline actually executed,
+//! and the per-stage counters (`gen.events`, `encode.bytes`,
+//! `sim.records`, ...) give throughput once divided by the span times.
+//!
+//! The collected [`Profile`] exports three ways (see the CLI): a
+//! deterministic JSON document, host tracks merged into the Chrome
+//! trace next to the sim-time tracks, and a terminal summary.
+
+use crate::config_for;
+use sdpm_core::{Scheme, Session};
+use sdpm_layout::DiskPool;
+use sdpm_obs::prof;
+use sdpm_obs::{ChromeTraceRecorder, Profile};
+use sdpm_sim::{simulate, simulate_sharded, Policy};
+use sdpm_trace::codec;
+use sdpm_trace::{compress, GenSource};
+use sdpm_workloads::Benchmark;
+
+/// Runs the five profiling legs over `bench` and returns the collected
+/// profile plus the Chrome recorder that watched the CMDRPM run (attach
+/// the profile to it and write it out for the merged timeline).
+///
+/// The spine is enabled for the duration of the call and disabled
+/// again before returning; any profiling data recorded by this process
+/// beforehand is discarded so the profile covers exactly these legs.
+#[must_use]
+pub fn run_profile(bench: &Benchmark) -> (Profile, ChromeTraceRecorder) {
+    let cfg = config_for(bench);
+    let pool = DiskPool::new(cfg.disks);
+
+    prof::disable();
+    let _stale = prof::take();
+    prof::enable();
+
+    let chrome = ChromeTraceRecorder::new();
+
+    let base = {
+        let _leg = prof::span("profile.per_event");
+        let mut s = Session::new(&bench.program, &cfg);
+        for &scheme in &Scheme::all() {
+            let _ = s.run(scheme);
+        }
+        let _ = s.run_with_recorder(Scheme::CmDrpm, &chrome);
+        s.base_trace().clone()
+    };
+
+    {
+        let _leg = prof::span("profile.run_compressed");
+        let mut s = Session::new(&bench.program, &cfg);
+        for &scheme in &Scheme::all() {
+            let _ = s.run_compressed(scheme);
+        }
+    }
+
+    {
+        let _leg = prof::span("profile.codec");
+        let runs = compress(&base);
+        let buf = codec::encode(&base);
+        let decoded = codec::decode(&buf).unwrap_or_else(|e| panic!("decode own encoding: {e}"));
+        if let Ok(rbuf) = codec::encode_runs(&runs) {
+            let _ = codec::decode_runs(&rbuf)
+                .unwrap_or_else(|e| panic!("decode own run encoding: {e}"));
+        }
+        let _ = simulate(&decoded, &cfg.params, pool, &Policy::Base);
+    }
+
+    {
+        let _leg = prof::span("profile.sharded");
+        let source = GenSource::new(&bench.program, pool, cfg.gen);
+        let _ = simulate_sharded(&source, &cfg.params, pool, &Policy::Drpm(cfg.drpm));
+    }
+
+    {
+        let _leg = prof::span("profile.verify");
+        let _ = sdpm_verify::verify_run(&base, &cfg.params, cfg.overhead_secs, None, None);
+    }
+
+    prof::disable();
+    (prof::take(), chrome)
+}

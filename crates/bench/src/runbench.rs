@@ -10,15 +10,16 @@
 //! cross-checked bitwise; `reports_identical` hard-fails the CI job when
 //! false.
 //!
-//! RSS is `/proc/self/status` `VmHWM` (see [`crate::streambench`]); the
-//! mark is monotone, so within a process the later phases can only read
-//! an equal-or-higher value. The run-compressed phase of the *first*
-//! kernel runs before anything materializes a per-event trace, which is
-//! the one untainted fast-path reading; later kernels inherit earlier
-//! marks and their RSS columns are upper bounds.
+//! Peak memory is measured per phase through the counting allocator's
+//! heap watermark ([`crate::streambench::measure_phase_peak`]), so every
+//! kernel and path reads its own peak — `VmHWM`, the old source, is a
+//! process-lifetime high-water mark that reported the first kernel's
+//! maximum for every kernel after it. Without the allocator (the
+//! `alloc-profile` feature off) the harness falls back to `VmHWM` and
+//! that staleness caveat returns.
 
 use crate::config_for;
-use crate::streambench::{peak_rss_kib, PathCost};
+use crate::streambench::{measure_phase_peak, PathCost};
 use sdpm_core::{Scheme, Session};
 use sdpm_sim::SimReport;
 use sdpm_trace::{generate, generate_runs};
@@ -98,22 +99,28 @@ pub fn run_kernel_bench(bench: &Benchmark) -> KernelCost {
     };
 
     let mut best = [f64::INFINITY; 2];
-    let mut rss = [0u64; 2];
+    let mut peak = [0u64; 2];
     let mut fast_reports = Vec::new();
     let mut slow_reports = Vec::new();
     for rep in 0..REPS {
         let t0 = Instant::now();
-        fast_reports = suite_fast();
+        if rep == 0 {
+            let (r, kib) = measure_phase_peak(suite_fast);
+            fast_reports = r;
+            peak[0] = kib;
+        } else {
+            fast_reports = suite_fast();
+        }
         best[0] = best[0].min(t0.elapsed().as_secs_f64());
-        if rep == 0 {
-            rss[0] = peak_rss_kib();
-        }
         let t1 = Instant::now();
-        slow_reports = suite_slow();
-        best[1] = best[1].min(t1.elapsed().as_secs_f64());
         if rep == 0 {
-            rss[1] = peak_rss_kib();
+            let (r, kib) = measure_phase_peak(suite_slow);
+            slow_reports = r;
+            peak[1] = kib;
+        } else {
+            slow_reports = suite_slow();
         }
+        best[1] = best[1].min(t1.elapsed().as_secs_f64());
     }
 
     let pool = sdpm_layout::DiskPool::new(cfg.disks);
@@ -143,11 +150,11 @@ pub fn run_kernel_bench(bench: &Benchmark) -> KernelCost {
         bench: bench.name,
         per_event: PathCost {
             wall_secs: best[1],
-            peak_rss_kib: rss[1],
+            peak_kib: peak[1],
         },
         run_compressed: PathCost {
             wall_secs: best[0],
-            peak_rss_kib: rss[0],
+            peak_kib: peak[0],
         },
         gen_walk_secs: gen_walk,
         gen_analytic_secs: gen_analytic,
@@ -176,8 +183,8 @@ impl RunlenBench {
     pub fn to_json(&self) -> String {
         let path = |c: &PathCost| {
             format!(
-                "{{\"wall_secs\": {:.6}, \"peak_rss_kib\": {}}}",
-                c.wall_secs, c.peak_rss_kib
+                "{{\"wall_secs\": {:.6}, \"peak_kib\": {}}}",
+                c.wall_secs, c.peak_kib
             )
         };
         let schemes = self

@@ -44,6 +44,7 @@ pub mod dap;
 pub mod estimate;
 pub mod insert;
 pub mod pipeline;
+mod prof;
 pub mod session;
 
 pub use dap::{build_dap, disk_gaps, Dap, DapEntry, DapState, GlobalGap, NestOffsets};

@@ -1,0 +1,36 @@
+//! Host-profiling shim: with the `obs` feature on this re-exports the
+//! `sdpm-obs` profiling spine (hierarchical wall-clock spans plus
+//! throughput counters); with it off every call site compiles against
+//! inert zero-sized no-ops and vanishes entirely, so the hot paths are
+//! byte-identical to the unhooked build.
+
+#[cfg(feature = "obs")]
+pub(crate) use sdpm_obs::prof::span;
+
+#[cfg(not(feature = "obs"))]
+mod stub {
+    /// Inert zero-sized stand-in for `sdpm_obs::prof::SpanGuard`.
+    pub struct SpanGuard;
+
+    #[inline(always)]
+    #[must_use]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub(crate) use stub::span;
+
+#[cfg(all(test, not(feature = "obs")))]
+mod tests {
+    /// The compile-away contract: with `obs` off the guard is a ZST and
+    /// the hook functions are inlineable no-ops — a hooked hot loop
+    /// compiles to the same code as an unhooked one.
+    #[test]
+    fn stub_guard_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<super::stub::SpanGuard>(), 0);
+        let g = super::span("x");
+        drop(g);
+    }
+}

@@ -97,6 +97,7 @@ impl<'a> Session<'a> {
 
     fn base_trace_obs(&mut self, rec: Obs<'_>) -> &Trace {
         if self.base.is_none() {
+            let _sp = crate::prof::span("session.generate");
             let trace = if let Some(rt) = &self.base_runs {
                 // The analytic run form is already cached; lowering it is
                 // bit-exact with the walk generator and O(#events), so a
@@ -128,6 +129,7 @@ impl<'a> Session<'a> {
     /// re-validated here.
     pub fn base_runs(&mut self) -> &RunTrace {
         if self.base_runs.is_none() {
+            let _sp = crate::prof::span("session.generate_runs");
             self.run_generations += 1;
             self.base_runs = Some(generate_runs(self.program, self.pool, self.cfg.gen));
         }
@@ -167,6 +169,7 @@ impl<'a> Session<'a> {
         };
         if self.cm[idx].is_none() {
             self.base_trace_obs(rec);
+            let _sp = crate::prof::span("session.instrument");
             let base = self.base.as_ref().expect("just cached");
             let out = instrument(base, self.cfg, mode, rec);
             out.trace
@@ -208,6 +211,7 @@ impl<'a> Session<'a> {
     pub fn run_compressed(&mut self, scheme: Scheme) -> SimReport {
         let cfg = self.cfg;
         let pool = self.pool;
+        let _sp = crate::prof::span("session.simulate_runs");
         let mut report = match scheme {
             Scheme::Base => {
                 sdpm_sim::simulate_runs(self.base_runs(), &cfg.params, pool, &Policy::Base)
@@ -388,6 +392,7 @@ fn sim(
     policy: &Policy,
     rec: Obs<'_>,
 ) -> SimReport {
+    let _sp = crate::prof::span("session.simulate");
     #[cfg(feature = "obs")]
     if let Some(r) = rec {
         return phase(rec, "simulation", || {

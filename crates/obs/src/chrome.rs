@@ -11,6 +11,10 @@
 //! transitions that happen inside them, so they get their own track).
 //! Process 2 holds the pipeline phases, timed with host wall-clock
 //! (phases run before/around the simulation, not on its clock).
+//! Process 3 (when a [`crate::prof::Profile`] is attached via
+//! [`ChromeTraceRecorder::attach_profile`]) holds the host profiling
+//! tracks — one per recorded thread — so host spans render next to the
+//! sim-time disk tracks in the same Perfetto view.
 //!
 //! Engine timestamps are simulated seconds scaled to microseconds, the
 //! unit `trace_event` expects.
@@ -24,6 +28,7 @@ use std::time::Instant;
 
 const SIM_PID: u32 = 1;
 const PIPELINE_PID: u32 = 2;
+const HOST_PID: u32 = 3;
 /// Gap tracks sit after the per-disk tracks; no pool exceeds this.
 const GAP_TID_BASE: u32 = 1_000_000;
 
@@ -37,6 +42,8 @@ struct State {
     phases: Vec<(&'static str, f64)>,
     /// Highest disk index seen, for metadata emission.
     disks: u32,
+    /// Attached host-profiling track labels, one per thread.
+    host_tracks: Vec<String>,
 }
 
 /// Records a run and writes it as Chrome `trace_event` JSON.
@@ -64,6 +71,34 @@ impl ChromeTraceRecorder {
         self.epoch.elapsed().as_secs_f64() * 1e6
     }
 
+    /// Merges a host-side profiling capture (see [`crate::prof`]) into
+    /// the trace as its own process: one track per recorded thread,
+    /// carrying the raw span timeline with depth preserved through
+    /// Perfetto's native slice nesting (spans on one track nest by
+    /// containment). Call after the profiled work, before `write_to`.
+    pub fn attach_profile(&self, profile: &crate::prof::Profile) {
+        let mut st = self.state.borrow_mut();
+        for track in &profile.tracks {
+            let tid = st.host_tracks.len() as u32 + 1;
+            st.host_tracks.push(track.label.clone());
+            for sp in &track.spans {
+                let mut s = String::new();
+                s.push_str("{\"ph\":\"X\",\"name\":");
+                push_escaped(&mut s, sp.name);
+                let _ = write!(
+                    s,
+                    ",\"cat\":\"prof\",\"pid\":{HOST_PID},\"tid\":{tid},\"ts\":"
+                );
+                push_f64(&mut s, sp.start_us);
+                s.push_str(",\"dur\":");
+                push_f64(&mut s, sp.dur_us.max(0.0));
+                let _ = write!(s, ",\"args\":{{\"depth\":{}}}", sp.depth);
+                s.push('}');
+                st.out.push(s);
+            }
+        }
+    }
+
     /// Writes the complete trace JSON to `w`.
     ///
     /// # Errors
@@ -89,6 +124,18 @@ impl ChromeTraceRecorder {
             w,
             &meta_name("process_name", PIPELINE_PID, None, "compiler pipeline"),
         )?;
+        if !st.host_tracks.is_empty() {
+            emit(
+                w,
+                &meta_name("process_name", HOST_PID, None, "host profiling"),
+            )?;
+            for (i, label) in st.host_tracks.iter().enumerate() {
+                emit(
+                    w,
+                    &meta_name("thread_name", HOST_PID, Some(i as u32 + 1), label),
+                )?;
+            }
+        }
         for d in 0..st.disks {
             emit(
                 w,

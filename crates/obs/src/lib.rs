@@ -28,10 +28,12 @@ pub mod chrome;
 pub mod json;
 pub mod jsonl;
 pub mod metrics;
+pub mod prof;
 
 pub use chrome::ChromeTraceRecorder;
 pub use jsonl::JsonlRecorder;
 pub use metrics::{LogHistogram, Metrics, MetricsRecorder, PerDiskMetrics};
+pub use prof::Profile;
 
 use sdpm_disk::RpmLevel;
 use sdpm_layout::DiskId;

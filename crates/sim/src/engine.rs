@@ -380,6 +380,7 @@ impl Engine {
         }
         let mut st = self.init_state(rec, resolve);
         while let Some(chunk) = stream.try_next_chunk().map_err(SimError::Codec)? {
+            crate::prof::add("sim.events", chunk.len() as u64);
             for event in chunk {
                 self.handle_event(&mut st, event, rec)?;
             }
@@ -422,6 +423,7 @@ impl Engine {
         }
         let mut st = self.init_state(rec, resolve);
         while let Some(chunk) = stream.try_next_chunk().map_err(SimError::Codec)? {
+            crate::prof::add("sim.records", chunk.len() as u64);
             for record in chunk {
                 match record {
                     REvent::Event(event) => self.handle_event(&mut st, event, rec)?,

@@ -61,6 +61,7 @@ pub mod error;
 pub mod openloop;
 pub mod oracle;
 pub mod policy;
+mod prof;
 pub mod report;
 pub mod shard;
 
@@ -219,6 +220,7 @@ pub fn try_simulate_sharded(
             return try_simulate_source(source, params, pool, policy);
         }
     }
+    let _sp = prof::span("sim.sharded");
     run_sim(source, params, pool, policy, None, |engine, stream| {
         engine.try_run_sharded(stream)
     })
@@ -274,6 +276,7 @@ pub fn try_simulate_runs_faulted(
     policy: &Policy,
     faults: Option<&FaultPlan>,
 ) -> Result<SimReport, SimError> {
+    let _sp = prof::span("sim.simulate_runs");
     params.validate().map_err(SimError::InvalidParams)?;
     let run = |engine: &Engine, stream: &mut dyn RunStream| engine.try_run_runs(stream);
     let faulted = |p: Policy| Engine::with_faults(params.clone(), pool, p, faults.cloned());
@@ -356,6 +359,7 @@ fn run_sim(
     faults: Option<&FaultPlan>,
     run: impl Fn(&Engine, &mut dyn EventStream) -> Result<SimReport, SimError>,
 ) -> Result<SimReport, SimError> {
+    let _sp = prof::span("sim.simulate");
     params.validate().map_err(SimError::InvalidParams)?;
     let faulted = |p: Policy| Engine::with_faults(params.clone(), pool, p, faults.cloned());
     match policy {

@@ -78,23 +78,31 @@ fn replay_ops(params: &DiskParams, ops: &[DiskOp]) -> PowerStateMachine {
 /// machine's available parallelism; workers pull disk indices from a
 /// shared counter. Panics in a worker propagate to the caller.
 fn replay_all(params: &DiskParams, ops: &[Vec<DiskOp>]) -> Vec<PowerStateMachine> {
+    let _sp = crate::prof::span("sim.shard.replay");
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
         .min(ops.len())
         .max(1);
     let next = AtomicUsize::new(0);
+    let next = &next;
     let mut out: Vec<Option<PowerStateMachine>> = ops.iter().map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
+                    if crate::prof::is_enabled() {
+                        crate::prof::set_thread_label(&format!("shard-worker-{w}"));
+                    }
+                    let _wsp = crate::prof::span("sim.shard.worker");
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= ops.len() {
                             break;
                         }
+                        crate::prof::add("shard.disks", 1);
+                        crate::prof::add("shard.ops", ops[i].len() as u64);
                         local.push((i, replay_ops(params, &ops[i])));
                     }
                     local

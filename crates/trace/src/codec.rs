@@ -175,6 +175,8 @@ impl StreamEncoder {
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {
         self.buf[self.count_pos..self.count_pos + 8].copy_from_slice(&self.count.to_le_bytes());
+        crate::prof::add("encode.events", self.count);
+        crate::prof::add("encode.bytes", self.buf.len() as u64);
         self.buf
     }
 }
@@ -182,6 +184,7 @@ impl StreamEncoder {
 /// Serializes `trace` into the binary format.
 #[must_use]
 pub fn encode(trace: &Trace) -> Vec<u8> {
+    let _sp = crate::prof::span("trace.encode");
     let mut enc = StreamEncoder::new(&trace.name, trace.pool_size);
     enc.buf.reserve(trace.events.len() * 34);
     enc.extend(&trace.events);
@@ -193,6 +196,7 @@ pub fn encode(trace: &Trace) -> Vec<u8> {
 /// the trace.
 #[must_use]
 pub fn encode_stream(stream: &mut dyn EventStream) -> Vec<u8> {
+    let _sp = crate::prof::span("trace.encode");
     let mut enc = StreamEncoder::new(stream.name(), stream.pool_size());
     while let Some(chunk) = stream.next_chunk() {
         enc.extend(chunk);
@@ -494,6 +498,7 @@ impl<'a> DecodeStream<'a> {
                 self.buf.push(read_event(&mut self.r)?);
             }
             self.remaining -= n as u64;
+            crate::prof::add("decode.events", self.buf.len() as u64);
             return Ok(Some(&self.buf));
         }
         let DecodeStream {
@@ -536,6 +541,7 @@ impl<'a> DecodeStream<'a> {
         if buf.is_empty() {
             Ok(None)
         } else {
+            crate::prof::add("decode.events", buf.len() as u64);
             Ok(Some(buf))
         }
     }
@@ -564,6 +570,8 @@ impl EventStream for DecodeStream<'_> {
 
 /// Deserializes a trace previously produced by [`encode`].
 pub fn decode(buf: &[u8]) -> Result<Trace, CodecError> {
+    let _sp = crate::prof::span("trace.decode");
+    crate::prof::add("decode.bytes", buf.len() as u64);
     let mut s = DecodeStream::new(buf)?;
     // The smallest event record is 7 bytes (a Power event), so a count
     // exceeding remaining/7 cannot be satisfied — cap the reservation so
@@ -645,6 +653,8 @@ impl RunStreamEncoder {
     #[must_use]
     pub fn finish(mut self) -> Vec<u8> {
         self.buf[self.count_pos..self.count_pos + 8].copy_from_slice(&self.count.to_le_bytes());
+        crate::prof::add("encode.records", self.count);
+        crate::prof::add("encode.bytes", self.buf.len() as u64);
         self.buf
     }
 }
@@ -734,6 +744,7 @@ impl<'a> DecodeRunStream<'a> {
             self.buf.push(re);
         }
         self.remaining -= n as u64;
+        crate::prof::add("decode.records", self.buf.len() as u64);
         Ok(Some(&self.buf))
     }
 }
@@ -764,6 +775,8 @@ impl RunStream for DecodeRunStream<'_> {
 /// Deserializes a run-compressed trace previously produced by
 /// [`encode_runs`] (or a v1 file, which decodes as all-plain records).
 pub fn decode_runs(buf: &[u8]) -> Result<RunTrace, CodecError> {
+    let _sp = crate::prof::span("trace.decode");
+    crate::prof::add("decode.bytes", buf.len() as u64);
     let mut s = DecodeRunStream::new(buf)?;
     let cap = (s.remaining() as usize).min(buf.len() / 7 + 1);
     let mut events = Vec::with_capacity(cap);

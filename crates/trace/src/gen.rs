@@ -274,6 +274,8 @@ impl EventStream for GenStream<'_> {
             None
         } else {
             self.counted += self.buf.len() as u64;
+            crate::prof::add("gen.events", self.buf.len() as u64);
+            crate::prof::add("gen.chunks", 1);
             Some(&self.buf)
         }
     }
@@ -331,6 +333,7 @@ impl EventSource for GenSource<'_> {
 /// If the program fails [`Program::validate`] or the chunk size is zero.
 #[must_use]
 pub fn generate(program: &Program, pool: DiskPool, config: TraceGenConfig) -> Trace {
+    let _sp = crate::prof::span("trace.gen.walk");
     let trace = collect(&mut GenStream::new(program, pool, config));
     debug_assert_eq!(trace.validate(), Ok(()));
     trace

@@ -31,6 +31,7 @@
 pub mod codec;
 pub mod event;
 pub mod gen;
+mod prof;
 pub mod run;
 pub mod rungen;
 pub mod stream;

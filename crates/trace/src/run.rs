@@ -288,6 +288,7 @@ impl RunTrace {
     /// bit.
     #[must_use]
     pub fn lower(&self) -> Trace {
+        let _sp = crate::prof::span("trace.lower");
         let mut events = Vec::with_capacity(usize::try_from(self.event_len()).unwrap_or(0));
         for re in &self.events {
             match re {
@@ -379,6 +380,7 @@ pub fn collect_runs(stream: &mut dyn RunStream) -> RunTrace {
     while let Some(chunk) = stream.next_chunk() {
         events.extend_from_slice(chunk);
     }
+    crate::prof::add("run.records", events.len() as u64);
     RunTrace {
         name,
         pool_size,
@@ -679,16 +681,21 @@ impl Compressor {
 /// Compresses a per-event stream into a materialized [`RunTrace`].
 #[must_use]
 pub fn compress_stream(stream: &mut dyn EventStream) -> RunTrace {
+    let _sp = crate::prof::span("trace.compress");
     let name = stream.name().to_string();
     let pool_size = stream.pool_size();
     let mut comp = Compressor::new();
     let mut events = Vec::new();
+    let mut seen: u64 = 0;
     while let Some(chunk) = stream.next_chunk() {
+        seen += chunk.len() as u64;
         for e in chunk {
             comp.push(e, &mut events);
         }
     }
     comp.finish(&mut events);
+    crate::prof::add("compress.events_in", seen);
+    crate::prof::add("compress.records_out", events.len() as u64);
     RunTrace {
         name,
         pool_size,
@@ -749,6 +756,7 @@ impl<S: EventStream> RunStream for CompressStream<S> {
         if self.buf.is_empty() {
             None
         } else {
+            crate::prof::add("compress.records_out", self.buf.len() as u64);
             Some(&self.buf)
         }
     }
@@ -852,6 +860,7 @@ impl<S: RunStream> EventStream for LowerStream<S> {
         if buf.is_empty() {
             None
         } else {
+            crate::prof::add("lower.events", buf.len() as u64);
             Some(buf)
         }
     }

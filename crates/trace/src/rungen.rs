@@ -342,6 +342,8 @@ impl EventStream for RunGenStream<'_> {
             None
         } else {
             self.counted += self.buf.len() as u64;
+            crate::prof::add("gen.events", self.buf.len() as u64);
+            crate::prof::add("gen.chunks", 1);
             Some(&self.buf)
         }
     }
@@ -407,6 +409,7 @@ impl RunSource for RunGenSource<'_> {
 /// If the program fails [`Program::validate`] or the chunk size is zero.
 #[must_use]
 pub fn generate_runs(program: &Program, pool: DiskPool, config: TraceGenConfig) -> RunTrace {
+    let _sp = crate::prof::span("trace.gen.analytic");
     collect_runs(&mut CompressStream::new(RunGenStream::new(
         program, pool, config,
     )))

@@ -37,6 +37,7 @@
 pub mod diag;
 pub mod directive;
 pub mod legality;
+mod prof;
 pub mod replay;
 
 pub use diag::{
@@ -65,6 +66,7 @@ pub fn verify_run(
     plan: Option<PlanRef<'_>>,
     report: Option<&SimReport>,
 ) -> Vec<Diagnostic> {
+    let _sp = crate::prof::span("verify.run");
     let mut diags = verify_directives(trace, params, overhead_secs, plan);
     if let Some(r) = report {
         diags.extend(crosscheck_report(trace, params, overhead_secs, r));
@@ -88,5 +90,6 @@ pub fn verify_run_compressed(
     plan: Option<PlanRef<'_>>,
     report: Option<&SimReport>,
 ) -> Vec<Diagnostic> {
+    let _sp = crate::prof::span("verify.run_compressed");
     verify_run(&trace.lower(), params, overhead_secs, plan, report)
 }
