@@ -6,6 +6,7 @@
 //! repro --trace-out run.json [--metrics-out run.jsonl] [--bench swim] [--scheme CMDRPM]
 //! repro probe <events.jsonl> [top_k]
 //! repro lint [benchmark|all] [--scheme S|all] [--json]
+//! repro prove [benchmark|all] [--scheme S|all] [--json] [--out PATH]
 //! repro bench [--bench swim] [--json] [--out BENCH_streaming.json]
 //! repro bench all [--kernel swim|all] [--json] [--out BENCH.json]
 //!                 [--history dev/bench/history.jsonl] [--gate]
@@ -40,6 +41,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("lint") {
         lint_cmd(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("prove") {
+        prove_cmd(&argv[1..]);
         return;
     }
     if argv.first().map(String::as_str) == Some("bench") {
@@ -688,6 +693,153 @@ fn lint_cmd(args: &[String]) {
         );
     }
     if errors > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Runs the symbolic directive-safety prover over the scheme × kernel
+/// matrix: `repro prove [benchmark|all] [--scheme S|all] [--json]
+/// [--out PATH]`. Every cell must end `Proved` or `Refuted` with a
+/// replay-confirmed counterexample; `Unknown` verdicts (and any
+/// symbolic/dynamic disagreement on proved CM cells) exit nonzero.
+/// `--out` writes the matrix as JSON lines regardless of the terminal
+/// format, for archiving as a CI artifact.
+fn prove_cmd(args: &[String]) {
+    use sdpm_bench::prove::{crossvalidate, prove_benchmark, ProveReport};
+    use sdpm_core::Scheme;
+    use sdpm_verify::symbolic::Verdict;
+
+    let mut bench_arg = "all".to_string();
+    let mut scheme_arg = "all".to_string();
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--out" => out_path = Some(val("--out")),
+            "--scheme" => scheme_arg = val("--scheme"),
+            other => bench_arg = other.to_string(),
+        }
+    }
+
+    let all = suite();
+    let benches: Vec<_> = if bench_arg == "all" {
+        all.iter().collect()
+    } else {
+        let Some(b) = all.iter().find(|b| {
+            b.name
+                .to_ascii_lowercase()
+                .contains(&bench_arg.to_ascii_lowercase())
+        }) else {
+            let names: Vec<&str> = all.iter().map(|b| b.name).collect();
+            eprintln!(
+                "unknown benchmark '{bench_arg}'; one of: all {}",
+                names.join(" ")
+            );
+            std::process::exit(2);
+        };
+        vec![b]
+    };
+    let schemes: Vec<Scheme> = if scheme_arg == "all" {
+        Scheme::all().to_vec()
+    } else {
+        let Some(s) = Scheme::all()
+            .into_iter()
+            .find(|s| s.label().eq_ignore_ascii_case(&scheme_arg))
+        else {
+            eprintln!(
+                "unknown scheme '{scheme_arg}'; one of: all Base TPM ITPM DRPM IDRPM CMTPM CMDRPM"
+            );
+            std::process::exit(2);
+        };
+        vec![s]
+    };
+
+    let mut reports: Vec<ProveReport> = Vec::new();
+    let mut disagreements: Vec<String> = Vec::new();
+    for b in &benches {
+        let rs = prove_benchmark(b, &schemes);
+        disagreements.extend(crossvalidate(b, &rs));
+        reports.extend(rs);
+    }
+
+    let mut failed = 0usize;
+    if json {
+        for r in &reports {
+            println!("{}", r.to_json());
+        }
+        failed = reports.iter().filter(|r| !r.passed()).count();
+    } else {
+        let rows: Vec<Vec<String>> = reports
+            .iter()
+            .map(|r| {
+                if !r.passed() {
+                    failed += 1;
+                }
+                let detail = match &r.verdict {
+                    Verdict::Proved { obligations, .. } => {
+                        format!("{} obligation(s)", obligations.len())
+                    }
+                    Verdict::Refuted { counterexample, .. } => counterexample.description.clone(),
+                    Verdict::Unknown { reason, .. } => reason.clone(),
+                };
+                vec![
+                    r.bench.to_string(),
+                    r.variant.to_string(),
+                    r.scheme.label().to_string(),
+                    r.status().to_string(),
+                    detail,
+                ]
+            })
+            .collect();
+        println!("== Symbolic directive-safety proofs ==");
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "kernel".into(),
+                    "variant".into(),
+                    "scheme".into(),
+                    "verdict".into(),
+                    "detail".into(),
+                ],
+                &rows
+            )
+        );
+        println!(
+            "prove: {} cell(s), {} failed, {} symbolic/dynamic disagreement(s)",
+            reports.len(),
+            failed,
+            disagreements.len()
+        );
+    }
+    for d in &disagreements {
+        eprintln!("prove: DISAGREEMENT {d}");
+    }
+    if let Some(path) = &out_path {
+        let mut text = String::new();
+        for r in &reports {
+            text.push_str(&r.to_json());
+            text.push('\n');
+        }
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        if !json {
+            println!("wrote {path}");
+        }
+    }
+    if failed > 0 || !disagreements.is_empty() {
         std::process::exit(1);
     }
 }

@@ -4,6 +4,7 @@
 //! `benches/` directory for the Criterion benchmarks (one per table /
 //! figure).
 
+#![forbid(unsafe_code)]
 pub mod ablations;
 #[cfg(feature = "obs")]
 pub mod benchall;
@@ -13,6 +14,7 @@ pub mod format;
 pub mod lint;
 #[cfg(feature = "obs")]
 pub mod profile;
+pub mod prove;
 pub mod runbench;
 pub mod streambench;
 

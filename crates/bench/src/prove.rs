@@ -1,0 +1,217 @@
+//! `repro prove`: the symbolic directive-safety prover
+//! (`sdpm_verify::symbolic`) driven over the benchmark suite.
+//!
+//! One [`ProveReport`] per `(benchmark, program variant, scheme)` cell.
+//! A cell *passes* when the verdict is `Proved` or a `Refuted` whose
+//! counterexample was confirmed by concrete replay; an `Unknown` verdict
+//! (a refutation the prover could not instantiate) fails the cell — the
+//! matrix is only green when every claim is backed either by a proof
+//! over the whole parameter domain or by a deterministically reproducing
+//! counterexample.
+//!
+//! Transformed programs ride through the same matrix: the Fig. 11/12
+//! fission and tiling outputs and the PDC layout are proved alongside
+//! the original, so a transformation that reshaped the access windows
+//! cannot silently invalidate directive safety.
+
+use crate::config_for;
+use sdpm_core::Scheme;
+use sdpm_layout::DiskPool;
+use sdpm_verify::symbolic::{prove_scheme, ProverConfig, Verdict};
+use sdpm_verify::{verify_run, PlanRef};
+use sdpm_workloads::Benchmark;
+use sdpm_xform::{loop_fission, loop_tiling, pdc_layout, TilingConfig};
+
+/// The prover's verdict for one matrix cell.
+#[derive(Debug, Clone)]
+pub struct ProveReport {
+    /// Benchmark name (Table 2 kernel).
+    pub bench: &'static str,
+    /// Program variant: `"original"`, `"LF"`, `"TL"`, `"PDC"`.
+    pub variant: &'static str,
+    pub scheme: Scheme,
+    pub verdict: Verdict,
+}
+
+impl ProveReport {
+    /// True when the cell meets the matrix bar: proved over the whole
+    /// domain, or refuted with a replay-confirmed counterexample.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        match &self.verdict {
+            Verdict::Proved { .. } => true,
+            Verdict::Refuted { counterexample, .. } => counterexample.confirmed(),
+            Verdict::Unknown { .. } => false,
+        }
+    }
+
+    /// One-word verdict label for tables.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match &self.verdict {
+            Verdict::Proved { .. } => "proved",
+            Verdict::Refuted { .. } => "refuted+confirmed",
+            Verdict::Unknown { .. } => "UNKNOWN",
+        }
+    }
+
+    /// The cell as a JSON object (one line of `repro prove --json`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let (status, detail) = match &self.verdict {
+            Verdict::Proved { domain, .. } => ("proved", domain.clone()),
+            Verdict::Refuted { counterexample, .. } => {
+                ("refuted", counterexample.description.clone())
+            }
+            Verdict::Unknown { reason, .. } => ("unknown", reason.clone()),
+        };
+        let obligations = match &self.verdict {
+            Verdict::Proved { obligations, .. }
+            | Verdict::Refuted { obligations, .. }
+            | Verdict::Unknown { obligations, .. } => obligations,
+        };
+        let obs: Vec<String> = obligations
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"code\":\"{}\",\"name\":\"{}\",\"proved\":{}}}",
+                    o.code.as_str(),
+                    o.name,
+                    o.proved()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"{}\",\"variant\":\"{}\",\"scheme\":\"{}\",\"status\":\"{status}\",\
+             \"passed\":{},\"detail\":{},\"obligations\":[{}]}}",
+            self.bench,
+            self.variant,
+            self.scheme.label(),
+            self.passed(),
+            json_string(&detail),
+            obs.join(",")
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The program variants proved for one benchmark: the original plus the
+/// Fig. 11/12 transform outputs (layout-aware, the variants the paper
+/// evaluates) and the PDC layout.
+#[must_use]
+pub fn prove_variants(bench: &Benchmark) -> Vec<(&'static str, sdpm_ir::Program)> {
+    let cfg = config_for(bench);
+    let pool = DiskPool::new(cfg.disks);
+    vec![
+        ("original", bench.program.clone()),
+        ("LF", loop_fission(&bench.program, pool, true).program),
+        (
+            "TL",
+            loop_tiling(&bench.program, pool, true, &TilingConfig::default()).program,
+        ),
+        ("PDC", pdc_layout(&bench.program, pool).program),
+    ]
+}
+
+/// Proves every `(variant, scheme)` cell of one benchmark.
+#[must_use]
+pub fn prove_benchmark(bench: &Benchmark, schemes: &[Scheme]) -> Vec<ProveReport> {
+    let cfg = ProverConfig::from_pipeline(&config_for(bench));
+    let mut out = Vec::new();
+    for (variant, program) in prove_variants(bench) {
+        for &scheme in schemes {
+            out.push(ProveReport {
+                bench: bench.name,
+                variant,
+                scheme,
+                verdict: prove_scheme(&program, scheme, &cfg),
+            });
+        }
+    }
+    out
+}
+
+/// Cross-validates a proved CM cell dynamically: runs the real pipeline
+/// on the benchmark's original program under its configured noise seed
+/// and checks that the dynamic verifier agrees (no errors). Returns the
+/// disagreements as human-readable lines; empty means agreement.
+#[must_use]
+pub fn crossvalidate(bench: &Benchmark, reports: &[ProveReport]) -> Vec<String> {
+    let cfg = config_for(bench);
+    let mut out = Vec::new();
+    for r in reports {
+        if r.variant != "original" || !matches!(r.scheme, Scheme::CmTpm | Scheme::CmDrpm) {
+            continue;
+        }
+        if !matches!(r.verdict, Verdict::Proved { .. }) {
+            continue;
+        }
+        let art = sdpm_core::run_scheme_with_artifacts(&bench.program, r.scheme, &cfg);
+        let plan = art.insertion.as_ref().map(PlanRef::of);
+        let diags = verify_run(
+            &art.trace,
+            &cfg.params,
+            cfg.overhead_secs,
+            plan,
+            Some(&art.report),
+        );
+        if sdpm_verify::has_errors(&diags) {
+            out.push(format!(
+                "{} {}: symbolically proved but dynamically refuted:\n{}",
+                bench.name,
+                r.scheme.label(),
+                sdpm_verify::render_human_all(&diags)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swim_matrix_passes_and_crossvalidates() {
+        let bench = sdpm_workloads::swim();
+        let reports = prove_benchmark(&bench, &Scheme::all());
+        assert_eq!(reports.len(), 4 * Scheme::all().len());
+        for r in &reports {
+            assert!(
+                r.passed(),
+                "{} {} {}: {:?}",
+                r.bench,
+                r.variant,
+                r.scheme.label(),
+                r.verdict
+            );
+        }
+        assert!(crossvalidate(&bench, &reports).is_empty());
+    }
+
+    #[test]
+    fn json_lines_are_parseable_shape() {
+        let bench = sdpm_workloads::mesa();
+        let reports = prove_benchmark(&bench, &[sdpm_core::Scheme::CmTpm]);
+        for r in &reports {
+            let j = r.to_json();
+            assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+            assert!(j.contains("\"obligations\""));
+        }
+    }
+}

@@ -40,11 +40,12 @@
 //! assert!(cm.exec_secs < 1.02 * base.exec_secs);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod dap;
 pub mod estimate;
 pub mod insert;
 pub mod pipeline;
-mod prof;
+sdpm_obs::prof_hooks!();
 pub mod session;
 
 pub use dap::{build_dap, disk_gaps, Dap, DapEntry, DapState, GlobalGap, NestOffsets};

@@ -16,6 +16,7 @@
 //! bench body end to end in seconds; the numbers it prints are not
 //! meaningful measurements.
 
+#![forbid(unsafe_code)]
 use std::time::Instant;
 
 /// The `SDPM_BENCH_SAMPLES` override, parsed once per call site.

@@ -21,6 +21,7 @@
 //! All times are in **seconds**, energies in **joules**, powers in
 //! **watts**, and sizes in **bytes**, unless a name says otherwise.
 
+#![forbid(unsafe_code)]
 pub mod breakeven;
 pub mod energy;
 pub mod params;

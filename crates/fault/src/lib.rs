@@ -24,6 +24,7 @@
 //! inflated `Tsu` surfaces as stall time the compiler could not have
 //! hidden — exactly the robustness question the harness probes.
 
+#![forbid(unsafe_code)]
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sdpm_trace::{AppEvent, EventStream};

@@ -55,6 +55,7 @@
 //! assert_eq!(activity.nests[0].per_disk[0].len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod conform;
 pub mod depend;
 pub mod expr;

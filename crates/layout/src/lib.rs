@@ -17,6 +17,7 @@
 //!   fission algorithm ("more data an array group has, more disks it is
 //!   assigned").
 
+#![forbid(unsafe_code)]
 pub mod alloc;
 pub mod file;
 pub mod order;

@@ -29,11 +29,39 @@ pub mod json;
 pub mod jsonl;
 pub mod metrics;
 pub mod prof;
+pub mod prof_stub;
 
 pub use chrome::ChromeTraceRecorder;
 pub use jsonl::JsonlRecorder;
 pub use metrics::{LogHistogram, Metrics, MetricsRecorder, PerDiskMetrics};
 pub use prof::Profile;
+
+/// Binds `crate::prof` in the calling crate to the real profiling spine
+/// ([`prof`]) when the caller's own `obs` feature is on, or to the
+/// zero-cost stub ([`prof_stub`]) when it is off.
+///
+/// Invoke once at the crate root:
+///
+/// ```ignore
+/// sdpm_obs::prof_hooks!();
+/// ```
+///
+/// after which `crate::prof::span(..)`, `crate::prof::add(..)`,
+/// `crate::prof::is_enabled()`, and `crate::prof::set_thread_label(..)`
+/// all resolve — to live hooks or to `#[inline(always)]` no-ops that
+/// compile away entirely. The `#[cfg]` is evaluated at the expansion
+/// site, so it keys on the *consumer's* `obs` feature, which is what
+/// lets one macro serve every crate without each carrying its own
+/// drifting copy of the stub.
+#[macro_export]
+macro_rules! prof_hooks {
+    () => {
+        #[cfg(feature = "obs")]
+        pub(crate) use ::sdpm_obs::prof;
+        #[cfg(not(feature = "obs"))]
+        pub(crate) use ::sdpm_obs::prof_stub as prof;
+    };
+}
 
 use sdpm_disk::RpmLevel;
 use sdpm_layout::DiskId;

@@ -1,0 +1,50 @@
+//! Inert stand-in for [`crate::prof`], mirroring its hook surface with
+//! zero-sized no-ops.
+//!
+//! Consumer crates bind this module (or the real one) to `crate::prof`
+//! via [`crate::prof_hooks!`], keyed on their own `obs` feature. With
+//! the feature off every hook call site compiles against these
+//! `#[inline(always)]` no-ops and vanishes entirely, so hot paths are
+//! byte-identical to an unhooked build. The API must stay a strict
+//! subset-compatible mirror of `prof`: same names, same signatures,
+//! guard stays a ZST.
+
+/// Inert zero-sized stand-in for `prof::SpanGuard`.
+pub struct SpanGuard;
+
+/// No-op span: returns a guard that does nothing on drop.
+#[inline(always)]
+#[must_use]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// No-op counter bump.
+#[inline(always)]
+pub fn add(_name: &'static str, _delta: u64) {}
+
+/// No-op thread label.
+#[inline(always)]
+pub fn set_thread_label(_label: &str) {}
+
+/// Always `false`: profiling can never be enabled through the stub.
+#[inline(always)]
+#[must_use]
+pub fn is_enabled() -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    /// The compile-away contract: the guard is a ZST and the hook
+    /// functions are inlineable no-ops — a hooked hot loop compiles to
+    /// the same code as an unhooked one.
+    #[test]
+    fn stub_guard_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<super::SpanGuard>(), 0);
+        let _g = super::span("x");
+        super::add("x", 1);
+        super::set_thread_label("t");
+        assert!(!super::is_enabled());
+    }
+}

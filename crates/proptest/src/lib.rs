@@ -18,6 +18,7 @@
 //! * **Case count** defaults to 64 (the workspace's tests run heavy
 //!   simulations per case); `ProptestConfig::with_cases` overrides it.
 
+#![forbid(unsafe_code)]
 pub mod strategy;
 pub mod test_runner;
 

@@ -10,6 +10,7 @@
 //! so seeded noise draws are *internally* reproducible but not
 //! bit-compatible with runs made against crates.io `rand`.
 
+#![forbid(unsafe_code)]
 use std::ops::Range;
 
 /// Mirrors `rand::SeedableRng`, seeding only via `seed_from_u64`.

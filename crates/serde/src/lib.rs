@@ -11,6 +11,7 @@
 //! and `crates/serde_derive` and restoring the versioned dependency in the
 //! workspace manifest restores the real crate with no source changes.
 
+#![forbid(unsafe_code)]
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize`. Never implemented by the

@@ -5,6 +5,7 @@
 //! the traits widely for API fidelity with the real crate but never calls
 //! a serializer, so the derives can expand to nothing.
 
+#![forbid(unsafe_code)]
 use proc_macro::TokenStream;
 
 /// Expands to nothing; the type simply keeps compiling with

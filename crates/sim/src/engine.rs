@@ -530,7 +530,9 @@ impl Engine {
             misfires,
             faults,
         } = st;
-        let pool = disks.len() as u32;
+        // Pool sizes are constructed from a `u32`; saturation only on
+        // impossible inputs, and the value feeds error messages only.
+        let pool = u32::try_from(disks.len()).unwrap_or(u32::MAX);
         match event {
             AppEvent::Compute { secs, .. } => *t += secs,
             AppEvent::Power { disk, action } => {
@@ -720,8 +722,8 @@ impl Engine {
                 )
             })
             .collect();
-        let q = run.reqs_per_rep() as usize;
-        let pool = st.disks.len() as u32;
+        let q = usize::try_from(run.reqs_per_rep()).unwrap_or(usize::MAX);
+        let pool = u32::try_from(st.disks.len()).unwrap_or(u32::MAX);
         for rep in 0..run.count {
             // The per-event Compute arm is exactly `t += secs`, and every
             // repetition carries the same bitwise `secs_per_rep`.
@@ -729,7 +731,9 @@ impl Engine {
             // Repetition `rep` issues template group `rep % rotation`;
             // each template's disk is fixed, so the hot path still does
             // no per-request disk arithmetic.
-            let base = (rep % run.rotation) as usize * q;
+            // `rep % rotation` is below `MAX_ROTATION` (16), so the
+            // conversion is lossless; a violation fails the slice loudly.
+            let base = usize::try_from(rep % run.rotation).unwrap_or(usize::MAX) * q;
             for (j, tpl) in run.reqs[base..base + q].iter().enumerate() {
                 let rt =
                     st.disks

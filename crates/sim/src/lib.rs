@@ -54,14 +54,26 @@
 // The engine replays untrusted traces; a stray `unwrap()` on decoded
 // input is a denial-of-service. Failures must flow through `SimError`
 // (or, for the legacy infallible wrappers, an explicit `panic!`).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Narrowing and sign-discarding casts silently corrupt replayed values,
+// so each one must be spelled as an audited conversion or carry an
+// allow with its range argument.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+#![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod error;
 pub mod openloop;
 pub mod oracle;
 pub mod policy;
-mod prof;
+sdpm_obs::prof_hooks!();
 pub mod report;
 pub mod shard;
 

@@ -76,6 +76,21 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Nest ids and per-run request counts travel as `u32` on the wire.
+/// Real programs sit many orders of magnitude below that bound, so
+/// overflow is a caller contract violation, reported loudly rather than
+/// silently truncated.
+fn wire_u32(v: usize, what: &str) -> u32 {
+    u32::try_from(v).unwrap_or_else(|_| panic!("{what} {v} exceeds the wire format's u32 field"))
+}
+
+/// Trace names travel with a `u16` length prefix.
+fn wire_name_len(len: usize) -> u16 {
+    u16::try_from(len).unwrap_or_else(|_| {
+        panic!("trace name of {len} bytes exceeds the wire format's u16 length")
+    })
+}
+
 /// Serializes one event into `buf`.
 fn write_event(buf: &mut Vec<u8>, e: &AppEvent) {
     match e {
@@ -86,7 +101,7 @@ fn write_event(buf: &mut Vec<u8>, e: &AppEvent) {
             secs,
         } => {
             buf.push(0);
-            buf.extend_from_slice(&(*nest as u32).to_le_bytes());
+            buf.extend_from_slice(&wire_u32(*nest, "nest id").to_le_bytes());
             buf.extend_from_slice(&first_iter.to_le_bytes());
             buf.extend_from_slice(&iters.to_le_bytes());
             buf.extend_from_slice(&secs.to_le_bytes());
@@ -104,7 +119,7 @@ fn write_event(buf: &mut Vec<u8>, e: &AppEvent) {
                 flags |= 2;
             }
             buf.push(flags);
-            buf.extend_from_slice(&(r.nest as u32).to_le_bytes());
+            buf.extend_from_slice(&wire_u32(r.nest, "nest id").to_le_bytes());
             buf.extend_from_slice(&r.iter.to_le_bytes());
         }
         AppEvent::Power { disk, action } => {
@@ -140,7 +155,7 @@ impl StreamEncoder {
         buf.extend_from_slice(&VERSION.to_le_bytes());
         buf.extend_from_slice(&pool_size.to_le_bytes());
         let name = name.as_bytes();
-        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&wire_name_len(name.len()).to_le_bytes());
         buf.extend_from_slice(name);
         let count_pos = buf.len();
         buf.extend_from_slice(&0u64.to_le_bytes()); // backpatched by finish
@@ -256,12 +271,12 @@ fn write_run(buf: &mut Vec<u8>, run: &Run) -> Result<(), CodecError> {
         u32::try_from(run.rotation).map_err(|_| CodecError::RotationOverflow(run.rotation))?;
     buf.push(3);
     buf.extend_from_slice(&run.count.to_le_bytes());
-    buf.extend_from_slice(&(run.nest as u32).to_le_bytes());
+    buf.extend_from_slice(&wire_u32(run.nest, "nest id").to_le_bytes());
     buf.extend_from_slice(&run.first_iter.to_le_bytes());
     buf.extend_from_slice(&run.iters_per_rep.to_le_bytes());
     buf.extend_from_slice(&run.secs_per_rep.to_le_bytes());
     buf.extend_from_slice(&rotation.to_le_bytes());
-    buf.extend_from_slice(&(run.reqs.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&wire_u32(run.reqs.len(), "run request count").to_le_bytes());
     for t in &run.reqs {
         buf.extend_from_slice(&t.io.disk.0.to_le_bytes());
         buf.extend_from_slice(&t.io.start_block.to_le_bytes());
@@ -275,7 +290,7 @@ fn write_run(buf: &mut Vec<u8>, run: &Run) -> Result<(), CodecError> {
             flags |= 2;
         }
         buf.push(flags);
-        buf.extend_from_slice(&(t.io.nest as u32).to_le_bytes());
+        buf.extend_from_slice(&wire_u32(t.io.nest, "nest id").to_le_bytes());
         buf.extend_from_slice(&t.io.iter.to_le_bytes());
     }
     Ok(())
@@ -492,7 +507,9 @@ impl<'a> DecodeStream<'a> {
             if self.remaining == 0 {
                 return Ok(None);
             }
-            let n = (self.remaining as usize).min(self.chunk);
+            let n = usize::try_from(self.remaining)
+                .unwrap_or(usize::MAX)
+                .min(self.chunk);
             self.buf.reserve(n);
             for _ in 0..n {
                 self.buf.push(read_event(&mut self.r)?);
@@ -577,7 +594,9 @@ pub fn decode(buf: &[u8]) -> Result<Trace, CodecError> {
     // exceeding remaining/7 cannot be satisfied — cap the reservation so
     // a corrupted count cannot trigger an allocation failure before the
     // Truncated error surfaces.
-    let cap = (s.remaining() as usize).min(buf.len() / 7 + 1);
+    let cap = usize::try_from(s.remaining())
+        .unwrap_or(usize::MAX)
+        .min(buf.len() / 7 + 1);
     let mut events = Vec::with_capacity(cap);
     while let Some(chunk) = s.try_next_chunk()? {
         events.extend_from_slice(chunk);
@@ -607,7 +626,7 @@ impl RunStreamEncoder {
         buf.extend_from_slice(&VERSION_RUNS.to_le_bytes());
         buf.extend_from_slice(&pool_size.to_le_bytes());
         let name = name.as_bytes();
-        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&wire_name_len(name.len()).to_le_bytes());
         buf.extend_from_slice(name);
         let count_pos = buf.len();
         buf.extend_from_slice(&0u64.to_le_bytes()); // backpatched by finish
@@ -733,7 +752,9 @@ impl<'a> DecodeRunStream<'a> {
         if self.remaining == 0 {
             return Ok(None);
         }
-        let n = (self.remaining as usize).min(self.chunk);
+        let n = usize::try_from(self.remaining)
+            .unwrap_or(usize::MAX)
+            .min(self.chunk);
         self.buf.clear();
         for _ in 0..n {
             let re = if self.version == VERSION {
@@ -778,7 +799,9 @@ pub fn decode_runs(buf: &[u8]) -> Result<RunTrace, CodecError> {
     let _sp = crate::prof::span("trace.decode");
     crate::prof::add("decode.bytes", buf.len() as u64);
     let mut s = DecodeRunStream::new(buf)?;
-    let cap = (s.remaining() as usize).min(buf.len() / 7 + 1);
+    let cap = usize::try_from(s.remaining())
+        .unwrap_or(usize::MAX)
+        .min(buf.len() / 7 + 1);
     let mut events = Vec::with_capacity(cap);
     while let Some(chunk) = s.try_next_chunk()? {
         events.extend_from_slice(chunk);

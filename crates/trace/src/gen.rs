@@ -224,8 +224,11 @@ impl<'a> GenStream<'a> {
             for lr in linrefs.iter() {
                 let file = &program.arrays[lr.array];
                 let elem = lr.lin.eval(ivars);
-                debug_assert!(elem >= 0);
-                let byte = elem as u64 * file.element_bytes;
+                // Non-negative by `Program::validate`; a violation is a
+                // caller contract breach, reported loudly.
+                let byte = u64::try_from(elem)
+                    .unwrap_or_else(|_| panic!("negative element index {elem}"))
+                    * file.element_bytes;
                 let chunk = byte / config.io_chunk_bytes;
                 if cached_chunk[lr.array] == Some(chunk) {
                     continue;

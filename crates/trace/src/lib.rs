@@ -26,12 +26,24 @@
 // This crate parses untrusted bytes; a stray `unwrap()` is a
 // denial-of-service. Failures must flow through `CodecError` (or, for
 // caller contract violations, an explicit `panic!` with context).
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+// Narrowing and sign-discarding casts silently corrupt decoded values,
+// so each one must be spelled as an audited conversion or carry an
+// allow with its range argument.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )
+)]
+#![forbid(unsafe_code)]
 
 pub mod codec;
 pub mod event;
 pub mod gen;
-mod prof;
+sdpm_obs::prof_hooks!();
 pub mod run;
 pub mod rungen;
 pub mod stream;

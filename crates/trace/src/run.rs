@@ -404,6 +404,11 @@ struct Period {
 /// configurations stripe over at most 16 disks).
 pub const MAX_ROTATION: u64 = 16;
 
+/// [`MAX_ROTATION`] as an in-memory index bound (kept in lockstep by
+/// the assertion below, without a narrowing cast).
+const MAX_ROTATION_IDX: usize = 16;
+const _: () = assert!(MAX_ROTATION_IDX as u64 == MAX_ROTATION);
+
 /// Streaming one-pass run fuser.
 ///
 /// Push events in order; compressed records come out in order. A period
@@ -513,7 +518,7 @@ impl Compressor {
         }
         self.pending.push_back(p);
         self.detect(out);
-        while self.pending.len() > (2 * MAX_ROTATION) as usize {
+        while self.pending.len() > 2 * MAX_ROTATION_IDX {
             let Some(old) = self.pending.pop_front() else {
                 break; // unreachable: len check above guarantees an element
             };
@@ -547,8 +552,13 @@ impl Compressor {
         let Some(tpl_iter_adv) = tpl_iter_adv else {
             return false;
         };
-        let start = (group * q) as usize;
-        for (t, r) in run.reqs[start..start + q as usize].iter().zip(&p.ios) {
+        // `group * q` indexes into `run.reqs`, whose in-memory length
+        // bounds it; if saturation could ever fire (32-bit target, value
+        // past `usize::MAX`) the slice below fails loudly instead of
+        // aliasing a wrong group.
+        let start = usize::try_from(group * q).unwrap_or(usize::MAX);
+        let per = usize::try_from(q).unwrap_or(usize::MAX);
+        for (t, r) in run.reqs[start..start + per].iter().zip(&p.ios) {
             if r.disk != t.io.disk
                 || r.size_bytes != t.io.size_bytes
                 || r.kind != t.io.kind
@@ -576,7 +586,7 @@ impl Compressor {
     /// raw and opens a run covering the window.
     fn detect(&mut self, out: &mut Vec<REvent>) {
         let n = self.pending.len();
-        for m in 1..=MAX_ROTATION as usize {
+        for m in 1..=MAX_ROTATION_IDX {
             if n < 2 * m {
                 break;
             }

@@ -83,6 +83,25 @@ pub enum Code {
     /// SDPM-W002: the report was produced under fault injection, so the
     /// fault-free replay cannot meaningfully cross-check it.
     ReplayUnderFaults,
+    /// SDPM-S001: the symbolic prover refuted the pre-activation lead
+    /// obligation — for some parameters in the domain the placement rule
+    /// yields a lead below formula (1)'s `Tsu + Tm`.
+    SymbolicShortLead,
+    /// SDPM-S002: the symbolic prover found a possible access inside an
+    /// idle window the inserter would exploit.
+    SymbolicAccessWhileDown,
+    /// SDPM-S003: the symbolic prover refuted the spin-up-completes
+    /// obligation — for some parameters an exploited gap cannot fit the
+    /// wake transition plus the call overhead.
+    SymbolicSpinUpUnfinished,
+    /// SDPM-S004: the symbolic prover refuted TPM boundary legality —
+    /// the exploit predicate fires on a gap below the break-even
+    /// threshold somewhere in the parameter domain.
+    SymbolicTpmBoundary,
+    /// SDPM-S005: the symbolic prover refuted DRPM boundary legality —
+    /// an off-ladder level, an infeasible transition, or a choice below
+    /// the profit floor somewhere in the parameter domain.
+    SymbolicDrpmBoundary,
 }
 
 impl Code {
@@ -107,6 +126,11 @@ impl Code {
             Code::ReplayMisfireMismatch => "SDPM-E202",
             Code::ReplayMisfires => "SDPM-W001",
             Code::ReplayUnderFaults => "SDPM-W002",
+            Code::SymbolicShortLead => "SDPM-S001",
+            Code::SymbolicAccessWhileDown => "SDPM-S002",
+            Code::SymbolicSpinUpUnfinished => "SDPM-S003",
+            Code::SymbolicTpmBoundary => "SDPM-S004",
+            Code::SymbolicDrpmBoundary => "SDPM-S005",
         }
     }
 
@@ -131,6 +155,11 @@ impl Code {
             Code::ReplayMisfireMismatch => "replay misfire mismatch",
             Code::ReplayMisfires => "replay predicts directive misfires",
             Code::ReplayUnderFaults => "report produced under fault injection",
+            Code::SymbolicShortLead => "refuted: pre-activation lead obligation",
+            Code::SymbolicAccessWhileDown => "refuted: access-free idle window obligation",
+            Code::SymbolicSpinUpUnfinished => "refuted: spin-up-completes obligation",
+            Code::SymbolicTpmBoundary => "refuted: TPM break-even boundary obligation",
+            Code::SymbolicDrpmBoundary => "refuted: DRPM ladder/profit obligation",
         }
     }
 

@@ -34,11 +34,13 @@
 //! assert!(!sdpm_verify::has_errors(&diags));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod diag;
 pub mod directive;
 pub mod legality;
-mod prof;
+sdpm_obs::prof_hooks!();
 pub mod replay;
+pub mod symbolic;
 
 pub use diag::{
     has_errors, render_human, render_human_all, render_json, render_json_all, tally, Code,
@@ -47,6 +49,7 @@ pub use diag::{
 pub use directive::{verify_directives, PlanRef, EPS_SECS};
 pub use legality::{check_fission, check_tiling};
 pub use replay::{crosscheck_report, replay_directives, replay_stream, ReplayDisk, ReplayReport};
+pub use symbolic::{prove_all_schemes, prove_scheme, PlacementPolicy, ProverConfig, Verdict};
 
 use sdpm_disk::DiskParams;
 use sdpm_sim::SimReport;

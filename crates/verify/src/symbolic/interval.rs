@@ -1,0 +1,248 @@
+//! The abstract domains the prover computes in: integer intervals for
+//! element/stripe/iteration arithmetic and seconds intervals for the
+//! estimated timeline under the noise-parameter box.
+//!
+//! Affine expressions over a rectangular iteration box attain their
+//! extrema at box corners, so the range of a [`AffineExpr`] is computed
+//! coefficient-by-coefficient from each induction variable's endpoint
+//! values — no corner enumeration, no iteration walk. All integer
+//! arithmetic runs in `i128`: the inputs are `i64` coefficients times
+//! `i64` induction values, so products fit with room to spare.
+
+use sdpm_ir::{AffineExpr, LoopDim};
+
+/// Closed integer interval `[lo, hi]` (`lo <= hi`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Itv {
+    pub lo: i128,
+    pub hi: i128,
+}
+
+impl Itv {
+    /// The single-point interval.
+    #[must_use]
+    pub fn point(v: i128) -> Self {
+        Itv { lo: v, hi: v }
+    }
+
+    /// Number of integers covered (never zero: `lo <= hi` is an
+    /// invariant, so there is no `is_empty` counterpart).
+    #[must_use]
+    pub fn count(&self) -> i128 {
+        self.hi - self.lo + 1
+    }
+
+    /// True when the interval is a single point.
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: i128) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+/// Range of `expr` over the rectangular iteration box of `dims`.
+///
+/// Returns `None` when the box is empty (a zero-trip loop anywhere in
+/// the nest): an empty box has no extrema and the caller must treat the
+/// whole nest as access-free.
+#[must_use]
+pub fn affine_range(expr: &AffineExpr, dims: &[LoopDim]) -> Option<Itv> {
+    if dims.iter().any(|d| d.count == 0) {
+        return None;
+    }
+    let mut lo = i128::from(expr.constant);
+    let mut hi = lo;
+    for (d, dim) in dims.iter().enumerate() {
+        let c = i128::from(expr.coeff(d));
+        if c == 0 {
+            continue;
+        }
+        // The induction variable is monotone in its trip index, so its
+        // extrema are the first and last trip values.
+        let a = i128::from(dim.lower);
+        let b = i128::from(dim.value(dim.count - 1));
+        let (vmin, vmax) = if a <= b { (a, b) } else { (b, a) };
+        if c > 0 {
+            lo += c * vmin;
+            hi += c * vmax;
+        } else {
+            lo += c * vmax;
+            hi += c * vmin;
+        }
+    }
+    Some(Itv { lo, hi })
+}
+
+/// Closed seconds interval `[lo, hi]` (`lo <= hi`, both finite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecsItv {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl SecsItv {
+    /// The single-point interval.
+    #[must_use]
+    pub fn point(v: f64) -> Self {
+        SecsItv { lo: v, hi: v }
+    }
+
+    /// Scales by a non-negative interval (both operands non-negative in
+    /// every use here: durations times noise factors).
+    #[must_use]
+    pub fn scale(self, by: SecsItv) -> SecsItv {
+        debug_assert!(self.lo >= 0.0 && by.lo >= 0.0);
+        SecsItv {
+            lo: self.lo * by.lo,
+            hi: self.hi * by.hi,
+        }
+    }
+
+    /// True when every value of the interval is `>= bound`.
+    #[must_use]
+    pub fn always_at_least(&self, bound: f64) -> bool {
+        self.lo >= bound
+    }
+
+    /// True when every value of the interval is `< bound`.
+    #[must_use]
+    pub fn always_below(&self, bound: f64) -> bool {
+        self.hi < bound
+    }
+}
+
+impl std::ops::Add for SecsItv {
+    type Output = SecsItv;
+
+    /// Interval sum.
+    fn add(self, rhs: SecsItv) -> SecsItv {
+        SecsItv {
+            lo: self.lo + rhs.lo,
+            hi: self.hi + rhs.hi,
+        }
+    }
+}
+
+/// Floor division on `i128` (rounds toward negative infinity), for
+/// byte -> stripe and element -> iteration conversions where operands
+/// can go negative after slack widening.
+#[must_use]
+pub fn div_floor(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a < 0 {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Ceiling division on `i128`.
+#[must_use]
+pub fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    let q = a / b;
+    if a % b != 0 && a > 0 {
+        q + 1
+    } else {
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_range_matches_brute_force() {
+        // 3*i - 2*j + 7 over i in [2, 2+3*4], j in [-1, -1+2*5]
+        let e = AffineExpr {
+            coeffs: vec![3, -2],
+            constant: 7,
+        };
+        let dims = [
+            LoopDim {
+                lower: 2,
+                count: 5,
+                step: 3,
+            },
+            LoopDim {
+                lower: -1,
+                count: 6,
+                step: 2,
+            },
+        ];
+        let r = affine_range(&e, &dims).unwrap();
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for ki in 0..5u64 {
+            for kj in 0..6u64 {
+                let v = i128::from(e.eval(&[dims[0].value(ki), dims[1].value(kj)]));
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        assert_eq!((r.lo, r.hi), (lo, hi));
+    }
+
+    #[test]
+    fn affine_range_negative_step() {
+        // i counts down: lower 10, step -2, 4 trips -> {10, 8, 6, 4}.
+        let e = AffineExpr {
+            coeffs: vec![5],
+            constant: 0,
+        };
+        let dims = [LoopDim {
+            lower: 10,
+            count: 4,
+            step: -2,
+        }];
+        let r = affine_range(&e, &dims).unwrap();
+        assert_eq!((r.lo, r.hi), (20, 50));
+    }
+
+    #[test]
+    fn zero_trip_box_is_empty() {
+        let e = AffineExpr {
+            coeffs: vec![1, 1],
+            constant: 0,
+        };
+        let dims = [
+            LoopDim::simple(4),
+            LoopDim {
+                lower: 0,
+                count: 0,
+                step: 1,
+            },
+        ];
+        assert_eq!(affine_range(&e, &dims), None);
+    }
+
+    #[test]
+    fn floor_and_ceil_division() {
+        assert_eq!(div_floor(7, 3), 2);
+        assert_eq!(div_floor(-7, 3), -3);
+        assert_eq!(div_floor(-6, 3), -2);
+        assert_eq!(div_ceil(7, 3), 3);
+        assert_eq!(div_ceil(-7, 3), -2);
+        assert_eq!(div_ceil(6, 3), 2);
+    }
+
+    #[test]
+    fn secs_interval_algebra() {
+        let a = SecsItv { lo: 1.0, hi: 2.0 };
+        let b = SecsItv { lo: 0.5, hi: 1.5 };
+        let s = a + b;
+        assert_eq!((s.lo, s.hi), (1.5, 3.5));
+        let p = a.scale(b);
+        assert_eq!((p.lo, p.hi), (0.5, 3.0));
+        assert!(a.always_at_least(1.0));
+        assert!(!a.always_at_least(1.5));
+        assert!(a.always_below(2.5));
+    }
+}

@@ -1,0 +1,531 @@
+//! Symbolic directive-safety prover: abstract interpretation over the
+//! loop-nest IR with counterexample synthesis.
+//!
+//! The dynamic checker ([`crate::directive`]) judges one instrumented
+//! trace — one noise seed, one parameter assignment. This module proves
+//! the stronger statement: for a given program, scheme, and *domain* of
+//! parameters (every noise factor in the spread, every gap-jitter draw,
+//! the disk's timing constants), **no trace the inserter can produce
+//! violates a directive-safety rule**. The proof pipeline:
+//!
+//! 1. [`windows`] — interval/affine abstract interpretation over the IR
+//!    computes per-nest, per-disk symbolic access windows in closed form
+//!    (no iteration walk), over-approximating access so gaps
+//!    under-approximate idleness (the sound direction).
+//! 2. [`gaps`] — the windows become per-disk idle gaps on the global
+//!    iteration timeline with estimated-length *intervals* over the
+//!    noise box.
+//! 3. [`obligations`] — each safety rule (formula (1) lead,
+//!    no-access-while-down, wake-completes, TPM/DRPM boundary legality)
+//!    is discharged as one closed-form inequality against those
+//!    intervals, mirroring the inserter's decision procedure.
+//! 4. [`witness`] — a failed obligation is *instantiated*: a concrete
+//!    program and woven trace are synthesized from the violated
+//!    inequality and replayed through [`crate::verify_directives`]. The
+//!    prover reports [`Verdict::Refuted`] only when the predicted
+//!    `SDPM-E0xx` diagnostic actually reproduces — it can never cry
+//!    wolf; an unconfirmed refutation degrades to [`Verdict::Unknown`].
+//!
+//! Refutations carry `SDPM-S001..S005` diagnostics; the pipeline's own
+//! placement policy proves all obligations, and the [`PlacementPolicy`]
+//! knobs exist to express (and then refute) perturbed policies.
+//!
+//! # Proving a scheme safe over the whole noise domain
+//!
+//! ```
+//! use sdpm_core::{PipelineConfig, Scheme};
+//! use sdpm_verify::symbolic::{prove_scheme, ProverConfig, Verdict};
+//!
+//! let program = sdpm_workloads::swim().program;
+//! let cfg = ProverConfig::from_pipeline(&PipelineConfig::default());
+//! match prove_scheme(&program, Scheme::CmTpm, &cfg) {
+//!     Verdict::Proved { obligations, .. } => assert!(!obligations.is_empty()),
+//!     other => panic!("the pipeline policy is safe by construction: {other:?}"),
+//! }
+//! ```
+
+pub mod gaps;
+pub mod interval;
+pub mod obligations;
+pub mod windows;
+pub mod witness;
+
+use crate::diag::{Code, Diagnostic, Span};
+use interval::SecsItv;
+use obligations::{discharge, Obligation};
+use sdpm_core::{CmMode, PipelineConfig, Scheme};
+use sdpm_disk::DiskParams;
+use sdpm_ir::Program;
+use witness::Counterexample;
+
+pub use gaps::{symbolic_gaps, GapBound};
+pub use obligations::ObStatus;
+pub use windows::{symbolic_windows, SymbolicActivity, SymbolicWindow};
+
+/// The directive-placement policy family the prover quantifies over.
+/// The identity policy (all defaults) is the pipeline's own placement
+/// rule; every knob perturbs one obligation's inequality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementPolicy {
+    /// Scales the wake lead: `lead_factor * Tsu + Tm` instead of
+    /// formula (1)'s `Tsu + Tm`. Below 1.0 refutes `SDPM-S001`.
+    pub lead_factor: f64,
+    /// Scales the exploit threshold. Below 1.0 the policy exploits gaps
+    /// under the break-even boundary, refuting `SDPM-S004`/`S005`.
+    pub exploit_threshold_scale: f64,
+    /// Biases the chosen RPM level off the checker's optimum. Nonzero
+    /// refutes `SDPM-S005`.
+    pub level_bias: i8,
+    /// Lets directives encroach this many iterations into a neighboring
+    /// access window. Nonzero refutes `SDPM-S002`.
+    pub window_encroach_iters: u64,
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy {
+            lead_factor: 1.0,
+            exploit_threshold_scale: 1.0,
+            level_bias: 0,
+            window_encroach_iters: 0,
+        }
+    }
+}
+
+/// Everything the prover quantifies over: the disk's timing constants,
+/// the pool, the noise-parameter box, the trace generator's granularity,
+/// and the placement policy under proof.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProverConfig {
+    pub params: DiskParams,
+    pub pool: u32,
+    /// Power-management call overhead `Tm`, seconds.
+    pub overhead_secs: f64,
+    /// Per-nest noise spread (the pipeline's `NoiseModel::spread`).
+    pub noise_spread: f64,
+    /// Per-gap estimate jitter (the pipeline's `NoiseModel::gap_jitter`).
+    pub gap_jitter: f64,
+    /// Trace-generator fetch granularity (window slack).
+    pub io_chunk_bytes: u64,
+    pub policy: PlacementPolicy,
+}
+
+impl ProverConfig {
+    /// The prover view of a pipeline configuration: same disk, pool,
+    /// overhead, and noise domain; identity placement policy.
+    #[must_use]
+    pub fn from_pipeline(cfg: &PipelineConfig) -> Self {
+        ProverConfig {
+            params: cfg.params.clone(),
+            pool: cfg.disks,
+            overhead_secs: cfg.overhead_secs,
+            noise_spread: cfg.noise.spread,
+            gap_jitter: cfg.noise.gap_jitter,
+            io_chunk_bytes: cfg.gen.io_chunk_bytes,
+            policy: PlacementPolicy::default(),
+        }
+    }
+
+    /// Per-nest timeline factor domain: the inserter draws each nest's
+    /// factor as `(1 + eps).max(0.05)` with `eps` in `(-spread, spread)`.
+    #[must_use]
+    pub fn noise_factor(&self) -> SecsItv {
+        SecsItv {
+            lo: (1.0 - self.noise_spread).max(0.05),
+            hi: 1.0 + self.noise_spread,
+        }
+    }
+
+    /// Per-gap estimate jitter domain: `1 + eta` with `eta` in
+    /// `[-gap_jitter, gap_jitter]`.
+    #[must_use]
+    pub fn jitter(&self) -> SecsItv {
+        SecsItv {
+            lo: (1.0 - self.gap_jitter).max(0.0),
+            hi: 1.0 + self.gap_jitter,
+        }
+    }
+}
+
+/// The prover's answer for one `(program, scheme, config)` triple.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Every obligation holds over the whole parameter domain.
+    Proved {
+        /// Human-readable description of the quantified domain.
+        domain: String,
+        obligations: Vec<Obligation>,
+    },
+    /// An obligation fails and the failure was confirmed by concrete
+    /// replay: the counterexample's trace reproduces the predicted
+    /// diagnostic under [`crate::verify_directives`].
+    Refuted {
+        obligations: Vec<Obligation>,
+        counterexample: Counterexample,
+    },
+    /// An obligation fails but the synthesized counterexample did not
+    /// reproduce under replay — the obligation was conservative. Never
+    /// reported as a refutation.
+    Unknown {
+        reason: String,
+        obligations: Vec<Obligation>,
+    },
+}
+
+impl Verdict {
+    /// True for [`Verdict::Proved`].
+    #[must_use]
+    pub fn proved(&self) -> bool {
+        matches!(self, Verdict::Proved { .. })
+    }
+
+    /// The verdict as renderable diagnostics: empty when proved, one
+    /// `SDPM-S0xx` finding per refuted obligation otherwise (with the
+    /// counterexample's replay findings attached as labels).
+    #[must_use]
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        match self {
+            Verdict::Proved { .. } => Vec::new(),
+            Verdict::Refuted {
+                obligations,
+                counterexample,
+            } => obligations
+                .iter()
+                .filter(|o| !o.proved())
+                .map(|o| {
+                    Diagnostic::new(
+                        o.code,
+                        format!("obligation `{}` refuted: {}", o.name, o.statement),
+                    )
+                    .label(
+                        Span::Run,
+                        format!(
+                            "counterexample: {} (replays as {})",
+                            counterexample.description,
+                            counterexample.predicted.as_str()
+                        ),
+                    )
+                    .help(
+                        "the placement policy violates this rule for some parameters in \
+                         the domain; restore the pipeline's rule or shrink the domain",
+                    )
+                })
+                .collect(),
+            Verdict::Unknown {
+                reason,
+                obligations,
+            } => obligations
+                .iter()
+                .filter(|o| !o.proved())
+                .map(|o| {
+                    let mut d = Diagnostic::new(
+                        o.code,
+                        format!(
+                            "obligation `{}` could not be discharged: {}",
+                            o.name, o.statement
+                        ),
+                    )
+                    .label(Span::Run, format!("unconfirmed: {reason}"))
+                    .help("the obligation is conservative here; tighten it or verify dynamically");
+                    d.severity = crate::diag::Severity::Warning;
+                    d
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The CM insertion mode a scheme uses, if any.
+#[must_use]
+pub fn cm_mode(scheme: Scheme) -> Option<CmMode> {
+    match scheme {
+        Scheme::CmTpm => Some(CmMode::Tpm),
+        Scheme::CmDrpm => Some(CmMode::Drpm),
+        _ => None,
+    }
+}
+
+/// Proves directive safety of `scheme` on `program` over the parameter
+/// domain of `cfg`.
+///
+/// Non-CM schemes insert no compiler directives, so their (vacuous)
+/// obligation is discharged structurally. For CM schemes the full
+/// pipeline runs: windows -> gaps -> obligations -> (on failure)
+/// counterexample synthesis and replay confirmation.
+#[must_use]
+pub fn prove_scheme(program: &Program, scheme: Scheme, cfg: &ProverConfig) -> Verdict {
+    let Some(mode) = cm_mode(scheme) else {
+        return Verdict::Proved {
+            domain: format!(
+                "{} inserts no compiler directives; directive safety is vacuous \
+                 (the scheme's policy acts on its own clock and is checked dynamically)",
+                scheme.label()
+            ),
+            obligations: vec![Obligation {
+                code: Code::SymbolicAccessWhileDown,
+                name: "no-compiler-directives",
+                statement: format!("scheme {} never calls the inserter", scheme.label()),
+                status: ObStatus::Proved,
+            }],
+        };
+    };
+
+    let act = symbolic_windows(program, cfg.pool, cfg.io_chunk_bytes);
+    let all_gaps = symbolic_gaps(
+        program,
+        &act,
+        &cfg.params,
+        cfg.noise_factor(),
+        cfg.jitter(),
+        cfg.io_chunk_bytes,
+    );
+    let (obs, domain) = discharge(mode, cfg, &all_gaps);
+
+    let Some(first_refuted) = obs.iter().find(|o| !o.proved()) else {
+        return Verdict::Proved {
+            domain,
+            obligations: obs,
+        };
+    };
+
+    match witness::synthesize(mode, cfg, first_refuted) {
+        Some(cx) if cx.confirmed() => Verdict::Refuted {
+            obligations: obs,
+            counterexample: cx,
+        },
+        Some(cx) => Verdict::Unknown {
+            reason: format!(
+                "synthesized counterexample did not reproduce {} under replay",
+                cx.predicted.as_str()
+            ),
+            obligations: obs,
+        },
+        None => Verdict::Unknown {
+            reason: "no counterexample construction for the refuted obligation".into(),
+            obligations: obs,
+        },
+    }
+}
+
+/// [`prove_scheme`] over all seven schemes, in presentation order.
+#[must_use]
+pub fn prove_all_schemes(program: &Program, cfg: &ProverConfig) -> Vec<(Scheme, Verdict)> {
+    Scheme::all()
+        .into_iter()
+        .map(|s| (s, prove_scheme(program, s, cfg)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directive::PlanRef;
+    use sdpm_core::{run_scheme_with_artifacts, NoiseModel};
+    use sdpm_ir::{AffineExpr, ArrayRef, LoopDim, LoopNest, Statement};
+    use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
+
+    fn phased(gap_secs: f64, disks: u32) -> Program {
+        let elems = 8 * 1024u64;
+        let a = ArrayFile {
+            name: "A".into(),
+            dims: vec![elems],
+            element_bytes: 8,
+            order: StorageOrder::RowMajor,
+            striping: Striping {
+                start_disk: DiskId(0),
+                stripe_factor: disks,
+                stripe_bytes: 8 * 1024,
+            },
+            base_block: 0,
+        };
+        let scan = |label: &str| LoopNest {
+            label: label.into(),
+            loops: vec![LoopDim::simple(elems)],
+            stmts: vec![Statement {
+                label: "S".into(),
+                refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+            }],
+            cycles_per_iter: 75.0,
+        };
+        let compute_iters = 100_000u64;
+        #[allow(clippy::cast_precision_loss)]
+        let cpi = gap_secs / compute_iters as f64 * Program::PAPER_CLOCK_HZ;
+        let compute = LoopNest {
+            label: "fft".into(),
+            loops: vec![LoopDim::simple(compute_iters)],
+            stmts: vec![],
+            cycles_per_iter: cpi,
+        };
+        let p = Program {
+            name: "phased".into(),
+            arrays: vec![a],
+            nests: vec![scan("read"), compute, scan("reread")],
+            clock_hz: Program::PAPER_CLOCK_HZ,
+        };
+        p.validate(DiskPool::new(disks)).unwrap();
+        p
+    }
+
+    fn prover_cfg(disks: u32) -> ProverConfig {
+        let cfg = PipelineConfig {
+            disks,
+            ..PipelineConfig::default()
+        };
+        ProverConfig::from_pipeline(&cfg)
+    }
+
+    #[test]
+    fn pipeline_policy_proves_both_cm_schemes() {
+        let p = phased(60.0, 4);
+        let cfg = prover_cfg(4);
+        for scheme in [Scheme::CmTpm, Scheme::CmDrpm] {
+            let v = prove_scheme(&p, scheme, &cfg);
+            assert!(v.proved(), "{scheme:?}: {v:?}");
+            assert!(v.diagnostics().is_empty());
+        }
+    }
+
+    #[test]
+    fn non_cm_schemes_prove_vacuously() {
+        let p = phased(10.0, 2);
+        let cfg = prover_cfg(2);
+        for scheme in [Scheme::Base, Scheme::Tpm, Scheme::IDrpm] {
+            assert!(prove_scheme(&p, scheme, &cfg).proved());
+        }
+    }
+
+    #[test]
+    fn short_lead_policy_is_refuted_with_confirmed_counterexample() {
+        let p = phased(60.0, 4);
+        let mut cfg = prover_cfg(4);
+        cfg.policy.lead_factor = 0.5;
+        let v = prove_scheme(&p, Scheme::CmTpm, &cfg);
+        let Verdict::Refuted { counterexample, .. } = &v else {
+            panic!("expected refutation, got {v:?}");
+        };
+        assert!(counterexample.confirmed());
+        assert_eq!(counterexample.predicted, Code::ShortLead);
+        let diags = v.diagnostics();
+        assert!(diags.iter().any(|d| d.code == Code::SymbolicShortLead));
+    }
+
+    #[test]
+    fn scaled_threshold_policy_is_refuted_as_tpm_boundary() {
+        let p = phased(60.0, 4);
+        let mut cfg = prover_cfg(4);
+        // 0.8 keeps the scaled threshold above Tsu + Tm (so the
+        // wake-completes obligation still proves) but below the true
+        // break-even, isolating the boundary obligation.
+        cfg.policy.exploit_threshold_scale = 0.8;
+        let v = prove_scheme(&p, Scheme::CmTpm, &cfg);
+        let Verdict::Refuted { counterexample, .. } = &v else {
+            panic!("expected refutation, got {v:?}");
+        };
+        assert!(counterexample.confirmed());
+        assert_eq!(counterexample.predicted, Code::GapBelowThreshold);
+    }
+
+    #[test]
+    fn biased_level_policy_is_refuted_as_drpm_boundary() {
+        let p = phased(60.0, 4);
+        let mut cfg = prover_cfg(4);
+        cfg.policy.level_bias = 3;
+        let v = prove_scheme(&p, Scheme::CmDrpm, &cfg);
+        let Verdict::Refuted { counterexample, .. } = &v else {
+            panic!("expected refutation, got {v:?}");
+        };
+        assert!(counterexample.confirmed());
+        assert_eq!(counterexample.predicted, Code::OffLadderRpm);
+    }
+
+    #[test]
+    fn window_encroachment_is_refuted_as_access_while_down() {
+        let p = phased(60.0, 4);
+        let mut cfg = prover_cfg(4);
+        cfg.policy.window_encroach_iters = 16;
+        let v = prove_scheme(&p, Scheme::CmTpm, &cfg);
+        let Verdict::Refuted { counterexample, .. } = &v else {
+            panic!("expected refutation, got {v:?}");
+        };
+        assert!(counterexample.confirmed());
+        assert_eq!(counterexample.predicted, Code::IoWhileDown);
+    }
+
+    #[test]
+    fn oversized_tm_is_refuted_as_unfinished_wake() {
+        let p = phased(60.0, 4);
+        let mut cfg = prover_cfg(4);
+        // Tm larger than one ladder step (2 ms): the wake lead no longer
+        // fits inside the feasibility slack.
+        cfg.overhead_secs = 0.05;
+        let v = prove_scheme(&p, Scheme::CmDrpm, &cfg);
+        match v {
+            Verdict::Refuted { counterexample, .. } => {
+                assert!(counterexample.confirmed());
+                assert_eq!(counterexample.predicted, Code::ShortLead);
+            }
+            Verdict::Unknown { .. } => {} // conservative discharge: allowed
+            Verdict::Proved { .. } => panic!("Tm > step must not prove"),
+        }
+    }
+
+    #[test]
+    fn refuted_counterexample_replays_deterministically() {
+        let p = phased(60.0, 4);
+        let mut cfg = prover_cfg(4);
+        cfg.policy.lead_factor = 0.5;
+        let a = prove_scheme(&p, Scheme::CmTpm, &cfg);
+        let b = prove_scheme(&p, Scheme::CmTpm, &cfg);
+        let (
+            Verdict::Refuted {
+                counterexample: ca, ..
+            },
+            Verdict::Refuted {
+                counterexample: cb, ..
+            },
+        ) = (&a, &b)
+        else {
+            panic!("both runs must refute");
+        };
+        assert_eq!(ca.trace, cb.trace);
+        assert_eq!(ca.diags.len(), cb.diags.len());
+    }
+
+    /// Cross-validation: what the prover proves over the domain, the
+    /// dynamic verifier confirms on concrete draws from that domain.
+    #[test]
+    fn proved_domain_is_clean_under_dynamic_verification() {
+        let p = phased(60.0, 4);
+        let pipe = PipelineConfig {
+            disks: 4,
+            noise: NoiseModel {
+                spread: 0.2,
+                gap_jitter: 0.3,
+                seed: 42,
+            },
+            ..PipelineConfig::default()
+        };
+        let cfg = ProverConfig::from_pipeline(&pipe);
+        for scheme in [Scheme::CmTpm, Scheme::CmDrpm] {
+            assert!(prove_scheme(&p, scheme, &cfg).proved());
+            for seed in [1u64, 7, 1234] {
+                let mut noisy = pipe.clone();
+                noisy.noise.seed = seed;
+                let art = run_scheme_with_artifacts(&p, scheme, &noisy);
+                let plan = art.insertion.as_ref().map(PlanRef::of);
+                let diags = crate::verify_run(
+                    &art.trace,
+                    &noisy.params,
+                    noisy.overhead_secs,
+                    plan,
+                    Some(&art.report),
+                );
+                assert!(
+                    !crate::has_errors(&diags),
+                    "{scheme:?} seed {seed}: {}",
+                    crate::render_human_all(&diags)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Adversarial edge cases for the `SDPM-E101..E105` legality checkers
+//! and the symbolic window analysis: zero-trip loops, negative strides,
+//! degenerate tiles, and hand-doctored transform outcomes that must
+//! trigger each code exactly.
+
+use sdpm_ir::{disk_activity, AffineExpr, ArrayRef, LoopDim, LoopNest, Program, Statement};
+use sdpm_layout::{ArrayFile, DiskId, DiskPool, StorageOrder, Striping};
+use sdpm_verify::symbolic::symbolic_windows;
+use sdpm_verify::{check_fission, check_tiling, Code};
+use sdpm_xform::{
+    loop_fission, loop_tiling, FissionOutcome, TilingConfig, TilingOutcome, TilingScope,
+};
+
+fn vec_array(name: &str, elems: u64, disks: u32) -> ArrayFile {
+    ArrayFile {
+        name: name.into(),
+        dims: vec![elems],
+        element_bytes: 8,
+        order: StorageOrder::RowMajor,
+        striping: Striping {
+            start_disk: DiskId(0),
+            stripe_factor: disks,
+            stripe_bytes: 16 * 1024,
+        },
+        base_block: 0,
+    }
+}
+
+fn program(arrays: Vec<ArrayFile>, nests: Vec<LoopNest>) -> Program {
+    Program {
+        name: "edge".into(),
+        arrays,
+        nests,
+        clock_hz: Program::PAPER_CLOCK_HZ,
+    }
+}
+
+fn codes(diags: &[sdpm_verify::Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+// ---- genuine edge inputs: the passes must stay legal and panic-free ----
+
+#[test]
+fn zero_trip_nest_survives_fission_tiling_and_windows() {
+    let elems = 8192u64;
+    let p = program(
+        vec![vec_array("A", elems, 4)],
+        vec![LoopNest {
+            label: "dead".into(),
+            loops: vec![LoopDim::simple(0)],
+            stmts: vec![Statement {
+                label: "S".into(),
+                refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+            }],
+            cycles_per_iter: 50.0,
+        }],
+    );
+    let pool = DiskPool::new(4);
+    p.validate(pool).unwrap();
+
+    for layout_aware in [false, true] {
+        let f = loop_fission(&p, pool, layout_aware);
+        assert!(codes(&check_fission(&p, &f)).is_empty());
+        let t = loop_tiling(&p, pool, layout_aware, &TilingConfig::default());
+        assert!(codes(&check_tiling(&p, &t, layout_aware)).is_empty());
+    }
+    // The abstraction agrees the nest touches nothing.
+    let sym = symbolic_windows(&p, 4, 0);
+    assert!(sym.nests[0].iter().all(Option::is_none));
+}
+
+#[test]
+fn negative_stride_nest_stays_legal_and_contained() {
+    // Walks A from the top down: i = (n-1) - t, a legal reversed scan.
+    let elems = 8192u64;
+    let n = LoopNest {
+        label: "rev".into(),
+        loops: vec![LoopDim {
+            lower: i64::try_from(elems).unwrap() - 1,
+            count: elems,
+            step: -1,
+        }],
+        stmts: vec![Statement {
+            label: "S".into(),
+            refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+        }],
+        cycles_per_iter: 50.0,
+    };
+    let p = program(vec![vec_array("A", elems, 4)], vec![n]);
+    let pool = DiskPool::new(4);
+    p.validate(pool).unwrap();
+
+    for layout_aware in [false, true] {
+        let f = loop_fission(&p, pool, layout_aware);
+        assert!(codes(&check_fission(&p, &f)).is_empty());
+        let t = loop_tiling(&p, pool, layout_aware, &TilingConfig::default());
+        assert!(codes(&check_tiling(&p, &t, layout_aware)).is_empty());
+    }
+    // Symbolic windows still contain every concrete access.
+    let sym = symbolic_windows(&p, 4, 0);
+    let act = disk_activity(&p, pool);
+    for d in 0..4usize {
+        for iv in &act.nests[0].per_disk[d] {
+            let w = sym.nests[0][d].expect("touched disk must have a window");
+            assert!(w.first <= iv.start && iv.end - 1 <= w.last);
+        }
+    }
+}
+
+#[test]
+fn degenerate_tile_requests_never_produce_illegal_output() {
+    // tiles = 1 and tiles > trip count cannot strip-mine into two loops
+    // of >= 2 trips each; the pass must refuse (or pick another count),
+    // never emit an illegal nest.
+    let elems = 8192u64;
+    let p = program(
+        vec![vec_array("A", elems, 4)],
+        vec![LoopNest {
+            label: "n".into(),
+            loops: vec![LoopDim::simple(7.min(elems))], // prime trip count
+            stmts: vec![Statement {
+                label: "S".into(),
+                refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+            }],
+            cycles_per_iter: 50.0,
+        }],
+    );
+    let pool = DiskPool::new(4);
+    p.validate(pool).unwrap();
+    for tiles in [1u32, 7, 1000] {
+        for layout_aware in [false, true] {
+            let cfg = TilingConfig {
+                scope: TilingScope::AllNests,
+                tiles: Some(tiles),
+            };
+            let t = loop_tiling(&p, pool, layout_aware, &cfg);
+            assert!(
+                codes(&check_tiling(&p, &t, layout_aware)).is_empty(),
+                "tiles={tiles} layout_aware={layout_aware}"
+            );
+        }
+    }
+}
+
+// ---- doctored outcomes: each code must fire on its violation ----
+
+/// Two statements with a forward dependence (S1 writes A[i], S2 reads
+/// A[i]) plus an independent pair, so fission has something to split.
+fn forward_dep_program() -> Program {
+    let elems = 8192u64;
+    let nest = LoopNest {
+        label: "n".into(),
+        loops: vec![LoopDim::simple(elems)],
+        stmts: vec![
+            Statement {
+                label: "S1".into(),
+                refs: vec![ArrayRef::write(0, vec![AffineExpr::var(1, 0)])],
+            },
+            Statement {
+                label: "S2".into(),
+                refs: vec![ArrayRef::read(0, vec![AffineExpr::var(1, 0)])],
+            },
+        ],
+        cycles_per_iter: 60.0,
+    };
+    program(
+        vec![vec_array("A", elems, 4), vec_array("B", elems, 4)],
+        vec![nest],
+    )
+}
+
+/// Splits `forward_dep_program`'s nest into one part per statement, in
+/// the given order, conserving the cycle budget.
+fn split_outcome(p: &Program, order: [usize; 2]) -> FissionOutcome {
+    let src = &p.nests[0];
+    let mut out = p.clone();
+    out.nests = order
+        .iter()
+        .map(|&si| LoopNest {
+            label: format!("n.{si}"),
+            loops: src.loops.clone(),
+            stmts: vec![src.stmts[si].clone()],
+            cycles_per_iter: src.cycles_per_iter / 2.0,
+        })
+        .collect();
+    FissionOutcome {
+        program: out,
+        groups: Vec::new(),
+        fissioned_any: true,
+        nest_origin: vec![0, 0],
+    }
+}
+
+#[test]
+fn reversed_dependence_fires_e101() {
+    let p = forward_dep_program();
+    let out = split_outcome(&p, [1, 0]); // S2 before S1: backward
+    assert_eq!(
+        codes(&check_fission(&p, &out)),
+        vec![Code::FissionOrderViolation]
+    );
+    // The correct order is clean.
+    let ok = split_outcome(&p, [0, 1]);
+    assert!(codes(&check_fission(&p, &ok)).is_empty());
+}
+
+#[test]
+fn split_coupling_fires_e102() {
+    // S1 writes A[i], S2 reads A[i+1]: differing subscripts on a
+    // write-involved pair couple the statements into one SCC.
+    let mut p = forward_dep_program();
+    p.nests[0].stmts[1].refs[0] = ArrayRef::read(0, vec![AffineExpr::var(1, 0).shifted(1)]);
+    // Keep indices in range.
+    p.arrays[0].dims = vec![8192 + 1];
+    p.validate(DiskPool::new(4)).unwrap();
+    let out = split_outcome(&p, [0, 1]);
+    assert_eq!(
+        codes(&check_fission(&p, &out)),
+        vec![Code::FissionCouplingSplit]
+    );
+}
+
+#[test]
+fn edited_body_fires_e103() {
+    let p = forward_dep_program();
+    let mut out = split_outcome(&p, [0, 1]);
+    // Drop a statement: the parts no longer reassemble the source body.
+    out.program.nests[1].stmts.clear();
+    assert!(codes(&check_fission(&p, &out)).contains(&Code::FissionBodyChanged));
+    // Cycle-budget drift alone is also E103.
+    let mut out2 = split_outcome(&p, [0, 1]);
+    out2.program.nests[0].cycles_per_iter *= 3.0;
+    assert!(codes(&check_fission(&p, &out2)).contains(&Code::FissionBodyChanged));
+}
+
+#[test]
+fn unjustified_transpose_fires_e104() {
+    let p = forward_dep_program();
+    let mut doctored = p.clone();
+    doctored.arrays[0].order = doctored.arrays[0].order.transposed();
+    let out = TilingOutcome {
+        program: doctored,
+        tiled_nests: vec![],
+        transposed_arrays: vec![0],
+        changed: true,
+    };
+    // No tiled nest justifies any transpose, so both the claimed set and
+    // the resulting layout are wrong.
+    let got = codes(&check_tiling(&p, &out, true));
+    assert!(got.contains(&Code::TilingUnjustifiedTranspose), "{got:?}");
+}
+
+#[test]
+fn restructured_iteration_space_fires_e105() {
+    let p = forward_dep_program();
+    // Claim nest 0 was tiled but leave it untouched: depth check fails.
+    let out = TilingOutcome {
+        program: p.clone(),
+        tiled_nests: vec![0],
+        transposed_arrays: vec![],
+        changed: true,
+    };
+    assert_eq!(
+        codes(&check_tiling(&p, &out, false)),
+        vec![Code::TilingIterationSpaceChanged]
+    );
+    // Quietly shrinking a non-tiled nest is also E105.
+    let mut shrunk = p.clone();
+    shrunk.nests[0].loops[0].count -= 1;
+    let out2 = TilingOutcome {
+        program: shrunk,
+        tiled_nests: vec![],
+        transposed_arrays: vec![],
+        changed: true,
+    };
+    assert_eq!(
+        codes(&check_tiling(&p, &out2, false)),
+        vec![Code::TilingIterationSpaceChanged]
+    );
+}

@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use sdpm_core::{run_scheme_with_artifacts, NoiseModel, PipelineConfig, Scheme};
 use sdpm_ir::Program;
 use sdpm_layout::{DiskId, DiskPool, Striping};
+use sdpm_verify::symbolic::{prove_scheme, symbolic_windows, ProverConfig};
 use sdpm_verify::{
     check_fission, check_tiling, has_errors, render_human_all, replay_directives, verify_run,
     PlanRef,
@@ -199,6 +200,47 @@ proptest! {
             "illegal fission:\n{}",
             render_human_all(&diags)
         );
+    }
+
+    /// Soundness of the window abstraction: for every nest and disk, the
+    /// symbolic access window (at zero slack) contains every concretely
+    /// evaluated active interval of `disk_activity`. Over-approximating
+    /// access is the direction the gap obligations rely on.
+    #[test]
+    fn symbolic_windows_contain_concrete_activity(
+        scenario in (2u32..=8).prop_flat_map(|d| program_strategy(d).prop_map(move |p| (p, d))),
+    ) {
+        let (program, disks) = scenario;
+        let pool = DiskPool::new(disks);
+        prop_assert!(program.validate(pool).is_ok());
+        let sym = symbolic_windows(&program, disks, 0);
+        let act = sdpm_ir::disk_activity(&program, pool);
+        for (ni, nest_act) in act.nests.iter().enumerate() {
+            for (d, intervals) in nest_act.per_disk.iter().enumerate() {
+                for iv in intervals {
+                    let w = sym.nests[ni][d];
+                    prop_assert!(
+                        w.is_some_and(|w| w.first <= iv.start && iv.end - 1 <= w.last),
+                        "nest {ni} disk {d}: concrete [{}, {}) outside window {:?}",
+                        iv.start, iv.end, w
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pipeline's own placement policy (the prover's identity
+    /// [`sdpm_verify::PlacementPolicy`]) proves every obligation on
+    /// every random program: the inserter is safe by construction, and
+    /// the prover formalizes the construction.
+    #[test]
+    fn default_policy_proves_random_programs(scenario in scenario_strategy()) {
+        let (program, cfg) = scenario;
+        let pcfg = ProverConfig::from_pipeline(&cfg);
+        for scheme in [Scheme::CmTpm, Scheme::CmDrpm] {
+            let v = prove_scheme(&program, scheme, &pcfg);
+            prop_assert!(v.proved(), "{}: {v:?}", scheme.label());
+        }
     }
 
     /// `xform::tiling` output always passes the independent legality

@@ -24,6 +24,7 @@
 //! stencil, blocked matrix multiply, checkpoint loop) used by the
 //! examples and property tests.
 
+#![forbid(unsafe_code)]
 pub mod bench;
 pub mod builder;
 pub mod synth;

@@ -39,6 +39,7 @@
 //! assert!(out.groups[0].disks.is_disjoint(out.groups[1].disks));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod fission;
 pub mod pdc;
 pub mod tiling;
