@@ -9,7 +9,8 @@
 //! * **layer** — which subsystem is on the clock: `gen` (trace
 //!   generators), `suite` (end-to-end seven-scheme pipeline), `sim`
 //!   (simulator data paths over one generated trace), `codec` (binary
-//!   encode/decode), `fault` (the injection sweep).
+//!   encode/decode), `fault` (the injection sweep), `mix` (the
+//!   shared-pool scenario engine on a two-instance self-mix).
 //! * **access** — the kernel's I/O shape, classified from the generated
 //!   trace's sequential fraction: `seq` (>= 3/4 sequential), `rand`
 //!   (<= 1/4), `mixed` otherwise.
@@ -33,10 +34,13 @@
 
 use crate::config_for;
 use crate::faultsim::{run_fault_sweep, DEFAULT_RATES};
+use crate::mixbench::{MixDef, MixTenantDef};
 use crate::runbench::run_kernel_bench;
 use crate::streambench::{measure_phase_peak, run_stream_bench, PathCost};
+use sdpm_core::{ArrivalProcess, Scheme};
 use sdpm_layout::DiskPool;
 use sdpm_obs::json::Value;
+use sdpm_sim::{AdaptiveConfig, MixPolicy};
 use sdpm_trace::{codec, generate, Trace};
 use sdpm_workloads::Benchmark;
 use std::time::Instant;
@@ -125,7 +129,7 @@ fn entry(
     }
 }
 
-/// Runs every layer of the taxonomy over one kernel (ten entries).
+/// Runs every layer of the taxonomy over one kernel (eleven entries).
 #[must_use]
 pub fn bench_kernel_all(bench: &Benchmark) -> Vec<BenchEntry> {
     let cfg = config_for(bench);
@@ -196,6 +200,48 @@ pub fn bench_kernel_all(bench: &Benchmark) -> Vec<BenchEntry> {
     let sweep_cost = PathCost {
         wall_secs: sweep_secs,
         peak_kib: sweep_peak,
+    };
+
+    // mix layer: a two-instance self-mix of the kernel on the shared
+    // pool under the adaptive policy, doubled offered load. Determinism
+    // across reps stands in for the entry's bit-exactness flag.
+    let mix_def = MixDef {
+        name: "self",
+        arrivals: ArrivalProcess::Fixed { stagger_secs: 15.0 },
+        seed: 42,
+        tenants: (0..2)
+            .map(|i| MixTenantDef {
+                name: format!("{kernel}#{i}"),
+                program: bench.program.clone(),
+                cfg: cfg.clone(),
+                scheme: Scheme::Base,
+            })
+            .collect(),
+    };
+    let mix_policy = MixPolicy::Adaptive(AdaptiveConfig::default());
+    let mut mix_secs = f64::INFINITY;
+    let mut mix_peak = 0u64;
+    let mut mix_reports = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let t0 = Instant::now();
+        let r = if rep == 0 {
+            let (r, kib) = measure_phase_peak(|| mix_def.session(2.0).contended(&mix_policy));
+            mix_peak = kib;
+            r
+        } else {
+            mix_def.session(2.0).contended(&mix_policy)
+        };
+        mix_secs = mix_secs.min(t0.elapsed().as_secs_f64());
+        mix_reports.push(r);
+    }
+    let mix_ok = mix_reports[0].is_ok()
+        && mix_reports
+            .windows(2)
+            .all(|w| matches!((&w[0], &w[1]), (Ok(a), Ok(b)) if a == b));
+    let mix_requests = mix_reports[0].as_ref().map_or(0, |r| r.requests);
+    let mix_cost = PathCost {
+        wall_secs: mix_secs,
+        peak_kib: mix_peak,
     };
 
     vec![
@@ -304,6 +350,16 @@ pub fn bench_kernel_all(bench: &Benchmark) -> Vec<BenchEntry> {
             sweep.cells.len() as u64,
             "cells",
             sweep.passed(),
+        ),
+        entry(
+            "mix",
+            access,
+            "shared",
+            kernel,
+            &mix_cost,
+            mix_requests,
+            "reqs",
+            mix_ok,
         ),
     ]
 }

@@ -13,6 +13,8 @@
 //! repro profile [--bench swim] [--json PROFILE.json]
 //!               [--trace-out profile_trace.json] [--redact-times]
 //! repro faultsim [--seed N] [--rates 0,0.01,0.05] [--bench swim]
+//! repro mix [--mix pair|quad|checkpoint|all] [--loads 1,2,4] [--seed N]
+//!           [--json MIX.json] [--metrics-out mix.jsonl] [--detail] [--smoke]
 //! ```
 //!
 //! With no argument, runs `all`. Output pairs each measured value with
@@ -61,6 +63,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("faultsim") {
         faultsim_cmd(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("mix") {
+        mix_cmd(&argv[1..]);
         return;
     }
     let mut trace_out: Option<String> = None;
@@ -556,6 +562,215 @@ fn faultsim_cmd(args: &[String]) {
     }
 }
 
+/// `repro mix`: the shared-pool contention/energy frontier (see
+/// `sdpm_bench::mixbench`). Sweeps the named mixes over load factors ×
+/// pool policies; `--detail` adds the per-tenant breakdown of every
+/// cell, `--metrics-out` writes tenant-tagged JSONL that `repro probe`
+/// can aggregate, and `--smoke` runs the CI property suite
+/// (determinism, degenerate bit-exactness, adaptive-beats-TPM, clean
+/// verification) and exits 1 on any failure.
+fn mix_cmd(args: &[String]) {
+    use sdpm_bench::mixbench::{
+        all_mixes, default_policies, smoke, FrontierCell, MixFrontier, DEFAULT_LOADS,
+    };
+
+    let mut mix_arg = "all".to_string();
+    let mut loads: Vec<f64> = DEFAULT_LOADS.to_vec();
+    let mut seed = 0u64;
+    let mut json_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut detail = false;
+    let mut run_smoke = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--mix" => mix_arg = val("--mix"),
+            "--loads" => {
+                let raw = val("--loads");
+                loads = raw
+                    .split(',')
+                    .map(|l| {
+                        l.trim().parse::<f64>().unwrap_or_else(|e| {
+                            eprintln!("--loads must be comma-separated numbers: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if loads.is_empty() || loads.iter().any(|l| !l.is_finite() || *l <= 0.0) {
+                    eprintln!("--loads must be positive load factors");
+                    std::process::exit(2);
+                }
+            }
+            "--seed" => {
+                seed = val("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("--seed must be an integer: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json_out = Some(val("--json")),
+            "--metrics-out" => metrics_out = Some(val("--metrics-out")),
+            "--detail" => detail = true,
+            "--smoke" => run_smoke = true,
+            other => mix_arg = other.to_string(),
+        }
+    }
+
+    if run_smoke {
+        let s = smoke(seed);
+        println!("== Mix smoke (seed {}) ==", s.seed);
+        println!(
+            "{}",
+            render_table(&["check".into(), "pass".into(), "detail".into()], &s.rows())
+        );
+        println!(
+            "{}",
+            render_table(&MixFrontier::header(), &s.frontier.rows())
+        );
+        if let Some(path) = &json_out {
+            std::fs::write(path, s.frontier.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            println!("wrote {path}");
+        }
+        println!(
+            "all mix properties held: {}",
+            if s.passed() { "yes" } else { "NO" }
+        );
+        if !s.passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut mixes = all_mixes();
+    if mix_arg != "all" {
+        let needle = mix_arg.to_ascii_lowercase();
+        mixes.retain(|m| m.name.to_ascii_lowercase().contains(&needle));
+        if mixes.is_empty() {
+            let names: Vec<&str> = all_mixes().iter().map(|m| m.name).collect();
+            eprintln!("unknown mix '{mix_arg}'; one of: all {}", names.join(" "));
+            std::process::exit(2);
+        }
+    }
+    if seed != 0 {
+        mixes = mixes
+            .into_iter()
+            .zip(0u64..)
+            .map(|(m, i)| m.reseeded(seed + i))
+            .collect();
+    }
+
+    let policies = default_policies();
+    let mut cells = Vec::new();
+    let mut metrics = String::new();
+    let mut detail_blocks = String::new();
+    for def in &mixes {
+        for &lf in &loads {
+            for policy in &policies {
+                let r = def.session(lf).contended(policy).unwrap_or_else(|e| {
+                    eprintln!("mix {} @ load {lf}: {e}", def.name);
+                    std::process::exit(2);
+                });
+                cells.push(FrontierCell::from_report(def.name, lf, &r));
+                for t in &r.per_tenant {
+                    metrics.push_str(&format!(
+                        "{{\"ev\": \"mix_tenant\", \"mix\": \"{}\", \"load\": {lf}, \
+                         \"policy\": \"{}\", \"tenant\": {}, \"name\": \"{}\", \
+                         \"requests\": {}, \"busy_s\": {}, \"active_j\": {}, \
+                         \"mean_s\": {}, \"p99_s\": {}, \"max_s\": {}, \
+                         \"misfires\": {}, \"cross_tenant\": {}}}\n",
+                        def.name,
+                        r.policy,
+                        t.tenant,
+                        t.name,
+                        t.requests,
+                        t.busy_secs,
+                        t.active_j,
+                        t.mean_response_secs,
+                        t.p99_response_secs,
+                        t.max_response_secs,
+                        t.misfires.total(),
+                        t.misfires.cross_tenant,
+                    ));
+                }
+                if detail {
+                    let rows: Vec<Vec<String>> = r
+                        .per_tenant
+                        .iter()
+                        .map(|t| {
+                            vec![
+                                format!("{}#{}", t.name, t.tenant),
+                                t.requests.to_string(),
+                                format!("{:.1}", t.busy_secs),
+                                format!("{:.1}", t.active_j),
+                                format!("{:.4}", t.mean_response_secs),
+                                format!("{:.4}", t.p99_response_secs),
+                                format!("{:.4}", t.max_response_secs),
+                                t.misfires.total().to_string(),
+                                t.misfires.cross_tenant.to_string(),
+                            ]
+                        })
+                        .collect();
+                    detail_blocks.push_str(&format!(
+                        "-- {} @ load {lf:.1} under {} --\n{}",
+                        def.name,
+                        r.policy,
+                        render_table(
+                            &[
+                                "tenant".into(),
+                                "reqs".into(),
+                                "busy s".into(),
+                                "active J".into(),
+                                "mean s".into(),
+                                "p99 s".into(),
+                                "max s".into(),
+                                "misfires".into(),
+                                "xtenant".into(),
+                            ],
+                            &rows
+                        )
+                    ));
+                }
+            }
+        }
+    }
+    let frontier = MixFrontier { cells };
+
+    println!(
+        "== Mix frontier: {} mixes x {} loads x {} policies ==",
+        mixes.len(),
+        loads.len(),
+        policies.len()
+    );
+    println!("{}", render_table(&MixFrontier::header(), &frontier.rows()));
+    if detail {
+        print!("{detail_blocks}");
+    }
+    if let Some(path) = &json_out {
+        std::fs::write(path, frontier.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, &metrics).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote tenant-tagged metrics to {path} (aggregate with `repro probe {path}`)");
+    }
+}
+
 /// `repro bench --runlen [--json] [--out BENCH_runlen.json]`: the
 /// run-compression harness over all six Table 2 kernels. Exits 1 when
 /// any kernel's per-event and run-compressed reports diverge.
@@ -960,6 +1175,12 @@ fn probe_events_cmd(args: &[String]) {
     let mut misfires: BTreeMap<String, u64> = BTreeMap::new();
     let mut faults: BTreeMap<String, u64> = BTreeMap::new();
     let mut energy: BTreeMap<u64, f64> = BTreeMap::new();
+    // Tenant-tagged aggregates, keyed by (tenant id, name): requests,
+    // busy seconds, request-weighted mean numerator, worst p99, worst
+    // max, misfires, cross-tenant vetoes. Populated only when the
+    // stream carries mix events (`repro mix --metrics-out`).
+    #[allow(clippy::type_complexity)]
+    let mut tenants: BTreeMap<(u64, String), (u64, f64, f64, f64, f64, u64, u64)> = BTreeMap::new();
     for (ln, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -993,6 +1214,24 @@ fn probe_events_cmd(args: &[String]) {
                 if let (Some(d), Some(j)) = (v.get("disk").and_then(Value::as_u64), field("joules"))
                 {
                     *energy.entry(d).or_insert(0.0) += j;
+                }
+            }
+            Some("mix_tenant") => {
+                if let (Some(t), Some(name), Some(reqs)) = (
+                    v.get("tenant").and_then(Value::as_u64),
+                    v.get("name").and_then(Value::as_str),
+                    v.get("requests").and_then(Value::as_u64),
+                ) {
+                    let slot = tenants
+                        .entry((t, name.to_string()))
+                        .or_insert((0, 0.0, 0.0, 0.0, 0.0, 0, 0));
+                    slot.0 += reqs;
+                    slot.1 += field("busy_s").unwrap_or(0.0);
+                    slot.2 += field("mean_s").unwrap_or(0.0) * reqs as f64;
+                    slot.3 = slot.3.max(field("p99_s").unwrap_or(0.0));
+                    slot.4 = slot.4.max(field("max_s").unwrap_or(0.0));
+                    slot.5 += v.get("misfires").and_then(Value::as_u64).unwrap_or(0);
+                    slot.6 += v.get("cross_tenant").and_then(Value::as_u64).unwrap_or(0);
                 }
             }
             _ => {}
@@ -1075,6 +1314,48 @@ fn probe_events_cmd(args: &[String]) {
             render_table(&["disk".into(), "J".into(), "share".into()], &rows)
         );
         println!("total: {total:.1} J");
+    }
+
+    if !tenants.is_empty() {
+        println!("-- per-tenant breakdown (aggregated over mix cells) --");
+        let rows: Vec<Vec<String>> = tenants
+            .iter()
+            .map(
+                |((t, name), (reqs, busy, mean_num, p99, max, mis, cross))| {
+                    let mean = if *reqs > 0 {
+                        mean_num / *reqs as f64
+                    } else {
+                        0.0
+                    };
+                    vec![
+                        format!("{name}#{t}"),
+                        reqs.to_string(),
+                        format!("{busy:.1}"),
+                        format!("{mean:.4}"),
+                        format!("{p99:.4}"),
+                        format!("{max:.4}"),
+                        mis.to_string(),
+                        cross.to_string(),
+                    ]
+                },
+            )
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "tenant".into(),
+                    "reqs".into(),
+                    "busy s".into(),
+                    "mean s".into(),
+                    "worst p99 s".into(),
+                    "max s".into(),
+                    "misfires".into(),
+                    "xtenant".into(),
+                ],
+                &rows
+            )
+        );
     }
 }
 

@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod faultsim;
 pub mod format;
 pub mod lint;
+pub mod mixbench;
 #[cfg(feature = "obs")]
 pub mod profile;
 pub mod prove;

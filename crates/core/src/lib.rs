@@ -46,6 +46,7 @@ pub mod estimate;
 pub mod insert;
 pub mod pipeline;
 sdpm_obs::prof_hooks!();
+pub mod scenario;
 pub mod session;
 
 pub use dap::{build_dap, disk_gaps, Dap, DapEntry, DapState, GlobalGap, NestOffsets};
@@ -58,4 +59,5 @@ pub use pipeline::run_scheme_with_recorder;
 pub use pipeline::{
     run_all_schemes, run_scheme, run_scheme_with_artifacts, PipelineConfig, Scheme, SchemeArtifacts,
 };
+pub use scenario::{ArrivalProcess, Mix, MixSession, Tenant};
 pub use session::Session;

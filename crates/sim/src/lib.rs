@@ -70,6 +70,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod mix;
 pub mod openloop;
 pub mod oracle;
 pub mod policy;
@@ -79,8 +80,9 @@ pub mod shard;
 
 pub use engine::Engine;
 pub use error::SimError;
+pub use mix::{simulate_mix, MixPolicy, MixReport, TenantMixReport};
 pub use openloop::{replay_open_loop, replay_open_loop_demuxed, OpenDiskReport, OpenLoopReport};
-pub use policy::{DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
+pub use policy::{AdaptiveConfig, DirectiveConfig, DrpmConfig, Policy, ScheduledAction, TpmConfig};
 pub use report::{GapRecord, MisfireCause, MisfireCauses, PerDiskReport, SimPath, SimReport};
 
 use sdpm_disk::DiskParams;

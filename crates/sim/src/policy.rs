@@ -57,6 +57,54 @@ impl Default for DirectiveConfig {
     }
 }
 
+/// Epoch-based online adaptive power management — the 8th scheme, only
+/// meaningful under contention (shared-pool mixes, [`crate::mix`]).
+///
+/// Per disk, an EWMA of observed idle-gap lengths predicts the next gap.
+/// When the prediction clears `margin × break-even`, the disk spins down
+/// *immediately* at idle start (no 2-competitive wait); otherwise it
+/// stays up. A feedback loop closes each `epoch_secs`: epochs dominated
+/// by mispredicted spin-downs (demand wakes inside the break-even
+/// window) grow the margin, epochs that left long idles unexploited
+/// shrink it — the idle-prediction-with-feedback shape of online disk
+/// energy managers (arXiv 1703.02591) and runtime slack reclaimers
+/// (COUNTDOWN, arXiv 1806.07258), here driving the spindle instead of
+/// DVFS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Feedback epoch length, seconds.
+    pub epoch_secs: f64,
+    /// EWMA smoothing factor in `(0, 1]`; 1 tracks only the last gap.
+    pub ewma_alpha: f64,
+    /// Initial spin-down margin: predicted idle must exceed
+    /// `margin × break-even` before the policy sleeps the disk.
+    pub margin: f64,
+    /// Multiplier applied to the margin after a misfire-dominated epoch
+    /// (must be > 1).
+    pub margin_grow: f64,
+    /// Multiplier applied after an epoch with unexploited long idles
+    /// (must be in `(0, 1)`).
+    pub margin_shrink: f64,
+}
+
+impl AdaptiveConfig {
+    /// Clamp range for the feedback margin; keeps a pathological epoch
+    /// history from pinning the policy permanently asleep or awake.
+    pub const MARGIN_RANGE: (f64, f64) = (0.25, 8.0);
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            epoch_secs: 30.0,
+            ewma_alpha: 0.5,
+            margin: 1.5,
+            margin_grow: 2.0,
+            margin_shrink: 0.5,
+        }
+    }
+}
+
 /// A timed oracle action on one disk.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScheduledAction {

@@ -47,6 +47,13 @@ pub enum MisfireCause {
     RpmShiftRejected,
     /// `set_rpm` to a level that is not on the disk's RPM ladder.
     OffLadderLevel,
+    /// A directive rejected by the shared-pool engine because another
+    /// tenant had an imminent access on the same disk: honoring tenant
+    /// A's spin-down while tenant B arrives inside the break-even window
+    /// would charge B a wake penalty A never accounted for. Only the
+    /// mix engine ([`crate::mix`]) raises this cause; single-tenant runs
+    /// always report zero, preserving their bit-exactness suites.
+    CrossTenant,
 }
 
 impl MisfireCause {
@@ -58,6 +65,7 @@ impl MisfireCause {
             MisfireCause::SpinUpRejected => "spin_up_rejected",
             MisfireCause::RpmShiftRejected => "rpm_shift_rejected",
             MisfireCause::OffLadderLevel => "off_ladder_level",
+            MisfireCause::CrossTenant => "cross_tenant",
         }
     }
 }
@@ -69,6 +77,9 @@ pub struct MisfireCauses {
     pub spin_up_rejected: u64,
     pub rpm_shift_rejected: u64,
     pub off_ladder_level: u64,
+    /// Shared-pool only (see [`MisfireCause::CrossTenant`]);
+    /// single-program runs always report zero here.
+    pub cross_tenant: u64,
 }
 
 impl MisfireCauses {
@@ -79,6 +90,7 @@ impl MisfireCauses {
             MisfireCause::SpinUpRejected => self.spin_up_rejected += 1,
             MisfireCause::RpmShiftRejected => self.rpm_shift_rejected += 1,
             MisfireCause::OffLadderLevel => self.off_ladder_level += 1,
+            MisfireCause::CrossTenant => self.cross_tenant += 1,
         }
     }
 
@@ -89,6 +101,7 @@ impl MisfireCauses {
             + self.spin_up_rejected
             + self.rpm_shift_rejected
             + self.off_ladder_level
+            + self.cross_tenant
     }
 
     /// `(label, count)` pairs for the non-zero causes.
@@ -99,6 +112,7 @@ impl MisfireCauses {
             (MisfireCause::SpinUpRejected, self.spin_up_rejected),
             (MisfireCause::RpmShiftRejected, self.rpm_shift_rejected),
             (MisfireCause::OffLadderLevel, self.off_ladder_level),
+            (MisfireCause::CrossTenant, self.cross_tenant),
         ]
         .into_iter()
         .filter(|&(_, n)| n > 0)

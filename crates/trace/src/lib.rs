@@ -43,6 +43,7 @@
 pub mod codec;
 pub mod event;
 pub mod gen;
+pub mod mix;
 sdpm_obs::prof_hooks!();
 pub mod run;
 pub mod rungen;
@@ -52,6 +53,7 @@ pub mod trace;
 pub use codec::{DecodeRunStream, DecodeStream, RunStreamEncoder, StreamEncoder};
 pub use event::{AppEvent, IoRequest, PowerAction, ReqKind};
 pub use gen::{generate, GenSource, GenStream, TraceGenConfig};
+pub use mix::{merge_tenants, merge_tenants_chunked, tenant_timeline, TenantEvent, TenantStream};
 pub use run::{
     collect_runs, compress, compress_stream, CompressStream, IoTemplate, LowerStream, REvent, Run,
     RunSource, RunStream, RunTrace, RunTraceStream, MAX_ROTATION,

@@ -483,3 +483,70 @@ fn hostile_length_prefix_does_not_preallocate() {
     v2.extend_from_slice(&u32::MAX.to_le_bytes()); // nreqs: hostile
     assert_eq!(decode_runs(&v2).unwrap_err(), CodecError::Truncated);
 }
+
+proptest! {
+    /// Multi-tenant merge determinism (the scenario layer's contract):
+    /// K interleaved tenant streams, merged under a random chunk size
+    /// and a random tenant ordering, are byte-identical to the
+    /// single-pass reference merge. Extends the seq-tiebreak tests in
+    /// `trace::stream` to the `(time, tenant, seq)` tiebreak.
+    #[test]
+    fn tenant_merge_is_chunk_and_order_invariant(
+        raw in proptest::collection::vec(proptest::collection::vec(0u32..40, 0..30), 1..5),
+        chunk in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        use sdpm_trace::{merge_tenants, merge_tenants_chunked, TenantStream, TimedEvent};
+        // Quantized timestamps force plenty of cross-tenant ties, the
+        // case the tenant tiebreak exists for.
+        let streams: Vec<TenantStream> = raw
+            .iter()
+            .enumerate()
+            .map(|(tenant, times)| {
+                let mut ts = times.clone();
+                ts.sort_unstable();
+                TenantStream {
+                    tenant: tenant as u32,
+                    events: ts
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &q)| TimedEvent {
+                            at_secs: f64::from(q) * 0.25,
+                            seq: i as u64,
+                            event: AppEvent::Io(IoRequest {
+                                disk: DiskId(q % 2),
+                                start_block: u64::from(q),
+                                size_bytes: 4096,
+                                kind: ReqKind::Read,
+                                sequential: false,
+                                nest: 0,
+                                iter: i as u64,
+                            }),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let reference = merge_tenants(&streams);
+        // Seeded Fisher-Yates permutation of the input slice order; the
+        // merge keys on tenant ids, so the order must not matter.
+        let mut order: Vec<usize> = (0..streams.len()).collect();
+        let mut s = seed;
+        for i in (1..order.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = ((s >> 33) as usize) % (i + 1);
+            order.swap(i, j);
+        }
+        let shuffled: Vec<TenantStream> = order.iter().map(|&i| streams[i].clone()).collect();
+        let merged = merge_tenants_chunked(&shuffled, chunk);
+        prop_assert_eq!(merged.len(), reference.len());
+        for (a, b) in merged.iter().zip(&reference) {
+            prop_assert_eq!(a.at_secs.to_bits(), b.at_secs.to_bits(), "timestamps drifted");
+            prop_assert_eq!(a.tenant, b.tenant);
+            prop_assert_eq!(a.seq, b.seq);
+            prop_assert_eq!(&a.event, &b.event);
+        }
+    }
+}

@@ -83,6 +83,14 @@ pub enum Code {
     /// SDPM-W002: the report was produced under fault injection, so the
     /// fault-free replay cannot meaningfully cross-check it.
     ReplayUnderFaults,
+    /// SDPM-E009: in a shared-pool mix, a co-tenant access lands inside
+    /// an idle window another tenant's directives exploit — the
+    /// single-program safety proof does not transfer to the mix.
+    CrossTenantAccess,
+    /// SDPM-W003: the mix draws stochastic arrival offsets, so the
+    /// static window argument cannot certify directive safety; only the
+    /// runtime cross-tenant guard protects co-tenants.
+    UnverifiableUnderContention,
     /// SDPM-S001: the symbolic prover refuted the pre-activation lead
     /// obligation — for some parameters in the domain the placement rule
     /// yields a lead below formula (1)'s `Tsu + Tm`.
@@ -126,6 +134,8 @@ impl Code {
             Code::ReplayMisfireMismatch => "SDPM-E202",
             Code::ReplayMisfires => "SDPM-W001",
             Code::ReplayUnderFaults => "SDPM-W002",
+            Code::CrossTenantAccess => "SDPM-E009",
+            Code::UnverifiableUnderContention => "SDPM-W003",
             Code::SymbolicShortLead => "SDPM-S001",
             Code::SymbolicAccessWhileDown => "SDPM-S002",
             Code::SymbolicSpinUpUnfinished => "SDPM-S003",
@@ -155,6 +165,10 @@ impl Code {
             Code::ReplayMisfireMismatch => "replay misfire mismatch",
             Code::ReplayMisfires => "replay predicts directive misfires",
             Code::ReplayUnderFaults => "report produced under fault injection",
+            Code::CrossTenantAccess => "co-tenant access inside an exploited idle window",
+            Code::UnverifiableUnderContention => {
+                "stochastic mix defeats static window verification"
+            }
             Code::SymbolicShortLead => "refuted: pre-activation lead obligation",
             Code::SymbolicAccessWhileDown => "refuted: access-free idle window obligation",
             Code::SymbolicSpinUpUnfinished => "refuted: spin-up-completes obligation",
@@ -167,7 +181,9 @@ impl Code {
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Code::ReplayMisfires | Code::ReplayUnderFaults => Severity::Warning,
+            Code::ReplayMisfires | Code::ReplayUnderFaults | Code::UnverifiableUnderContention => {
+                Severity::Warning
+            }
             _ => Severity::Error,
         }
     }

@@ -1,0 +1,383 @@
+//! Shared-pool (mix) directive-safety checking.
+//!
+//! Single-program verification ([`crate::verify_directives`]) proves a
+//! tenant's directives safe against *its own* access stream. In a
+//! shared-pool mix that proof does not transfer: an idle window tenant A
+//! exploits (spin-down → spin-up, or a slow-RPM dwell) may contain
+//! tenant B's accesses, which then eat the wake/restore penalty A's
+//! compiler never accounted for. This checker re-derives every exploited
+//! window on the *shared* wall clock and reports co-tenant accesses
+//! inside them as `SDPM-E009` ([`Code::CrossTenantAccess`]).
+//!
+//! The argument is only sound when the tenant start offsets are
+//! deterministic. Under a stochastic arrival process the offsets are one
+//! draw from a distribution — a window proof for one draw certifies
+//! nothing about the scenario — so the checker degrades to a single
+//! `SDPM-W003` warning ([`Code::UnverifiableUnderContention`]) and
+//! leaves co-tenant protection to the engine's runtime guard
+//! ([`sdpm_sim::mix`]'s cross-tenant veto).
+
+use crate::diag::{Code, Diagnostic, Span};
+use sdpm_core::scenario::MixSession;
+use sdpm_disk::{DiskParams, RpmLadder};
+use sdpm_layout::DiskId;
+use sdpm_trace::mix::TenantStream;
+use sdpm_trace::{AppEvent, PowerAction};
+
+/// What an exploited window does to the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowKind {
+    /// Standby: a co-tenant access pays a full spin-up.
+    Standby,
+    /// Reduced speed: a co-tenant access is served slow (or pays the
+    /// shift back to full speed).
+    Slow,
+}
+
+/// One idle window a tenant's directives exploit, on the shared clock.
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    tenant: u32,
+    disk: DiskId,
+    start: f64,
+    /// `f64::INFINITY` when the trace never restores the disk.
+    end: f64,
+    kind: WindowKind,
+    /// Index of the opening directive in the tenant's stream.
+    open_index: usize,
+}
+
+/// Checks a merged scenario's per-tenant streams (the exact streams the
+/// shared-pool engine consumes, offsets and load factor already applied)
+/// for cross-tenant window violations.
+///
+/// `names[t]` labels tenant `t` in messages; `stochastic` says whether
+/// the scenario's arrival offsets were drawn rather than fixed.
+#[must_use]
+pub fn verify_mix(
+    streams: &[TenantStream],
+    names: &[&str],
+    params: &DiskParams,
+    stochastic: bool,
+) -> Vec<Diagnostic> {
+    let _sp = crate::prof::span("verify.mix");
+    if stochastic {
+        return vec![Diagnostic::new(
+            Code::UnverifiableUnderContention,
+            "arrival offsets are stochastic: exploited-window safety cannot be \
+             certified statically for this mix",
+        )
+        .label(
+            Span::Run,
+            "windows derived from one offset draw certify nothing about the scenario",
+        )
+        .help(
+            "use a Fixed arrival process to make the mix verifiable, or rely on \
+             the engine's runtime cross-tenant veto (misfire cause `cross_tenant`)",
+        )];
+    }
+
+    let ladder = RpmLadder::new(params);
+    let max_level = ladder.max_level();
+
+    // Pass 1: every exploited window, from each tenant's directives.
+    let mut windows: Vec<Window> = Vec::new();
+    for s in streams {
+        // Per-disk open window (at most one of each kind at a time; a
+        // well-formed stream never nests them — pairing errors are
+        // E006's job, not this checker's).
+        type OpenPair = (Option<(f64, usize)>, Option<(f64, usize)>);
+        let mut open: Vec<OpenPair> = Vec::new();
+        for (i, te) in s.events.iter().enumerate() {
+            let AppEvent::Power { disk, action } = &te.event else {
+                continue;
+            };
+            let di = disk.0 as usize;
+            if open.len() <= di {
+                open.resize(di + 1, (None, None));
+            }
+            match action {
+                PowerAction::SpinDown => open[di].0 = Some((te.at_secs, i)),
+                PowerAction::SpinUp => {
+                    if let Some((start, open_index)) = open[di].0.take() {
+                        windows.push(Window {
+                            tenant: s.tenant,
+                            disk: *disk,
+                            start,
+                            end: te.at_secs,
+                            kind: WindowKind::Standby,
+                            open_index,
+                        });
+                    }
+                }
+                PowerAction::SetRpm(level) => {
+                    if *level < max_level {
+                        open[di].1 = Some((te.at_secs, i));
+                    } else if let Some((start, open_index)) = open[di].1.take() {
+                        windows.push(Window {
+                            tenant: s.tenant,
+                            disk: *disk,
+                            start,
+                            end: te.at_secs,
+                            kind: WindowKind::Slow,
+                            open_index,
+                        });
+                    }
+                }
+            }
+        }
+        // Unclosed windows extend to the end of the scenario.
+        for (di, (down, slow)) in open.into_iter().enumerate() {
+            for (slot, kind) in [(down, WindowKind::Standby), (slow, WindowKind::Slow)] {
+                if let Some((start, open_index)) = slot {
+                    windows.push(Window {
+                        tenant: s.tenant,
+                        disk: DiskId(di as u32),
+                        start,
+                        end: f64::INFINITY,
+                        kind,
+                        open_index,
+                    });
+                }
+            }
+        }
+    }
+
+    // Pass 2: every co-tenant access against every window on its disk.
+    let mut diags = Vec::new();
+    for s in streams {
+        for (i, te) in s.events.iter().enumerate() {
+            let AppEvent::Io(req) = &te.event else {
+                continue;
+            };
+            for w in &windows {
+                if w.tenant == s.tenant || w.disk != req.disk {
+                    continue;
+                }
+                if te.at_secs >= w.start && te.at_secs <= w.end {
+                    let (what, penalty) = match w.kind {
+                        WindowKind::Standby => ("standby window", "pays a full demand spin-up"),
+                        WindowKind::Slow => ("reduced-speed window", "is served below full speed"),
+                    };
+                    let owner = tenant_name(names, w.tenant);
+                    let victim = tenant_name(names, s.tenant);
+                    diags.push(
+                        Diagnostic::new(
+                            Code::CrossTenantAccess,
+                            format!(
+                                "tenant `{victim}` accesses disk {} inside the {what} \
+                                 [{:.3}s, {}] exploited by tenant `{owner}`",
+                                w.disk.0,
+                                w.start,
+                                if w.end.is_finite() {
+                                    format!("{:.3}s", w.end)
+                                } else {
+                                    "end".to_string()
+                                },
+                            ),
+                        )
+                        .label(
+                            Span::TraceEvent {
+                                index: i,
+                                t_est: te.at_secs,
+                            },
+                            format!("`{victim}`'s access lands here and {penalty}"),
+                        )
+                        .label(
+                            Span::TraceEvent {
+                                index: w.open_index,
+                                t_est: w.start,
+                            },
+                            format!("`{owner}`'s directive opens the window here"),
+                        )
+                        .help(
+                            "stagger the tenants' arrival offsets past the window, or run \
+                             the mix under the Directive policy whose cross-tenant veto \
+                             rejects the unsafe call at runtime",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// [`verify_mix`] over a scenario session: streams, names, and the
+/// stochastic flag are pulled from the mix itself.
+#[must_use]
+pub fn verify_mix_session(mix: &mut MixSession<'_>) -> Vec<Diagnostic> {
+    let streams = mix.tenant_streams();
+    let names: Vec<&str> = mix.mix().tenants.iter().map(|t| t.name.as_str()).collect();
+    let stochastic = mix.mix().arrivals.is_stochastic();
+    let params = mix.mix().tenants[0].cfg.params.clone();
+    verify_mix(&streams, &names, &params, stochastic)
+}
+
+fn tenant_name<'n>(names: &[&'n str], tenant: u32) -> &'n str {
+    names.get(tenant as usize).copied().unwrap_or("?")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{has_errors, Severity};
+    use sdpm_disk::ultrastar36z15;
+    use sdpm_trace::mix::TenantStream;
+    use sdpm_trace::{IoRequest, ReqKind, TimedEvent};
+
+    fn io_at(at: f64, seq: u64, disk: u32) -> TimedEvent {
+        TimedEvent {
+            at_secs: at,
+            seq,
+            event: AppEvent::Io(IoRequest {
+                disk: DiskId(disk),
+                start_block: 0,
+                size_bytes: 4096,
+                kind: ReqKind::Read,
+                sequential: false,
+                nest: 0,
+                iter: seq,
+            }),
+        }
+    }
+
+    fn pw_at(at: f64, seq: u64, disk: u32, action: PowerAction) -> TimedEvent {
+        TimedEvent {
+            at_secs: at,
+            seq,
+            event: AppEvent::Power {
+                disk: DiskId(disk),
+                action,
+            },
+        }
+    }
+
+    fn stream(tenant: u32, events: Vec<TimedEvent>) -> TenantStream {
+        TenantStream { tenant, events }
+    }
+
+    #[test]
+    fn co_tenant_access_in_standby_window_is_e009() {
+        let a = stream(
+            0,
+            vec![
+                io_at(1.0, 0, 0),
+                pw_at(2.0, 1, 0, PowerAction::SpinDown),
+                pw_at(50.0, 2, 0, PowerAction::SpinUp),
+                io_at(61.0, 3, 0),
+            ],
+        );
+        let b = stream(1, vec![io_at(10.0, 0, 0)]);
+        let d = verify_mix(&[a, b], &["a", "b"], &ultrastar36z15(), false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::CrossTenantAccess);
+        assert_eq!(d[0].code.as_str(), "SDPM-E009");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(d[0].message.contains('b') && d[0].message.contains("standby"));
+        assert!(has_errors(&d));
+    }
+
+    #[test]
+    fn access_on_another_disk_or_outside_the_window_is_clean() {
+        let a = stream(
+            0,
+            vec![
+                pw_at(2.0, 0, 0, PowerAction::SpinDown),
+                pw_at(50.0, 1, 0, PowerAction::SpinUp),
+            ],
+        );
+        // Other disk, and same disk but after the restore: both fine.
+        let b = stream(1, vec![io_at(10.0, 0, 1), io_at(55.0, 1, 0)]);
+        let d = verify_mix(&[a, b], &["a", "b"], &ultrastar36z15(), false);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unclosed_window_extends_to_scenario_end() {
+        let a = stream(0, vec![pw_at(2.0, 0, 0, PowerAction::SpinDown)]);
+        let b = stream(1, vec![io_at(1e6, 0, 0)]);
+        let d = verify_mix(&[a, b], &["a", "b"], &ultrastar36z15(), false);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::CrossTenantAccess);
+    }
+
+    #[test]
+    fn slow_rpm_window_is_reported_and_restore_closes_it() {
+        let p = ultrastar36z15();
+        let ladder = RpmLadder::new(&p);
+        let slow = sdpm_disk::RpmLevel(0);
+        let a = stream(
+            0,
+            vec![
+                pw_at(2.0, 0, 0, PowerAction::SetRpm(slow)),
+                pw_at(50.0, 1, 0, PowerAction::SetRpm(ladder.max_level())),
+            ],
+        );
+        let b = stream(1, vec![io_at(10.0, 0, 0), io_at(60.0, 1, 0)]);
+        let d = verify_mix(&[a, b], &["a", "b"], &p, false);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("reduced-speed"));
+    }
+
+    #[test]
+    fn own_tenant_accesses_are_not_cross_tenant() {
+        // Tenant 0 accessing inside its own window is E001's territory
+        // (single-program safety), not E009's.
+        let a = stream(
+            0,
+            vec![
+                pw_at(2.0, 0, 0, PowerAction::SpinDown),
+                io_at(10.0, 1, 0),
+                pw_at(50.0, 2, 0, PowerAction::SpinUp),
+            ],
+        );
+        let d = verify_mix(&[a], &["a"], &ultrastar36z15(), false);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn stochastic_mix_degrades_to_w003_only() {
+        // Blatant overlap, but stochastic offsets: a single warning, no
+        // errors.
+        let a = stream(0, vec![pw_at(2.0, 0, 0, PowerAction::SpinDown)]);
+        let b = stream(1, vec![io_at(10.0, 0, 0)]);
+        let d = verify_mix(&[a, b], &["a", "b"], &ultrastar36z15(), true);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].code, Code::UnverifiableUnderContention);
+        assert_eq!(d[0].code.as_str(), "SDPM-W003");
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert!(!has_errors(&d));
+    }
+
+    #[test]
+    fn session_wrapper_agrees_with_direct_call() {
+        use sdpm_core::scenario::{ArrivalProcess, Mix, Tenant};
+        use sdpm_core::{PipelineConfig, Scheme};
+        let program = sdpm_workloads::synth::checkpoint_loop(2, 2, 8.0);
+        let cfg = PipelineConfig::default();
+        let mut mix = MixSession::new(Mix {
+            tenants: vec![
+                Tenant {
+                    name: "cm".into(),
+                    program: &program,
+                    cfg: &cfg,
+                    scheme: Scheme::CmTpm,
+                },
+                Tenant {
+                    name: "bg".into(),
+                    program: &program,
+                    cfg: &cfg,
+                    scheme: Scheme::Base,
+                },
+            ],
+            arrivals: ArrivalProcess::Fixed { stagger_secs: 1.0 },
+            seed: 0,
+            load_factor: 1.0,
+        });
+        let via_session = verify_mix_session(&mut mix);
+        let streams = mix.tenant_streams();
+        let direct = verify_mix(&streams, &["cm", "bg"], &cfg.params, false);
+        assert_eq!(via_session, direct);
+    }
+}
